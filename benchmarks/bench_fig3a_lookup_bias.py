@@ -1,0 +1,45 @@
+"""Figure 3(a) — fraction of remaining malicious nodes over time under the
+lookup bias attack, for attack rates 100% and 50%.
+
+Paper shape: starting from 20% malicious nodes, almost all attackers are
+identified within ~20 simulated minutes, and the more aggressive the attack
+the faster they are caught.
+
+Scaled-down default: N=120 nodes, 400 simulated seconds (paper: N=1000,
+1000 s).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.security import SecurityExperimentConfig, run_attack_sweep
+
+
+def _base_config(paper_scale) -> SecurityExperimentConfig:
+    return SecurityExperimentConfig(
+        n_nodes=1000 if paper_scale else 120,
+        duration=1000.0 if paper_scale else 400.0,
+        attack="lookup-bias",
+        churn_lifetime_minutes=60.0,
+        seed=3,
+        sample_interval=100.0,
+    )
+
+
+def test_fig3a_lookup_bias(benchmark, paper_scale):
+    results = run_once(
+        benchmark, lambda: run_attack_sweep("lookup-bias", (1.0, 0.5), _base_config(paper_scale))
+    )
+
+    print("\nFigure 3(a) — remaining malicious fraction under lookup bias attack")
+    for rate, result in results.items():
+        series = ", ".join(f"{t:.0f}s:{v:.3f}" for t, v in result.malicious_fraction_series)
+        print(f"    attack rate {rate:.0%}: {series}")
+
+    for rate, result in results.items():
+        assert result.initial_malicious_fraction > 0.15
+        assert result.final_malicious_fraction < 0.05
+        assert result.false_positive_rate <= 0.05
+    # The aggressive adversary is caught at least as fast as the stealthy one.
+    assert results[1.0].final_malicious_fraction <= results[0.5].malicious_fraction_series[2][1] + 0.05

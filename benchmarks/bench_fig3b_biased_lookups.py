@@ -1,0 +1,43 @@
+"""Figure 3(b) — cumulative number of lookups and of biased lookups over time
+under the lookup bias attack.
+
+Paper shape: the total number of lookups grows linearly for the whole run,
+while the number of *biased* lookups grows only during the first ~20 minutes
+and then flattens because the attackers have been identified and removed.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.security import SecurityExperiment, SecurityExperimentConfig
+
+
+def test_fig3b_biased_lookups(benchmark, paper_scale):
+    config = SecurityExperimentConfig(
+        n_nodes=1000 if paper_scale else 120,
+        duration=1000.0 if paper_scale else 400.0,
+        attack="lookup-bias",
+        attack_rate=1.0,
+        churn_lifetime_minutes=60.0,
+        seed=3,
+        sample_interval=100.0,
+    )
+    result = run_once(benchmark, lambda: SecurityExperiment(config).run())
+
+    print("\nFigure 3(b) — cumulative lookups vs biased lookups")
+    for (t, total), (_, biased) in zip(result.lookups_series, result.biased_lookups_series):
+        print(f"    t={t:6.0f}s  lookups={total:7.0f}  biased={biased:6.0f}")
+
+    half_time = config.duration / 2.0
+    total_final = result.lookups_series[-1][1]
+    total_half = next(v for t, v in result.lookups_series if t >= half_time)
+    biased_final = result.biased_lookups_series[-1][1]
+    biased_half = next(v for t, v in result.biased_lookups_series if t >= half_time)
+    assert total_final > 0
+    # Lookups keep accumulating in the second half of the run...
+    assert total_final > total_half * 1.5
+    # ...while bias accumulation has essentially stopped.
+    assert biased_final - biased_half <= max(2.0, 0.25 * biased_final)
+    # Only a small fraction of all lookups were ever biased.
+    assert biased_final <= 0.25 * total_final

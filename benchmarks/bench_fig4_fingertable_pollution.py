@@ -1,0 +1,35 @@
+"""Figure 4 — fraction of remaining malicious nodes over time under the
+fingertable pollution attack.
+
+Paper shape: over 80% of attackers identified within ~30 minutes; detection is
+slightly faster than for the manipulation attack because the check runs at
+every finger update and successor-list-resident fingers are also covered by
+secret neighbor surveillance.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.security import SecurityExperiment, SecurityExperimentConfig
+
+
+def test_fig4_fingertable_pollution(benchmark, paper_scale):
+    config = SecurityExperimentConfig(
+        n_nodes=1000 if paper_scale else 120,
+        duration=1000.0 if paper_scale else 500.0,
+        attack="fingertable-pollution",
+        attack_rate=1.0,
+        churn_lifetime_minutes=60.0,
+        seed=3,
+        sample_interval=100.0,
+    )
+    result = run_once(benchmark, lambda: SecurityExperiment(config).run())
+
+    print("\nFigure 4 — remaining malicious fraction under fingertable pollution")
+    for t, v in result.malicious_fraction_series:
+        print(f"    t={t:6.0f}s  fraction={v:.3f}")
+    print(f"    FP={result.false_positive_rate:.3f} FN={result.false_negative_rate:.3f} FA={result.false_alarm_rate:.3f}")
+
+    assert result.final_malicious_fraction < 0.2 * result.initial_malicious_fraction + 0.02
+    assert result.false_positive_rate <= 0.05

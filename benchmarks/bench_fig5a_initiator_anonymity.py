@@ -1,0 +1,47 @@
+"""Figure 5(a) — initiator anonymity H(I) of Octopus vs the fraction of
+malicious nodes, for 2 and 6 dummy queries and concurrent lookup rates of
+0.5% and 1%.
+
+Paper shape (N=100,000): H(I) stays close to the ideal entropy; at f=20% the
+information leak is ~0.57 bit, and adding more dummies does not change H(I)
+much (dummies mostly protect the target).
+
+Scaled-down default: N=8,000 nodes (paper: 100,000) and fewer Monte-Carlo
+worlds; the leak in bits is comparable because it is dominated by the
+observation structure rather than by N.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.anonymity import AnonymityExperiment, AnonymityExperimentConfig
+
+
+def test_fig5a_initiator_anonymity(benchmark, paper_scale):
+    config = AnonymityExperimentConfig(
+        n_nodes=100_000 if paper_scale else 8_000,
+        fractions_malicious=(0.04, 0.12, 0.20),
+        dummy_counts=(2, 6),
+        concurrent_lookup_rates=(0.005, 0.01),
+        n_worlds=400 if paper_scale else 150,
+        seed=1,
+    )
+    points = run_once(benchmark, lambda: AnonymityExperiment(config).run_octopus())
+
+    print("\nFigure 5(a) — Octopus initiator anonymity H(I) (paper: ~0.57 bit leak at f=0.2)")
+    for p in points:
+        print(
+            f"    f={p.fraction_malicious:.2f} dummies={p.dummy_queries} alpha={p.concurrent_lookup_rate:.3f}"
+            f"  H(I)={p.initiator_entropy:.2f}  leak={p.initiator_leak:.2f} bit (ideal {p.ideal_entropy:.2f})"
+        )
+
+    # Leak grows with f but stays small (near-optimal anonymity).
+    for dummies in (2, 6):
+        for alpha in (0.005, 0.01):
+            series = [
+                p for p in points if p.dummy_queries == dummies and abs(p.concurrent_lookup_rate - alpha) < 1e-9
+            ]
+            series.sort(key=lambda p: p.fraction_malicious)
+            assert series[-1].initiator_leak >= series[0].initiator_leak - 0.15
+            assert series[-1].initiator_leak < 2.0

@@ -1,0 +1,42 @@
+"""Figure 7(a) — CDF of lookup latency for Octopus, Chord and Halo.
+
+Paper shape: Chord's CDF rises first (lowest latencies), Octopus's next, and
+Halo's last; Halo additionally has the heaviest tail because a Halo lookup
+only completes when all of its redundant searches have returned.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.config import OctopusConfig
+from repro.experiments.efficiency import EfficiencyExperiment, EfficiencyExperimentConfig
+
+
+def test_fig7a_latency_cdf(benchmark, paper_scale):
+    n_nodes = 207
+    config = EfficiencyExperimentConfig(
+        n_nodes=n_nodes,
+        lookups_per_scheme=300 if paper_scale else 80,
+        seed=2,
+        octopus=OctopusConfig(expected_network_size=n_nodes),
+    )
+    result = run_once(benchmark, lambda: EfficiencyExperiment(config).run())
+
+    print("\nFigure 7(a) — lookup latency CDF (seconds at selected percentiles)")
+    header = "    scheme    p10     p50     p90     mean"
+    print(header)
+    cdfs = {}
+    for name, scheme in result.schemes.items():
+        cdf = scheme.latency_cdf
+        def pct(p):
+            idx = min(len(cdf) - 1, max(0, int(round(p * len(cdf))) - 1))
+            return cdf[idx][0]
+        cdfs[name] = (pct(0.1), pct(0.5), pct(0.9), scheme.mean_latency)
+        print(f"    {name:8s} {pct(0.1):6.2f} {pct(0.5):7.2f} {pct(0.9):7.2f} {scheme.mean_latency:8.2f}")
+
+    # CDF ordering at the median and the tail matches the paper.
+    assert cdfs["chord"][1] < cdfs["octopus"][1]
+    assert cdfs["octopus"][1] < cdfs["halo"][1] * 1.2
+    assert cdfs["chord"][2] < cdfs["octopus"][2] < cdfs["halo"][2] * 1.5
+    assert result.schemes["halo"].mean_latency > result.schemes["octopus"].mean_latency

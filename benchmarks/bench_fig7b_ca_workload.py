@@ -1,0 +1,52 @@
+"""Figure 7(b) — the CA's workload (messages received) over time, for the
+three active attacks.
+
+Paper shape: the workload peaks at the beginning of the deployment (when all
+malicious nodes are still present), decays as attackers are removed, and is
+at most a few messages per second even at the peak.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.security import SecurityExperiment, SecurityExperimentConfig
+
+ATTACKS = ("lookup-bias", "fingertable-manipulation", "fingertable-pollution")
+
+
+def _run(paper_scale):
+    out = {}
+    for attack in ATTACKS:
+        config = SecurityExperimentConfig(
+            n_nodes=1000 if paper_scale else 120,
+            duration=1000.0 if paper_scale else 400.0,
+            attack=attack,
+            attack_rate=1.0,
+            churn_lifetime_minutes=60.0,
+            seed=3,
+            sample_interval=100.0,
+        )
+        out[attack] = SecurityExperiment(config).run()
+    return out
+
+
+def test_fig7b_ca_workload(benchmark, paper_scale):
+    results = run_once(benchmark, lambda: _run(paper_scale))
+
+    print("\nFigure 7(b) — CA workload over time (messages per sampling bucket)")
+    for attack, result in results.items():
+        series = ", ".join(f"{t:.0f}s:{v:.0f}" for t, v in result.ca_workload_series)
+        print(f"    {attack}: {series}")
+
+    for attack, result in results.items():
+        workload = [v for _, v in result.ca_workload_series]
+        if sum(workload) == 0:
+            continue
+        first_half = sum(workload[: len(workload) // 2])
+        second_half = sum(workload[len(workload) // 2:])
+        # Work is concentrated early and decays once attackers are removed.
+        assert first_half >= second_half, attack
+        # Even at the peak the CA handles at most a few messages per second.
+        bucket = result.config.sample_interval
+        assert max(workload) / bucket < 20.0, attack

@@ -1,0 +1,72 @@
+"""Table 2 — false positive / false negative / false alarm rates of the
+malicious-node identification mechanisms, under churn (mean lifetime 60 and
+10 minutes).
+
+Paper values: 0 false positives everywhere; false negatives ~0–0.5% for the
+lookup-bias defense and ~14–19.6% for the fingertable manipulation/pollution
+defenses; false alarms below a few percent.
+
+Scaled-down default: N=120, 300 simulated seconds (paper: N=1000, and the
+accuracy is measured over the whole run).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.security import SecurityExperiment, SecurityExperimentConfig
+
+ATTACKS = ("lookup-bias", "fingertable-manipulation", "fingertable-pollution")
+
+
+def _run(paper_scale):
+    n_nodes = 1000 if paper_scale else 120
+    duration = 1000.0 if paper_scale else 300.0
+    rows = []
+    for attack in ATTACKS:
+        for lifetime in (60.0, 10.0):
+            config = SecurityExperimentConfig(
+                n_nodes=n_nodes,
+                duration=duration,
+                attack=attack,
+                attack_rate=1.0,
+                churn_lifetime_minutes=lifetime,
+                seed=3,
+                sample_interval=duration / 5,
+            )
+            result = SecurityExperiment(config).run()
+            rows.append(
+                {
+                    "attack": attack,
+                    "lambda_min": lifetime,
+                    "false_positive": round(result.false_positive_rate, 4),
+                    "false_negative": round(result.false_negative_rate, 4),
+                    "false_alarm": round(result.false_alarm_rate, 4),
+                }
+            )
+    return rows
+
+
+def test_table2_identification_accuracy(benchmark, paper_scale):
+    rows = run_once(benchmark, lambda: _run(paper_scale))
+
+    print("\nTable 2 — identification accuracy (paper: FP=0, FN<=~20%, FA<=~2%)")
+    for row in rows:
+        print("   ", row)
+    print(
+        "    note: the scaled-down default (N=120, 300 s) inflates the false-negative and"
+        " false-alarm rates relative to the paper's N=1000 / full-length runs because each"
+        " node is checked far fewer times before the run ends; re-run with --paper-scale"
+        " for the published regime."
+    )
+
+    # The paper's headline accuracy claim — (near-)zero false positives — must
+    # hold even at the scaled-down size; the FN/FA bounds are looser here.
+    for row in rows:
+        assert row["false_positive"] <= 0.05, row
+        assert row["false_negative"] <= 0.60, row
+        assert row["false_alarm"] <= 0.50, row
+    # The lookup-bias defense stays the most accurate one (lowest FN), as in Table 2.
+    bias_fn = max(r["false_negative"] for r in rows if r["attack"] == "lookup-bias")
+    pollution_fn = max(r["false_negative"] for r in rows if r["attack"] == "fingertable-pollution")
+    assert bias_fn <= pollution_fn + 0.05

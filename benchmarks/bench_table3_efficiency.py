@@ -1,0 +1,46 @@
+"""Table 3 — efficiency comparison: lookup latency and bandwidth consumption.
+
+Paper values (PlanetLab, 207 nodes; bandwidth for a 1,000,000-node overlay):
+
+    scheme    mean lat  median lat   kbps @5min   kbps @10min
+    Octopus     2.15 s      1.61 s        5.91         4.30
+    Chord       1.35 s      0.35 s        0.29         0.28
+    Halo        6.89 s      1.79 s        0.71         0.37
+
+Shape checks (absolute numbers depend on the latency substrate): the latency
+ordering Chord < Octopus < Halo, the bandwidth ordering Chord < Halo <
+Octopus, and Octopus staying within a few kbps.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core.config import OctopusConfig
+from repro.experiments.efficiency import EfficiencyExperiment, EfficiencyExperimentConfig
+
+
+def test_table3_efficiency(benchmark, paper_scale):
+    n_nodes = 207
+    config = EfficiencyExperimentConfig(
+        n_nodes=n_nodes,
+        lookups_per_scheme=300 if paper_scale else 80,
+        seed=1,
+        octopus=OctopusConfig(expected_network_size=n_nodes),
+    )
+    result = run_once(benchmark, lambda: EfficiencyExperiment(config).run())
+
+    print("\nTable 3 — efficiency comparison (207 nodes, King-like latencies)")
+    for row in result.table3_rows():
+        print("   ", row)
+
+    chord = result.schemes["chord"]
+    octopus = result.schemes["octopus"]
+    halo = result.schemes["halo"]
+    # Latency ordering (Table 3 / Figure 7(a)).
+    assert chord.mean_latency < octopus.mean_latency < halo.mean_latency
+    # Bandwidth ordering and magnitude (a few kbps for Octopus).
+    for interval in (5.0, 10.0):
+        assert chord.bandwidth_kbps[interval] < halo.bandwidth_kbps[interval] < octopus.bandwidth_kbps[interval]
+        assert octopus.bandwidth_kbps[interval] < 25.0
+    assert octopus.bandwidth_kbps[10.0] < octopus.bandwidth_kbps[5.0]

@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The default
+parameters are scaled down from the paper's (documented per bench and in
+EXPERIMENTS.md) so the whole suite runs on a laptop in a few minutes; the
+paper-scale parameters can be enabled with ``--paper-scale``.
+
+Benchmarks print the regenerated rows/series so they can be compared with the
+published results, and assert the *shape* claims (orderings, convergence,
+who-wins) rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run benchmarks at the paper's full scale (much slower)",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scale(request) -> bool:
+    return bool(request.config.getoption("--paper-scale"))
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Anonymity analysis demo: how much does an adversary learn from a lookup?
+
+Reproduces (at a small scale) the Section 6 analysis: the entropy of the
+lookup initiator H(I) and of the lookup target H(T) under a partial adversary,
+for Octopus and for the comparison schemes (Chord, NISAN, Torsk).
+
+Run with:  python examples/anonymity_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.anonymity import (
+    AnonymityConfig,
+    ComparisonAnonymityModel,
+    InitiatorAnonymityEstimator,
+    LightweightRing,
+    TargetAnonymityEstimator,
+)
+
+
+def main() -> None:
+    n_nodes = 10_000
+    alpha = 0.01
+    print(f"anonymity analysis over a {n_nodes}-node network, alpha={alpha:.0%} concurrent lookups")
+    print(f"{'f':>6s} {'scheme':>10s} {'H(I)':>8s} {'leak(I)':>8s} {'H(T)':>8s} {'leak(T)':>8s}")
+
+    for f in (0.05, 0.10, 0.20):
+        ring = LightweightRing(n_nodes=n_nodes, fraction_malicious=f, seed=3)
+        config = AnonymityConfig(concurrent_lookup_rate=alpha, dummy_queries=6)
+
+        initiator = InitiatorAnonymityEstimator(ring, config).estimate(n_worlds=150)
+        target = TargetAnonymityEstimator(ring, config).estimate(n_worlds=150)
+        print(
+            f"{f:6.2f} {'octopus':>10s} {initiator.entropy_bits:8.2f} {initiator.information_leak_bits:8.2f}"
+            f" {target.entropy_bits:8.2f} {target.information_leak_bits:8.2f}"
+        )
+
+        comparison = ComparisonAnonymityModel(ring, concurrent_lookup_rate=alpha)
+        for scheme, result in comparison.all_schemes().items():
+            print(
+                f"{f:6.2f} {scheme:>10s} {result.initiator.entropy_bits:8.2f}"
+                f" {result.initiator.information_leak_bits:8.2f}"
+                f" {result.target.entropy_bits:8.2f} {result.target.information_leak_bits:8.2f}"
+            )
+
+    print(
+        "\nShape to look for (Figures 5 and 6 of the paper): Octopus leaks well under a"
+        "\nbit about both the initiator and the target even with 20% malicious nodes,"
+        "\nwhile the key-revealing schemes (Chord, NISAN) leak many bits about the target"
+        "\nand Torsk leaks several bits about the initiator."
+    )
+
+
+if __name__ == "__main__":
+    main()

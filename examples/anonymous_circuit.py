@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""DHT-based anonymous communication: building Tor-like circuits with Octopus.
+
+The paper's motivating application (Section 2) is scalable anonymous
+communication: each client builds a three-relay circuit, and the relays are
+discovered with DHT lookups.  If the lookup leaks the initiator or the
+target, the circuit can be deanonymised or denial-of-serviced (relay
+exhaustion).  This example uses Octopus lookups to pick circuit relays and
+reports what a 20%-colluding adversary could observe about the circuit.
+
+Run with:  python examples/anonymous_circuit.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro import OctopusNetwork
+from repro.sim.rng import RandomSource
+
+
+@dataclass
+class Circuit:
+    """A three-relay anonymous circuit built via Octopus lookups."""
+
+    client: int
+    relays: List[int]
+    lookups_observed: int
+    lookups_linkable: int
+
+    @property
+    def compromised(self) -> bool:
+        """A circuit is compromised only if its first and last relay collude."""
+        return len(self.relays) >= 3 and self.relays[0] == -1  # placeholder, set by builder
+
+
+def build_circuit(net: OctopusNetwork, client: int, rng) -> Circuit:
+    """Pick three circuit relays by looking up random identifiers anonymously."""
+    relays: List[int] = []
+    observed = 0
+    linkable = 0
+    while len(relays) < 3:
+        key = net.ring.random_key(rng)
+        result = net.lookup(client, key)
+        if not result.succeeded or result.result is None:
+            continue
+        relay = result.result
+        if relay in relays or relay == client:
+            continue
+        relays.append(relay)
+        observed += sum(1 for o in result.observations if o.observed and not o.is_dummy)
+        linkable += sum(1 for o in result.observations if o.linkable_to_initiator and not o.is_dummy)
+    return Circuit(client=client, relays=relays, lookups_observed=observed, lookups_linkable=linkable)
+
+
+def main() -> None:
+    net = OctopusNetwork.create(n_nodes=400, fraction_malicious=0.2, seed=11)
+    rng = RandomSource(99).stream("circuits")
+    print(f"network: {len(net.ring)} nodes, {len(net.ring.malicious_ids)} colluding")
+
+    n_circuits = 20
+    circuits = []
+    for i in range(n_circuits):
+        client = net.random_honest_node()
+        circuits.append(build_circuit(net, client, rng))
+
+    print(f"\nbuilt {n_circuits} three-relay circuits via anonymous Octopus lookups")
+    fully_honest = 0
+    end_to_end_compromised = 0
+    linkable_lookups = 0
+    for c in circuits:
+        malicious_relays = [r for r in c.relays if net.ring.is_malicious(r)]
+        if not malicious_relays:
+            fully_honest += 1
+        if net.ring.is_malicious(c.relays[0]) and net.ring.is_malicious(c.relays[-1]):
+            end_to_end_compromised += 1
+        linkable_lookups += c.lookups_linkable
+        print(
+            f"  client {c.client}: relays {c.relays} "
+            f"({len(malicious_relays)} malicious, "
+            f"{c.lookups_observed} observed / {c.lookups_linkable} linkable lookup queries)"
+        )
+
+    print("\nsummary:")
+    print(f"  circuits with no malicious relay            : {fully_honest}/{n_circuits}")
+    print(f"  circuits with colluding entry AND exit      : {end_to_end_compromised}/{n_circuits}")
+    print(f"  relay-selection queries linkable to a client: {linkable_lookups}")
+    print(
+        "\nBecause Octopus hides both the lookup initiator and the target, the adversary\n"
+        "cannot predict which node a circuit will be extended to, which is what defeats\n"
+        "the relay-exhaustion attack described in the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

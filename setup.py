@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+the package can be installed editable in offline environments whose
+setuptools/wheel combination cannot build PEP 660 editable wheels
+(``pip install -e . --no-build-isolation`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

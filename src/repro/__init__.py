@@ -1,0 +1,57 @@
+"""Octopus: a secure and anonymous DHT lookup — full Python reproduction.
+
+This package reimplements, from scratch, the system described in
+"Octopus: A Secure and Anonymous DHT Lookup" (Q. Wang, ICDCS 2012) together
+with every substrate it depends on:
+
+* :mod:`repro.sim` — discrete-event simulator, King-like latency model, churn,
+  bandwidth accounting;
+* :mod:`repro.crypto` — keys, signatures, certificates, CA, revocation, onion
+  encryption;
+* :mod:`repro.chord` — the customised Chord overlay (fingers, successor and
+  predecessor lists, signed routing tables, stabilization, lookups);
+* :mod:`repro.core` — the Octopus protocols (anonymous multi-path lookups,
+  random-walk relay selection, secret surveillance, attacker identification);
+* :mod:`repro.attacks` — the adversary models evaluated in the paper;
+* :mod:`repro.anonymity` — entropy-based anonymity estimators (Section 6);
+* :mod:`repro.baselines` — Chord, Halo, NISAN and Torsk comparison lookups;
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+
+Quickstart::
+
+    from repro import OctopusNetwork
+
+    net = OctopusNetwork.create(n_nodes=300, fraction_malicious=0.2, seed=1)
+    initiator = net.random_honest_node()
+    result = net.lookup(initiator, net.key_for("hello-world"))
+    print(result.result, result.correct)
+"""
+
+from .core import (
+    AnonymousLookupProtocol,
+    OctopusConfig,
+    OctopusLookupResult,
+    OctopusNetwork,
+    OctopusNode,
+)
+from .chord import ChordRing, IdSpace, RingConfig
+from .crypto import CertificateAuthority
+from .sim import KingLatencyModel, RandomSource, SimulationEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnonymousLookupProtocol",
+    "OctopusConfig",
+    "OctopusLookupResult",
+    "OctopusNetwork",
+    "OctopusNode",
+    "ChordRing",
+    "IdSpace",
+    "RingConfig",
+    "CertificateAuthority",
+    "KingLatencyModel",
+    "RandomSource",
+    "SimulationEngine",
+    "__version__",
+]

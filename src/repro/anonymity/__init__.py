@@ -1,0 +1,52 @@
+"""Anonymity analysis (Section 6 and Appendix III).
+
+Entropy-based Monte-Carlo estimators of initiator anonymity H(I) and target
+anonymity H(T) for Octopus, plus comparison models for Chord, NISAN and
+Torsk, built on a lightweight positional ring model and pre-simulated
+query-density distributions.
+"""
+
+from .comparison import ComparisonAnonymityModel, SchemeAnonymity
+from .entropy import (
+    combine_conditional,
+    degree_of_anonymity,
+    entropy,
+    entropy_of_counts,
+    information_leak,
+    max_entropy,
+    uniform_entropy,
+)
+from .initiator import (
+    InitiatorAnonymityEstimator,
+    InitiatorAnonymityResult,
+    estimate_initiator_anonymity,
+)
+from .observations import AnonymityConfig, LookupSampler, SimulatedLookup, SimulatedQuery
+from .presimulation import PresimulatedDistributions, PresimulationBuilder
+from .ring_model import LightweightRing
+from .target import TargetAnonymityEstimator, TargetAnonymityResult, estimate_target_anonymity
+
+__all__ = [
+    "ComparisonAnonymityModel",
+    "SchemeAnonymity",
+    "combine_conditional",
+    "degree_of_anonymity",
+    "entropy",
+    "entropy_of_counts",
+    "information_leak",
+    "max_entropy",
+    "uniform_entropy",
+    "InitiatorAnonymityEstimator",
+    "InitiatorAnonymityResult",
+    "estimate_initiator_anonymity",
+    "AnonymityConfig",
+    "LookupSampler",
+    "SimulatedLookup",
+    "SimulatedQuery",
+    "PresimulatedDistributions",
+    "PresimulationBuilder",
+    "LightweightRing",
+    "TargetAnonymityEstimator",
+    "TargetAnonymityResult",
+    "estimate_target_anonymity",
+]

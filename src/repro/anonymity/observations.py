@@ -1,0 +1,230 @@
+"""Sampling the adversary's observations of Octopus lookups (Section 6.1).
+
+The anonymity estimators are Monte-Carlo evaluations of Equations (1)–(21):
+they repeatedly sample a *world* — the target lookup plus all concurrent
+lookups, each with its relay structure — derive which queries the adversary
+observes and can link, and average the conditional entropies.
+
+The observation/linkability model follows Section 6.1:
+
+* relays are (approximately) uniformly random nodes, so each is malicious
+  independently with probability ``f`` (the two-phase random walk plus the
+  attacker-identification mechanisms are what justify this assumption — see
+  Section 5);
+* a query is **observed** when the queried node or its exit relay ``D_i`` is
+  malicious;
+* an observed query is **linkable to I** when the entry relay ``A`` and the
+  query's relay ``C_i`` are both malicious (they bridge across the honest
+  middle relay ``B``), or when the exit relay is linkable to I through its
+  selection random walk (which requires a contiguous chain of malicious walk
+  hops and is therefore rare);
+* an observed query is **linkable to B** when ``C_i`` is malicious; queries of
+  the same lookup that are linkable to B can be grouped together, and if any
+  of them is linkable to I the whole group is (Section 6.1);
+* the initiator is **observed** when ``A`` is malicious or some random walk
+  exposes it through its first hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..sim.rng import RandomSource
+from .ring_model import LightweightRing
+
+
+@dataclass
+class AnonymityConfig:
+    """Workload and protocol parameters of the anonymity analysis."""
+
+    #: concurrent lookup rate alpha (fraction of nodes looking up concurrently).
+    concurrent_lookup_rate: float = 0.01
+    #: dummy queries injected per lookup.
+    dummy_queries: int = 6
+    #: relay pairs (C_i, D_i) per lookup; queries cycle over them.
+    relay_pairs_per_lookup: int = 4
+    #: hops per random-walk phase (l); walk-based linkability needs a
+    #: contiguous malicious chain over 2l-1 hops.
+    random_walk_phase_length: int = 3
+    #: cap on the number of concurrent lookups actually simulated per world
+    #: (the remainder is accounted for analytically through counts).
+    max_simulated_concurrent: int = 400
+
+
+@dataclass
+class SimulatedQuery:
+    """One (possibly dummy) query of a simulated lookup."""
+
+    queried_pos: int
+    order: int
+    is_dummy: bool
+    observed: bool
+    linkable_to_initiator: bool
+    linkable_to_b: bool
+
+
+@dataclass
+class SimulatedLookup:
+    """One lookup in a sampled world."""
+
+    initiator_pos: int
+    target_pos: int
+    initiator_observed: bool
+    target_observed: bool
+    queries: List[SimulatedQuery] = field(default_factory=list)
+
+    def observed_queries(self) -> List[SimulatedQuery]:
+        return [q for q in self.queries if q.observed]
+
+    def linkable_queries(self) -> List[SimulatedQuery]:
+        """Queries linkable to I (after group closure over the shared relay B)."""
+        return [q for q in self.queries if q.linkable_to_initiator]
+
+    def linkable_nondummy(self) -> List[SimulatedQuery]:
+        return [q for q in self.queries if q.linkable_to_initiator and not q.is_dummy]
+
+    def b_linkable_queries(self) -> List[SimulatedQuery]:
+        return [q for q in self.queries if q.linkable_to_b]
+
+    def b_linkable_nondummy(self) -> List[SimulatedQuery]:
+        return [q for q in self.queries if q.linkable_to_b and not q.is_dummy]
+
+
+class LookupSampler:
+    """Samples lookups with their relay structure and adversary observations."""
+
+    def __init__(self, ring: LightweightRing, config: AnonymityConfig, rng: Optional[RandomSource] = None) -> None:
+        self.ring = ring
+        self.config = config
+        self.rng = rng or RandomSource(ring.rng.master_seed + 1)
+
+    # ----------------------------------------------------------------- helpers
+    def _random_relay_is_malicious(self, stream) -> bool:
+        """Whether a uniformly selected relay is malicious."""
+        return stream.random() < self.ring.fraction_malicious
+
+    def _walk_linkable(self, stream) -> bool:
+        """Whether a selected relay is linkable to I through its random walk.
+
+        Requires every hop between the initiator and the relay to be
+        malicious: probability ``f ** (2l - 1)``.
+        """
+        hops = 2 * self.config.random_walk_phase_length - 1
+        f = self.ring.fraction_malicious
+        return stream.random() < f**hops
+
+    def _walk_exposes_initiator(self, stream) -> bool:
+        """Whether one random walk lets the adversary link the *lookup* to I.
+
+        The first hop of a walk is contacted by I directly, but observing a
+        node performing a random walk is uninformative: every Octopus node
+        runs a relay-selection walk every 15 seconds regardless of whether it
+        is looking anything up.  A walk only exposes I as the initiator of
+        *this lookup* when the whole chain from I to the selected relay is
+        malicious (probability ``f ** (2l - 1)``), in which case the relay is
+        linkable to I.
+        """
+        hops = 2 * self.config.random_walk_phase_length - 1
+        return stream.random() < self.ring.fraction_malicious**hops
+
+    # ------------------------------------------------------------------ lookups
+    def sample_lookup(
+        self,
+        initiator_pos: Optional[int] = None,
+        target_pos: Optional[int] = None,
+        stream_name: str = "world",
+    ) -> SimulatedLookup:
+        """Sample one lookup: path, dummies, relays and observations."""
+        stream = self.rng.stream(stream_name)
+        ring = self.ring
+        if initiator_pos is None:
+            initiator_pos = stream.randrange(ring.n_nodes)
+        if target_pos is None:
+            target_pos = stream.randrange(ring.n_nodes)
+
+        a_malicious = self._random_relay_is_malicious(stream)
+        # Every relay pair was produced by a random walk; each walk's first hop
+        # may expose the initiator.
+        n_walks = self.config.relay_pairs_per_lookup + 1
+        walk_exposed = any(self._walk_exposes_initiator(stream) for _ in range(n_walks))
+        initiator_observed = a_malicious or walk_exposed
+        target_observed = ring.is_malicious(target_pos)
+
+        lookup = SimulatedLookup(
+            initiator_pos=initiator_pos,
+            target_pos=target_pos,
+            initiator_observed=initiator_observed,
+            target_observed=target_observed,
+        )
+
+        # Relay pairs for this lookup: (C_i malicious?, D_i malicious?, walk-linkable?)
+        pairs = []
+        for _ in range(max(self.config.relay_pairs_per_lookup, 1)):
+            pairs.append(
+                (
+                    self._random_relay_is_malicious(stream),
+                    self._random_relay_is_malicious(stream),
+                    self._walk_linkable(stream),
+                )
+            )
+
+        path = ring.query_path_positions(initiator_pos, target_pos)
+        order = 0
+        for idx, queried_pos in enumerate(path):
+            c_mal, d_mal, d_walk_linkable = pairs[idx % len(pairs)]
+            self._append_query(lookup, queried_pos, order, False, a_malicious, c_mal, d_mal, d_walk_linkable)
+            order += 1
+
+        dummy_stream = self.rng.stream(stream_name + "-dummies")
+        for _ in range(self.config.dummy_queries):
+            queried_pos = dummy_stream.randrange(ring.n_nodes)
+            idx = dummy_stream.randrange(len(pairs))
+            c_mal, d_mal, d_walk_linkable = pairs[idx]
+            self._append_query(lookup, queried_pos, order, True, a_malicious, c_mal, d_mal, d_walk_linkable)
+            order += 1
+
+        self._close_linkability_over_b(lookup)
+        return lookup
+
+    def _append_query(
+        self,
+        lookup: SimulatedLookup,
+        queried_pos: int,
+        order: int,
+        is_dummy: bool,
+        a_malicious: bool,
+        c_malicious: bool,
+        d_malicious: bool,
+        d_walk_linkable: bool,
+    ) -> None:
+        observed = d_malicious or self.ring.is_malicious(queried_pos)
+        linkable_to_b = observed and c_malicious
+        linkable_to_i = observed and ((a_malicious and c_malicious) or d_walk_linkable)
+        lookup.queries.append(
+            SimulatedQuery(
+                queried_pos=queried_pos,
+                order=order,
+                is_dummy=is_dummy,
+                observed=observed,
+                linkable_to_initiator=linkable_to_i,
+                linkable_to_b=linkable_to_b,
+            )
+        )
+
+    def _close_linkability_over_b(self, lookup: SimulatedLookup) -> None:
+        """Section 6.1: if one query is linkable to both I and B, every query
+        linkable to B becomes linkable to I."""
+        if any(q.linkable_to_initiator and q.linkable_to_b for q in lookup.queries):
+            for q in lookup.queries:
+                if q.linkable_to_b:
+                    q.linkable_to_initiator = True
+
+    # ------------------------------------------------------------------- worlds
+    def sample_concurrent_lookups(self, n: int, stream_name: str = "concurrent") -> List[SimulatedLookup]:
+        """Sample ``n`` concurrent lookups with random initiators/targets."""
+        return [self.sample_lookup(stream_name=f"{stream_name}-{i}") for i in range(n)]
+
+    def expected_concurrent(self) -> int:
+        """The number of concurrent lookups implied by alpha."""
+        return max(1, int(round(self.ring.n_nodes * self.config.concurrent_lookup_rate)))

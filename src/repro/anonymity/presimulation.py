@@ -1,0 +1,140 @@
+"""Pre-simulated probability distributions used by the anonymity estimators.
+
+Section 6 and Appendix III rely on three distributions the adversary obtains
+"via pre-simulations of the lookup":
+
+* ``xi(x)`` — for the target lookup, the probability that the minimum
+  hop-distance from its linkable queried nodes to the target is ``x``
+  (Equation (7); used to weight which concurrent lookup is the target's).
+* ``gamma(i, z)`` — the probability that the ``i``-th node (clockwise) of an
+  estimation range of size ``z`` is the target (Appendix III; query density
+  rises towards the target, so small ``i`` is more likely).
+* ``chi(x, y)`` — the probability that a candidate subset of ``x`` linkable
+  queries whose virtual lookup has largest hop ``y`` is the true set of
+  non-dummy linkable queries (Equation (13)).
+
+We estimate all three empirically by simulating honest lookups on the
+lightweight ring, with additive smoothing so that unseen bins never yield
+zero probabilities (which would break the Bayesian weighting).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.rng import RandomSource
+from .ring_model import LightweightRing
+
+
+def _log_bucket(value: int) -> int:
+    """Bucket a positive hop distance logarithmically (0, 1, 2, 4, 8, ...)."""
+    if value <= 0:
+        return 0
+    return 1 << (value.bit_length() - 1)
+
+
+@dataclass
+class PresimulatedDistributions:
+    """Empirical ``xi``, ``gamma`` and ``chi`` with additive smoothing."""
+
+    xi_counts: Dict[int, float] = field(default_factory=dict)
+    xi_total: float = 0.0
+    gamma_counts: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    gamma_totals: Dict[int, float] = field(default_factory=dict)
+    chi_counts: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    chi_total: float = 0.0
+    smoothing: float = 0.5
+
+    # ------------------------------------------------------------------- xi
+    def xi(self, min_hop_distance: int) -> float:
+        """P(minimum hop distance from linkable queries to the target == x)."""
+        bucket = _log_bucket(min_hop_distance)
+        numer = self.xi_counts.get(bucket, 0.0) + self.smoothing
+        denom = self.xi_total + self.smoothing * (len(self.xi_counts) + 1)
+        return numer / denom if denom > 0 else 0.0
+
+    # ---------------------------------------------------------------- gamma
+    def gamma(self, position_in_range: int, range_size: int) -> float:
+        """P(the ``i``-th node of a size-``z`` estimation range is the target)."""
+        if range_size <= 0:
+            return 0.0
+        z_bucket = _log_bucket(range_size)
+        i_bucket = _log_bucket(position_in_range)
+        numer = self.gamma_counts.get((z_bucket, i_bucket), 0.0) + self.smoothing
+        denom = self.gamma_totals.get(z_bucket, 0.0) + self.smoothing * (math.log2(max(range_size, 2)) + 1)
+        if denom <= 0:
+            return 1.0 / range_size
+        return numer / denom
+
+    def gamma_profile(self, range_size: int) -> List[float]:
+        """Unnormalised gamma weights for every position of a range (1..z)."""
+        return [self.gamma(i, range_size) for i in range(1, range_size + 1)]
+
+    # ------------------------------------------------------------------ chi
+    def chi(self, n_queries: int, largest_hop: int) -> float:
+        """P(a subset with ``x`` queries and largest virtual hop ``y`` is real)."""
+        key = (min(n_queries, 32), _log_bucket(largest_hop))
+        numer = self.chi_counts.get(key, 0.0) + self.smoothing
+        denom = self.chi_total + self.smoothing * (len(self.chi_counts) + 1)
+        return numer / denom if denom > 0 else 0.0
+
+
+class PresimulationBuilder:
+    """Builds :class:`PresimulatedDistributions` by simulating honest lookups."""
+
+    def __init__(self, ring: LightweightRing, rng: Optional[RandomSource] = None) -> None:
+        self.ring = ring
+        self.rng = rng or RandomSource(ring.rng.master_seed + 7)
+
+    def build(self, n_samples: int = 2000, observation_probability: float = 0.2) -> PresimulatedDistributions:
+        """Simulate ``n_samples`` lookups and accumulate the three distributions.
+
+        ``observation_probability`` is the per-query probability that the
+        adversary observes (and can link) a query — used to subsample the
+        query path the way the real adversary would see it.
+        """
+        dist = PresimulatedDistributions()
+        stream = self.rng.stream("presim")
+        ring = self.ring
+        for _ in range(n_samples):
+            initiator = stream.randrange(ring.n_nodes)
+            target = stream.randrange(ring.n_nodes)
+            path = ring.query_path_positions(initiator, target)
+            if not path:
+                continue
+            observed = [p for p in path if stream.random() < observation_probability]
+            if not observed:
+                continue
+
+            # xi: minimum hop distance from observed queries to the target.
+            min_dist = min(ring.hop_distance(p, target) for p in observed)
+            bucket = _log_bucket(min_dist)
+            dist.xi_counts[bucket] = dist.xi_counts.get(bucket, 0.0) + 1.0
+            dist.xi_total += 1.0
+
+            # gamma: where the target sits inside the estimation range implied
+            # by the last observed query (lower bound) and the first (upper
+            # bound proxy).  Position 1 is immediately after the lower bound.
+            # The clockwise-most observed query (closest to the target).
+            lower = min(observed, key=lambda p: ring.hop_distance(p, target))
+            upper_extent = max(ring.hop_distance(lower, target) * 4, 4)
+            range_size = min(upper_extent, ring.n_nodes - 1)
+            position = ring.hop_distance(lower, target)
+            z_bucket = _log_bucket(range_size)
+            i_bucket = _log_bucket(position)
+            dist.gamma_counts[(z_bucket, i_bucket)] = dist.gamma_counts.get((z_bucket, i_bucket), 0.0) + 1.0
+            dist.gamma_totals[z_bucket] = dist.gamma_totals.get(z_bucket, 0.0) + 1.0
+
+            # chi: characterise the observed (non-dummy) subset by its size and
+            # the largest hop of the virtual lookup over it.
+            ordered = sorted(observed, key=lambda p: ring.hop_distance(path[0], p))
+            largest_hop = 0
+            for a, b in zip(ordered, ordered[1:]):
+                largest_hop = max(largest_hop, ring.hop_distance(a, b))
+            key = (min(len(ordered), 32), _log_bucket(largest_hop))
+            dist.chi_counts[key] = dist.chi_counts.get(key, 0.0) + 1.0
+            dist.chi_total += 1.0
+        return dist

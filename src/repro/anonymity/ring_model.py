@@ -1,0 +1,164 @@
+"""Lightweight ring model for large-scale anonymity estimation.
+
+The anonymity analysis of Section 6 considers networks of 100,000 nodes — far
+too many to instantiate full :class:`~repro.chord.node.ChordNode` objects for
+a Monte-Carlo estimator that resamples thousands of lookups.  The
+:class:`LightweightRing` keeps only what the probabilistic model needs:
+
+* the sorted identifier list (node *positions* are indices into it),
+* which positions are malicious,
+* ground-truth greedy lookup paths (the adversary is conservatively granted
+  perfect knowledge of routing state, which maximises the leak), and
+* successor/hop-distance arithmetic expressed in positions, so "distance in
+  number of hops" from the paper maps to index differences.
+
+Both the anonymity estimators and the pre-simulation distribution builders
+(:mod:`repro.anonymity.presimulation`) run on this model.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from ..chord.idspace import IdSpace
+from ..sim.rng import RandomSource
+
+
+class LightweightRing:
+    """A positional view of a Chord ring for anonymity calculations.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes.
+    fraction_malicious:
+        Fraction of nodes controlled by the adversary.
+    seed:
+        Seed for identifier placement and malicious-set sampling.
+    id_bits:
+        Identifier width; defaults to 40 bits which keeps 100k nodes sparse.
+    finger_count:
+        Fingers per node assumed in the greedy lookup model.  Defaults to the
+        identifier width (as in Chord, where a node keeps one finger per bit;
+        only ``log2 N`` of them are distinct).
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        fraction_malicious: float = 0.2,
+        seed: int = 0,
+        id_bits: int = 40,
+        finger_count: Optional[int] = None,
+    ) -> None:
+        if n_nodes < 8:
+            raise ValueError("the lightweight ring needs at least 8 nodes")
+        if not 0.0 <= fraction_malicious <= 1.0:
+            raise ValueError("fraction_malicious must be in [0, 1]")
+        self.n_nodes = n_nodes
+        self.fraction_malicious = fraction_malicious
+        self.space = IdSpace(bits=id_bits)
+        self.rng = RandomSource(seed)
+
+        id_stream = self.rng.stream("ids")
+        ids: Set[int] = set()
+        while len(ids) < n_nodes:
+            ids.add(id_stream.randrange(self.space.size))
+        self.ids: List[int] = sorted(ids)
+
+        n_mal = int(round(fraction_malicious * n_nodes))
+        mal_positions = self.rng.sample("malicious", range(n_nodes), n_mal) if n_mal else []
+        self.malicious: List[bool] = [False] * n_nodes
+        for pos in mal_positions:
+            self.malicious[pos] = True
+
+        if finger_count is None:
+            finger_count = self.space.bits
+        self.finger_count = min(finger_count, self.space.bits)
+
+    # ---------------------------------------------------------------- position
+    def position_of_id(self, ident: int) -> int:
+        """Index of the node owning identifier ``ident`` (its successor)."""
+        pos = bisect.bisect_left(self.ids, ident % self.space.size)
+        return pos % self.n_nodes
+
+    def id_of(self, position: int) -> int:
+        return self.ids[position % self.n_nodes]
+
+    def is_malicious(self, position: int) -> bool:
+        return self.malicious[position % self.n_nodes]
+
+    def hop_distance(self, from_pos: int, to_pos: int) -> int:
+        """Clockwise distance in *nodes* from one position to another."""
+        return (to_pos - from_pos) % self.n_nodes
+
+    def successor_position(self, key: int) -> int:
+        return self.position_of_id(key)
+
+    # ------------------------------------------------------------------ lookup
+    def query_path_positions(self, initiator_pos: int, target_pos: int, max_hops: int = 64) -> List[int]:
+        """Positions queried by a greedy lookup from initiator to target.
+
+        The lookup uses correct fingers (``node + 2**i`` successors) and a
+        successor list of six entries, mirroring the honest protocol; the
+        returned list excludes the initiator and is ordered as queried.  The
+        final queried node is the target's predecessor region, which is where
+        the query density peaks — the property the range-estimation adversary
+        exploits.
+        """
+        space = self.space
+        target_id = self.ids[target_pos]
+        path: List[int] = []
+        current_pos = initiator_pos
+        for _ in range(max_hops):
+            current_id = self.ids[current_pos]
+            # Termination: the current node's immediate successor owns the key.
+            succ_pos = (current_pos + 1) % self.n_nodes
+            if self.hop_distance(current_pos, target_pos) <= 1:
+                break
+            if succ_pos == target_pos:
+                break
+            # Candidate next hops: true fingers + 6 successors.
+            best_pos = None
+            best_gap = None
+            for i in range(self.finger_count):
+                ideal = space.normalize(current_id + (1 << i))
+                cand = self.position_of_id(ideal)
+                gap = self.hop_distance(cand, target_pos)
+                if cand == current_pos:
+                    continue
+                # Candidate must precede (or be) the target.
+                if self.hop_distance(current_pos, cand) > self.hop_distance(current_pos, target_pos):
+                    continue
+                if best_gap is None or gap < best_gap:
+                    best_pos, best_gap = cand, gap
+            for step in range(1, 7):
+                cand = (current_pos + step) % self.n_nodes
+                if self.hop_distance(current_pos, cand) > self.hop_distance(current_pos, target_pos):
+                    break
+                gap = self.hop_distance(cand, target_pos)
+                if best_gap is None or gap < best_gap:
+                    best_pos, best_gap = cand, gap
+            if best_pos is None or best_pos == current_pos:
+                break
+            path.append(best_pos)
+            if best_pos == target_pos:
+                break
+            current_pos = best_pos
+        return path
+
+    # --------------------------------------------------------------- sampling
+    def random_position(self, stream: str = "positions") -> int:
+        return self.rng.stream(stream).randrange(self.n_nodes)
+
+    def random_honest_position(self, stream: str = "positions") -> int:
+        rng = self.rng.stream(stream)
+        while True:
+            pos = rng.randrange(self.n_nodes)
+            if not self.malicious[pos]:
+                return pos
+
+    def honest_count(self) -> int:
+        return self.n_nodes - sum(self.malicious)

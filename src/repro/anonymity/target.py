@@ -1,0 +1,278 @@
+"""Target anonymity H(T) — Monte-Carlo evaluation of Equations (8)–(21).
+
+Appendix III structures the adversary's observations into three classes:
+
+* ``o_n`` — the initiator is not observed: the adversary learns nothing
+  (``H = log2 N``);
+* ``O_l`` — at least one query of the lookup is linkable to ``I``: the
+  adversary applies the range-estimation attack to the plausible non-dummy
+  subsets of those queries (Equations (9)–(13));
+* ``O_d`` — queries may be observed but none is linkable to ``I``: the
+  adversary can at best group queries via the shared relay ``B`` (case 2) or
+  fall back to isolated observations (case 3), diluting whatever range it can
+  estimate over all concurrent lookups (Equations (14)–(21)).
+
+The estimator evaluates each sampled world exactly in this structure.  The
+contribution of *other* concurrent lookups (whose queries are unrelated to
+the target) is modelled by sampling uniform positions, which is what their
+query positions look like to the adversary; this keeps the estimator
+tractable at paper scale while preserving every conditional branch of the
+derivation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.rng import RandomSource
+from .entropy import entropy_of_counts, information_leak, max_entropy
+from .observations import AnonymityConfig, LookupSampler, SimulatedLookup, SimulatedQuery
+from .presimulation import PresimulatedDistributions, PresimulationBuilder
+from .ring_model import LightweightRing
+
+
+@dataclass
+class TargetAnonymityResult:
+    """Estimated target anonymity for one configuration."""
+
+    n_nodes: int
+    fraction_malicious: float
+    concurrent_lookup_rate: float
+    dummy_queries: int
+    entropy_bits: float
+    ideal_entropy_bits: float
+    information_leak_bits: float
+    n_worlds: int
+
+
+class TargetAnonymityEstimator:
+    """Monte-Carlo estimator of H(T) for Octopus."""
+
+    #: cap on the number of linkable queries for exhaustive subset enumeration;
+    #: beyond it, subsets are sampled.
+    MAX_EXACT_SUBSET_QUERIES = 10
+    #: number of subsets sampled when enumeration is infeasible.
+    SUBSET_SAMPLES = 64
+
+    def __init__(
+        self,
+        ring: LightweightRing,
+        config: Optional[AnonymityConfig] = None,
+        rng: Optional[RandomSource] = None,
+        presim: Optional[PresimulatedDistributions] = None,
+        presim_samples: int = 1500,
+    ) -> None:
+        self.ring = ring
+        self.config = config or AnonymityConfig()
+        self.rng = rng or RandomSource(ring.rng.master_seed + 13)
+        self.sampler = LookupSampler(ring, self.config, rng=self.rng.spawn("sampler"))
+        self.presim = presim or PresimulationBuilder(ring, rng=self.rng.spawn("presim")).build(
+            n_samples=presim_samples
+        )
+
+    # ------------------------------------------------------------------ ranges
+    def _estimation_range_size(self, positions_in_order: Sequence[int]) -> int:
+        """Size (in nodes) of the range implied by a set of linkable queries.
+
+        With two or more queries the greedy-routing constraint bounds the
+        target within roughly the last inter-query gap past the clockwise-most
+        query; with a single query the whole remaining ring is possible.
+        """
+        ring = self.ring
+        if not positions_in_order:
+            return ring.n_nodes - 1
+        if len(positions_in_order) == 1:
+            return ring.n_nodes - 1
+        ordered = sorted(positions_in_order, key=lambda p: ring.hop_distance(positions_in_order[0], p))
+        last, second_last = ordered[-1], ordered[-2]
+        gap = ring.hop_distance(second_last, last)
+        return max(1, min(gap, ring.n_nodes - 1))
+
+    def _range_entropy(self, range_size: int) -> float:
+        """Entropy of the target's position within one estimation range."""
+        weights = self.presim.gamma_profile(min(range_size, 256))
+        if range_size > 256:
+            # Extend the tail uniformly: gamma flattens for far positions.
+            tail_weight = weights[-1]
+            return entropy_of_counts(weights + [tail_weight] * (range_size - 256))
+        return entropy_of_counts(weights)
+
+    def _mixture_entropy(self, range_sizes_and_weights: Sequence[Tuple[int, float]]) -> float:
+        """Entropy of a weighted mixture of estimation ranges.
+
+        Ranges from different candidate subsets / lookups overlap arbitrary
+        parts of the ring, so we treat them as disjoint supports — the
+        standard conservative mixture bound H = H(weights) + sum w_i H_i.
+        """
+        total_w = sum(w for _, w in range_sizes_and_weights)
+        if total_w <= 0:
+            return max_entropy(self.ring.n_nodes)
+        acc = 0.0
+        for size, w in range_sizes_and_weights:
+            acc += (w / total_w) * self._range_entropy(size)
+        acc += entropy_of_counts([w for _, w in range_sizes_and_weights])
+        return min(acc, max_entropy(self.ring.n_nodes))
+
+    # ------------------------------------------------------------- Hm (Eq 10)
+    def _entropy_all_dummies(self, stream) -> float:
+        """Equation (10): linkable queries are all dummies.
+
+        With probability ``f`` the target is malicious and therefore among the
+        observed malicious targets of concurrent lookups; otherwise it hides
+        among all honest nodes.
+        """
+        ring = self.ring
+        f = ring.fraction_malicious
+        n_concurrent = self.sampler.expected_concurrent()
+        mal_targets = 1 + sum(1 for _ in range(n_concurrent - 1) if stream.random() < f)
+        honest_term = (1.0 - f) * max_entropy(int(ring.honest_count()))
+        malicious_term = f * max_entropy(mal_targets)
+        return honest_term + malicious_term
+
+    # -------------------------------------------------------------- O_l branch
+    def _candidate_subsets(self, linkable: List[SimulatedQuery], stream) -> List[List[SimulatedQuery]]:
+        """Non-empty subsets of the linkable queries that pass the filtering test."""
+        ring = self.ring
+        queries = sorted(linkable, key=lambda q: q.order)
+
+        def passes(subset: Sequence[SimulatedQuery]) -> bool:
+            if len(subset) <= 1:
+                return True
+            # Rule 1 (Appendix III): clockwise progression in issue order.
+            base = subset[0].queried_pos
+            dists = [ring.hop_distance(base, q.queried_pos) for q in subset]
+            return dists == sorted(dists)
+
+        subsets: List[List[SimulatedQuery]] = []
+        if len(queries) <= self.MAX_EXACT_SUBSET_QUERIES:
+            for size in range(1, len(queries) + 1):
+                for combo in combinations(queries, size):
+                    if passes(combo):
+                        subsets.append(list(combo))
+        else:
+            seen = set()
+            for _ in range(self.SUBSET_SAMPLES):
+                size = stream.randint(1, len(queries))
+                combo = tuple(sorted(stream.sample(range(len(queries)), size)))
+                if combo in seen:
+                    continue
+                seen.add(combo)
+                subset = [queries[i] for i in combo]
+                if passes(subset):
+                    subsets.append(subset)
+            if not subsets:
+                subsets.append(queries)
+        return subsets
+
+    def _subset_weight(self, subset: Sequence[SimulatedQuery]) -> float:
+        """chi-weight of one candidate subset (Equation (13))."""
+        ring = self.ring
+        positions = [q.queried_pos for q in sorted(subset, key=lambda q: q.order)]
+        largest_hop = 0
+        for a, b in zip(positions, positions[1:]):
+            largest_hop = max(largest_hop, ring.hop_distance(a, b))
+        return self.presim.chi(len(positions), largest_hop)
+
+    def _entropy_linkable(self, lookup: SimulatedLookup, stream) -> float:
+        """H(T | o_l): at least one query linkable to I (Equations (9)–(13))."""
+        linkable = lookup.linkable_queries()
+        nondummy = lookup.linkable_nondummy()
+        p_all_dummy = 0.0 if nondummy else 1.0
+        if p_all_dummy >= 1.0:
+            return self._entropy_all_dummies(stream)
+
+        subsets = self._candidate_subsets(linkable, stream)
+        ranges = []
+        for subset in subsets:
+            positions = [q.queried_pos for q in sorted(subset, key=lambda q: q.order)]
+            ranges.append((self._estimation_range_size(positions), self._subset_weight(subset)))
+        return self._mixture_entropy(ranges)
+
+    # -------------------------------------------------------------- O_d branch
+    def _entropy_unlinkable(self, lookup: SimulatedLookup, stream) -> float:
+        """H(T | o_d): observed queries exist but none is linkable to I."""
+        ring = self.ring
+        observed = lookup.observed_queries()
+        if not observed:
+            # Case 1: nothing observed at all.
+            return self._entropy_all_dummies(stream)
+
+        b_linkable = lookup.b_linkable_queries()
+        n_concurrent = self.sampler.expected_concurrent()
+        if b_linkable:
+            # Case 2 (Equations (15)–(17)): the adversary groups queries by the
+            # shared relay B; the true lookup's range competes with the ranges
+            # of every other concurrent lookup that also has B-linkable queries.
+            nondummy = lookup.b_linkable_nondummy()
+            if not nondummy:
+                return self._entropy_all_dummies(stream)
+            own_positions = [q.queried_pos for q in sorted(nondummy, key=lambda q: q.order)]
+            own_range = self._estimation_range_size(own_positions)
+            # Other concurrent lookups with B-linkable queries: each is equally
+            # likely to be psi_I (Equation (17)) and contributes a wide range.
+            p_b = max(len(b_linkable) / max(len(lookup.queries), 1), 0.05)
+            competitors = sum(1 for _ in range(n_concurrent - 1) if stream.random() < p_b * 0.5)
+            ranges = [(own_range, 1.0)] + [(ring.n_nodes - 1, 1.0)] * competitors
+            f = ring.fraction_malicious
+            spread = self._mixture_entropy(ranges)
+            return f * max_entropy(max(int(n_concurrent * f), 1)) + (1.0 - f) * spread
+
+        # Case 3 (Equations (18)–(21)): isolated observations; the closest
+        # observed query bounds the target only weakly, and it is diluted over
+        # every observed query of every concurrent lookup.
+        own_best = min(observed, key=lambda q: ring.hop_distance(q.queried_pos, lookup.target_pos))
+        own_range = ring.n_nodes - 1
+        p_obs = max(len(observed) / max(len(lookup.queries), 1), 0.05)
+        other_observed = sum(1 for _ in range(n_concurrent - 1) if stream.random() < p_obs)
+        ranges = [(own_range, 1.0)] + [(ring.n_nodes - 1, 1.0)] * other_observed
+        f = ring.fraction_malicious
+        return f * max_entropy(max(int(n_concurrent * f), 1)) + (1.0 - f) * self._mixture_entropy(ranges)
+
+    # -------------------------------------------------------------------- run
+    def estimate(self, n_worlds: int = 300) -> TargetAnonymityResult:
+        """Estimate H(T) by averaging over ``n_worlds`` sampled worlds."""
+        ring = self.ring
+        stream = self.rng.stream("worlds")
+        ideal = max_entropy(ring.n_nodes)
+        total = 0.0
+        for i in range(n_worlds):
+            lookup = self.sampler.sample_lookup(stream_name=f"world-{i}")
+            if not lookup.initiator_observed:
+                total += ideal
+                continue
+            if lookup.linkable_queries():
+                total += self._entropy_linkable(lookup, stream)
+            else:
+                total += self._entropy_unlinkable(lookup, stream)
+        achieved = min(total / n_worlds, ideal)
+        return TargetAnonymityResult(
+            n_nodes=ring.n_nodes,
+            fraction_malicious=ring.fraction_malicious,
+            concurrent_lookup_rate=self.config.concurrent_lookup_rate,
+            dummy_queries=self.config.dummy_queries,
+            entropy_bits=achieved,
+            ideal_entropy_bits=ideal,
+            information_leak_bits=information_leak(achieved, ideal),
+            n_worlds=n_worlds,
+        )
+
+
+def estimate_target_anonymity(
+    n_nodes: int = 10_000,
+    fraction_malicious: float = 0.2,
+    concurrent_lookup_rate: float = 0.01,
+    dummy_queries: int = 6,
+    seed: int = 0,
+    n_worlds: int = 300,
+) -> TargetAnonymityResult:
+    """Convenience wrapper building the ring, sampler and estimator in one call."""
+    ring = LightweightRing(n_nodes=n_nodes, fraction_malicious=fraction_malicious, seed=seed)
+    config = AnonymityConfig(
+        concurrent_lookup_rate=concurrent_lookup_rate,
+        dummy_queries=dummy_queries,
+    )
+    estimator = TargetAnonymityEstimator(ring, config=config)
+    return estimator.estimate(n_worlds=n_worlds)

@@ -1,0 +1,28 @@
+"""Adversary models: every attack evaluated in the paper.
+
+Active attacks install malicious :class:`~repro.chord.node.NodeBehavior`
+strategies on the nodes controlled by the :class:`Adversary`; passive attacks
+(range estimation, timing analysis) are estimators run over the adversary's
+observations.
+"""
+
+from .adversary import Adversary, AdversaryStats
+from .fingertable_manipulation import FingertableManipulationBehavior
+from .fingertable_pollution import FingertablePollutionBehavior
+from .lookup_bias import LookupBiasBehavior
+from .range_estimation import EstimationRange, RangeEstimator
+from .selective_dos import SelectiveDosBehavior
+from .timing_analysis import TimingAnalysisAttack, TimingAnalysisResult
+
+__all__ = [
+    "Adversary",
+    "AdversaryStats",
+    "FingertableManipulationBehavior",
+    "FingertablePollutionBehavior",
+    "LookupBiasBehavior",
+    "EstimationRange",
+    "RangeEstimator",
+    "SelectiveDosBehavior",
+    "TimingAnalysisAttack",
+    "TimingAnalysisResult",
+]

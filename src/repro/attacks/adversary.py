@@ -1,0 +1,110 @@
+"""The colluding adversary.
+
+The threat model (Section 3.2): a partial adversary controls a fraction ``f``
+of nodes (typically up to 20%).  Compromised nodes may behave arbitrarily —
+manipulate routing state, drop or inject messages — and they share everything
+they observe over a fast out-of-band channel.
+
+:class:`Adversary` is the coordination point: it knows which nodes it
+controls, holds the shared observation log, and installs attack behaviours on
+its nodes.  Attack behaviours themselves live in the sibling modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..chord.node import NodeBehavior
+from ..chord.ring import ChordRing
+from ..sim.trace import TraceLog
+
+
+@dataclass
+class AdversaryStats:
+    """Aggregate counters of the adversary's activity."""
+
+    queries_seen: int = 0
+    lookups_biased: int = 0
+    tables_manipulated: int = 0
+    messages_dropped: int = 0
+
+
+class Adversary:
+    """Coordinates all malicious nodes in a ring.
+
+    Parameters
+    ----------
+    ring:
+        The network; the adversary controls ``ring.malicious_ids``.
+    rng:
+        Random source for probabilistic attack decisions.
+    attack_rate:
+        Probability that a malicious node actually attacks a given
+        opportunity (the paper evaluates 100% and 50% attack rates).
+    """
+
+    def __init__(self, ring: ChordRing, rng, attack_rate: float = 1.0) -> None:
+        if not 0.0 <= attack_rate <= 1.0:
+            raise ValueError("attack_rate must be in [0, 1]")
+        self.ring = ring
+        self.rng = rng
+        self.attack_rate = attack_rate
+        self.observation_log = TraceLog()
+        self.stats = AdversaryStats()
+
+    # ---------------------------------------------------------------- control
+    def controlled_ids(self, alive_only: bool = True) -> List[int]:
+        """Node ids currently under the adversary's control."""
+        ids = self.ring.malicious_ids
+        if not alive_only:
+            return sorted(ids)
+        return sorted(nid for nid in ids if nid in self.ring.nodes and self.ring.nodes[nid].alive)
+
+    def controls(self, node_id: int) -> bool:
+        return self.ring.is_malicious(node_id)
+
+    def colluders_near(self, key: int, count: int = 3) -> List[int]:
+        """Malicious nodes closest (clockwise) after ``key`` — used to bias lookups."""
+        space = self.ring.space
+        candidates = self.controlled_ids(alive_only=True)
+        candidates.sort(key=lambda nid: space.distance(key, nid))
+        return candidates[:count]
+
+    def should_attack(self, stream: str = "attack-rate") -> bool:
+        """Whether to attack this particular opportunity (per attack rate)."""
+        if self.attack_rate >= 1.0:
+            return True
+        if self.attack_rate <= 0.0:
+            return False
+        return self.rng.stream(stream).random() < self.attack_rate
+
+    # -------------------------------------------------------------- behaviours
+    def install_behavior(self, behavior_factory, node_ids: Optional[Iterable[int]] = None) -> int:
+        """Attach ``behavior_factory(adversary, node)`` to controlled nodes.
+
+        Returns the number of nodes the behaviour was installed on.  Already
+        removed (revoked) nodes are skipped.
+        """
+        count = 0
+        targets = node_ids if node_ids is not None else self.controlled_ids(alive_only=False)
+        for node_id in targets:
+            node = self.ring.get(node_id)
+            if node is None or not node.malicious:
+                continue
+            node.behavior = behavior_factory(self, node)
+            count += 1
+        return count
+
+    def reset_behaviors(self) -> None:
+        """Restore honest behaviour on every controlled node (for ablations)."""
+        for node_id in self.controlled_ids(alive_only=False):
+            node = self.ring.get(node_id)
+            if node is not None:
+                node.behavior = NodeBehavior()
+
+    # ------------------------------------------------------------ observations
+    def observe(self, time: float, category: str, **data) -> None:
+        """Record an observation in the shared adversary log."""
+        self.stats.queries_seen += 1
+        self.observation_log.record(time, category, **data)

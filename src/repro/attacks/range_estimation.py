@@ -1,0 +1,205 @@
+"""Range estimation attack (Wang et al. 2010; Section 6.3 / Appendix III).
+
+Even when the lookup key is never revealed, a passive adversary who can link
+several observed queries to the same lookup can bound the target's position:
+
+* the **lower bound** is the last (clockwise-most) observed queried node,
+  because nodes succeeding the target are never queried; and
+* the **upper bound** follows from greediness: between two consecutively
+  queried nodes ``E_k`` and ``E_k+1`` the lookup always chose the finger most
+  closely preceding the key, so the key must precede the *next* finger of
+  ``E_k`` after ``E_k+1``.
+
+This module implements the estimator the anonymity analysis uses and the
+dummy-query filtering test from Appendix III (a candidate subset of observed
+queries is only plausible if it is ordered and lies on the virtual lookup
+path between its own first and last elements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..chord.idspace import IdSpace
+from ..chord.ring import ChordRing
+
+
+@dataclass
+class EstimationRange:
+    """An estimated interval (clockwise) that must contain the lookup target."""
+
+    lower: int
+    upper: int
+    #: alive node ids inside the range, in clockwise order from the lower bound
+    candidates: List[int]
+
+    @property
+    def size(self) -> int:
+        return len(self.candidates)
+
+    def position_of(self, node_id: int) -> Optional[int]:
+        """1-based clockwise position of ``node_id`` in the range, if present."""
+        try:
+            return self.candidates.index(node_id) + 1
+        except ValueError:
+            return None
+
+
+class RangeEstimator:
+    """Implements the range-estimation attack over a known ring topology.
+
+    The adversary is assumed to know the network membership well enough to
+    simulate lookups locally (the paper grants it this: malicious nodes share
+    all observed routing state).  We model that knowledge with ground-truth
+    fingers, which maximises the information leaked and therefore gives a
+    conservative (worst-case) anonymity estimate.
+    """
+
+    def __init__(self, ring: ChordRing) -> None:
+        self.ring = ring
+        self.space = ring.space
+
+    # -------------------------------------------------------------- estimation
+    def estimate(self, observed_queries_in_order: Sequence[int]) -> Optional[EstimationRange]:
+        """Estimate the target range from linkable observed queries.
+
+        ``observed_queries_in_order`` are queried node ids in the order they
+        were issued.  With a single observation the range is the whole arc
+        from that node's successor to its predecessor (the paper's fallback);
+        with two or more, greedy-routing constraints tighten the upper bound.
+        """
+        observed = [q for q in observed_queries_in_order if q in self.ring.nodes]
+        if not observed:
+            return None
+        space = self.space
+        if len(observed) == 1:
+            lower = observed[0]
+            upper = self._predecessor_on_ring(lower)
+            return self._build_range(lower, upper)
+
+        first, last = observed[0], observed[-1]
+        lower = last
+        upper = first
+        # Simulate the lookup locally between consecutive observed queries and
+        # tighten the upper bound using the "next finger" argument.
+        for k in range(len(observed) - 1):
+            e_k, e_next = observed[k], observed[k + 1]
+            bound = self._next_finger_after(e_k, e_next)
+            if bound is not None and space.distance(lower, bound) < space.distance(lower, upper):
+                upper = bound
+        return self._build_range(lower, upper)
+
+    def _next_finger_after(self, node_id: int, chosen_finger: int) -> Optional[int]:
+        """The finger of ``node_id`` immediately after ``chosen_finger``.
+
+        If the lookup chose ``chosen_finger`` greedily, the key precedes this
+        next finger (otherwise the lookup would have jumped further).
+        """
+        space = self.space
+        alive_sorted = self.ring.alive_ids_sorted()
+        node = self.ring.get(node_id)
+        if node is None:
+            return None
+        fingers = []
+        import bisect
+
+        size = node.finger_table.size
+        for i in range(size):
+            ideal = space.normalize(node_id + (1 << (space.bits - size + i)))
+            pos = bisect.bisect_left(alive_sorted, ideal)
+            if pos == len(alive_sorted):
+                pos = 0
+            fingers.append(alive_sorted[pos])
+        fingers = sorted(set(fingers), key=lambda nid: space.distance(node_id, nid))
+        if chosen_finger not in fingers:
+            return None
+        idx = fingers.index(chosen_finger)
+        if idx + 1 < len(fingers):
+            return fingers[idx + 1]
+        return None
+
+    def _predecessor_on_ring(self, node_id: int) -> int:
+        alive = self.ring.alive_ids_sorted()
+        import bisect
+
+        pos = bisect.bisect_left(alive, node_id)
+        return alive[pos - 1] if pos > 0 else alive[-1]
+
+    def _build_range(self, lower: int, upper: int) -> EstimationRange:
+        """All alive nodes clockwise in ``(lower, upper]``."""
+        space = self.space
+        alive = self.ring.alive_ids_sorted()
+        candidates = [
+            nid
+            for nid in alive
+            if nid != lower and space.in_interval(nid, lower, upper, inclusive_end=True)
+        ]
+        candidates.sort(key=lambda nid: space.distance(lower, nid))
+        return EstimationRange(lower=lower, upper=upper, candidates=candidates)
+
+    # ------------------------------------------------------- dummy filtering
+    def passes_filtering_test(self, subset_in_order: Sequence[int]) -> bool:
+        """Appendix III filtering test for candidate non-dummy subsets.
+
+        A subset that violates either rule must contain a dummy query:
+
+        1. queries must progress clockwise in the order they were issued;
+        2. every query must lie on the virtual (greedy) lookup path from the
+           subset's first query to its last.
+        """
+        observed = list(subset_in_order)
+        if len(observed) <= 1:
+            return True
+        space = self.space
+        # Rule 1: clockwise progression.
+        for a, b in zip(observed, observed[1:]):
+            if space.distance(observed[0], a) > space.distance(observed[0], b):
+                return False
+        # Rule 2: membership of the virtual lookup path from first to last.
+        first, last = observed[0], observed[-1]
+        path = self.virtual_lookup_path(first, last)
+        path_set = set(path) | {first, last}
+        return all(q in path_set for q in observed)
+
+    def virtual_lookup_path(self, start: int, end: int, max_hops: int = 64) -> List[int]:
+        """The greedy lookup path from ``start`` towards ``end`` (ground truth)."""
+        space = self.space
+        alive_sorted = self.ring.alive_ids_sorted()
+        import bisect
+
+        path = [start]
+        current = start
+        for _ in range(max_hops):
+            if current == end:
+                break
+            fingers = []
+            node = self.ring.get(current)
+            size = node.finger_table.size if node is not None else 12
+            for i in range(size):
+                ideal = space.normalize(current + (1 << (space.bits - size + i)))
+                pos = bisect.bisect_left(alive_sorted, ideal)
+                if pos == len(alive_sorted):
+                    pos = 0
+                fingers.append(alive_sorted[pos])
+            # The lookup also routes over the successor list (Octopus returns
+            # fingers + successors), so the virtual path must include them.
+            succ_count = node.successor_list.capacity if node is not None else 6
+            start_pos = bisect.bisect_right(alive_sorted, current)
+            for step in range(succ_count):
+                fingers.append(alive_sorted[(start_pos + step) % len(alive_sorted)])
+            best = None
+            best_dist = None
+            for nid in fingers:
+                if nid == current:
+                    continue
+                if not space.in_interval(nid, current, end, inclusive_end=True):
+                    continue
+                d = space.distance(nid, end)
+                if best_dist is None or d < best_dist:
+                    best, best_dist = nid, d
+            if best is None:
+                break
+            path.append(best)
+            current = best
+        return path

@@ -1,0 +1,55 @@
+"""Selective denial-of-service attack (Section 4.7, Appendix II, Figure 9).
+
+Malicious relays on an anonymous path drop queries or replies whenever the
+relay adjacent to the initiator is *not* malicious: killing paths the
+adversary cannot observe forces the initiator to rebuild them, and each
+rebuild is a fresh chance that the new first relay is compromised.
+
+Octopus's defense (receipts + witnesses, :mod:`repro.core.dos_defense`)
+identifies droppers: a relay that dropped a message cannot produce a receipt
+from its next hop while witnesses confirm that next hop is alive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..chord.node import ChordNode, NodeBehavior
+from .adversary import Adversary
+
+
+class SelectiveDosBehavior(NodeBehavior):
+    """Malicious relay behaviour: drop when the first relay is honest."""
+
+    is_malicious = True
+
+    def __init__(self, adversary: Adversary, node: ChordNode, drop_probability: float = 1.0) -> None:
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self.adversary = adversary
+        self.node = node
+        self.drop_probability = drop_probability
+
+    def should_drop(self, node: ChordNode, purpose: str, context: Dict, now: float) -> bool:
+        """Drop forwarded lookup traffic when the entry relay is honest.
+
+        ``context["relays"]`` carries the path's relay list as seen by the
+        anonymous-path model; the relay adjacent to the initiator is the first
+        entry.  The adversary only drops when that relay is honest (dropping
+        otherwise would sabotage its own observation opportunity).
+        """
+        if purpose not in ("anonymous-lookup",):
+            return False
+        if not self.adversary.should_attack("selective-dos"):
+            return False
+        relays = context.get("relays") or []
+        if not relays:
+            return False
+        first_relay = relays[0]
+        if self.adversary.controls(first_relay):
+            return False
+        if self.adversary.rng.stream("selective-dos-drop").random() >= self.drop_probability:
+            return False
+        self.adversary.stats.messages_dropped += 1
+        self.adversary.observe(now, "selective-drop", relay=node.node_id, first_relay=first_relay)
+        return True

@@ -1,0 +1,21 @@
+"""Comparison lookups: Chord (baseline), Halo, NISAN and Torsk.
+
+These implementations power the efficiency comparison of Table 3 /
+Figure 7(a) and the anonymity comparison of Figures 5(b) and 6.
+"""
+
+from .chord_lookup import BaselineLookupResult, ChordLookupProtocol
+from .halo import HaloLookupProtocol, HaloLookupResult
+from .nisan import NisanLookupProtocol, NisanLookupResult
+from .torsk import TorskLookupProtocol, TorskLookupResult
+
+__all__ = [
+    "BaselineLookupResult",
+    "ChordLookupProtocol",
+    "HaloLookupProtocol",
+    "HaloLookupResult",
+    "NisanLookupProtocol",
+    "NisanLookupResult",
+    "TorskLookupProtocol",
+    "TorskLookupResult",
+]

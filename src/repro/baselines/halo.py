@@ -1,0 +1,182 @@
+"""Baseline: Halo — high-assurance locate via redundant knuckle searches.
+
+Halo (Kapadia & Triandopoulos, NDSS 2008) keeps the plain Chord overlay but
+secures lookups through redundancy: instead of looking up the key directly,
+the initiator looks up *knuckles* — nodes whose fingers point at the target —
+and cross-checks their answers.  The paper's efficiency evaluation (Table 3,
+Figure 7(a)) uses degree-2 recursion with an 8x4 redundancy parameter and
+notes that a Halo lookup only completes when **all** redundant sub-lookups
+have returned, which is why its latency exceeds Octopus's even though each
+sub-lookup is a cheap Chord walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..chord.lookup import iterative_lookup
+from ..chord.ring import ChordRing
+from ..sim.bandwidth import MessageSizeModel
+from ..sim.latency import LatencyModel
+from ..sim.rng import RandomSource
+
+
+@dataclass
+class HaloLookupResult:
+    """Outcome of one Halo lookup."""
+
+    key: int
+    initiator: int
+    result: Optional[int]
+    true_owner: Optional[int]
+    latency: float
+    bytes_sent: int
+    messages: int
+    sub_lookups: int
+    agreeing_answers: int
+
+    @property
+    def correct(self) -> bool:
+        return self.result is not None and self.result == self.true_owner
+
+
+class HaloLookupProtocol:
+    """Redundant knuckle searches over the Chord ring.
+
+    Parameters
+    ----------
+    redundancy:
+        Number of knuckle searches per level (paper configuration: 8).
+    sub_redundancy:
+        Redundancy applied recursively to locate each knuckle (degree-2
+        recursion with parameter 4 in the paper's configuration, 8 x 4).
+    """
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        redundancy: int = 8,
+        sub_redundancy: int = 4,
+        latency_model: Optional[LatencyModel] = None,
+        rng: Optional[RandomSource] = None,
+        size_model: Optional[MessageSizeModel] = None,
+        processing_delay=None,
+    ) -> None:
+        if redundancy < 1 or sub_redundancy < 1:
+            raise ValueError("redundancy parameters must be positive")
+        self.ring = ring
+        self.redundancy = redundancy
+        self.sub_redundancy = sub_redundancy
+        self.latency_model = latency_model
+        self.rng = rng or RandomSource(0)
+        self.size_model = size_model or MessageSizeModel()
+        #: optional callable(rng) -> seconds for server-side processing delay
+        #: at each queried node; because Halo must wait for *all* redundant
+        #: branches, stragglers hit it much harder than single-path lookups.
+        self.processing_delay = processing_delay
+
+    # ----------------------------------------------------------------- lookups
+    def _knuckle_keys(self, key: int) -> List[int]:
+        """Identifiers of knuckles: nodes whose i-th finger would point at the key."""
+        space = self.ring.space
+        keys = []
+        for i in range(self.redundancy):
+            exponent = space.bits - 1 - i
+            if exponent < 0:
+                break
+            keys.append(space.normalize(key - (1 << exponent)))
+        return keys
+
+    def _single_chord_walk(self, initiator_id: int, key: int, now: float, jitter) -> tuple:
+        """One iterative walk; returns (claimed_owner, latency, bytes, messages, hops)."""
+        result = iterative_lookup(self.ring, initiator_id, key, now=now, purpose="lookup")
+        latency = 0.0
+        bytes_sent = 0
+        messages = 0
+        for hop in result.path:
+            if self.latency_model is not None:
+                latency += self.latency_model.sample_delay(initiator_id, hop, jitter)
+                latency += self.latency_model.sample_delay(hop, initiator_id, jitter)
+            if self.processing_delay is not None:
+                latency += self.processing_delay(jitter)
+            bytes_sent += self.size_model.query_bytes()
+            bytes_sent += self.size_model.routing_table_bytes(2, signed=False)
+            messages += 2
+        return result.result, latency, bytes_sent, messages, result.hops
+
+    def _recursive_search(
+        self, initiator_id: int, key: int, levels: List[int], now: float, jitter, accounting: dict
+    ) -> tuple:
+        """Degree-k recursive knuckle search.
+
+        ``levels`` holds the redundancy at each remaining recursion level
+        (the paper's configuration 8x4 is ``[8, 4]``).  At the innermost
+        level the knuckles are located with plain Chord walks.  The search is
+        only complete when **all** redundant branches have returned, so the
+        latency of a level is the maximum over its branches; each branch's
+        latency stacks the knuckle-locating sub-search and the final query to
+        the located knuckle.
+
+        Returns ``(answers, latency)`` for this level.
+        """
+        redundancy = levels[0]
+        remaining = levels[1:]
+        answers: List[Optional[int]] = []
+        level_latency = 0.0
+        for knuckle_key in self._knuckle_keys(key)[:redundancy]:
+            if remaining:
+                _, sub_latency = self._recursive_search(
+                    initiator_id, knuckle_key, remaining, now, jitter, accounting
+                )
+            else:
+                _, sub_latency, byt, msg, _ = self._single_chord_walk(initiator_id, knuckle_key, now, jitter)
+                accounting["bytes"] += byt
+                accounting["messages"] += msg
+                accounting["sub_lookups"] += 1
+            # The located knuckle is then asked for the actual key: one more
+            # iterative walk's worth of traffic on this branch.
+            answer, lat, byt, msg, _ = self._single_chord_walk(initiator_id, key, now, jitter)
+            accounting["bytes"] += byt
+            accounting["messages"] += msg
+            accounting["sub_lookups"] += 1
+            answers.append(answer)
+            level_latency = max(level_latency, sub_latency + lat)
+        return answers, level_latency
+
+    def lookup(self, initiator_id: int, key: int, now: float = 0.0) -> HaloLookupResult:
+        """One Halo lookup: recursive redundant knuckle searches, majority answer.
+
+        Latency is the **maximum** over the parallel redundant branches (the
+        lookup is complete only when every redundant result has returned);
+        bandwidth is the sum over all of them.
+        """
+        jitter = self.rng.stream("halo-jitter")
+        true_owner = self.ring.true_successor(key)
+        accounting = {"bytes": 0, "messages": 0, "sub_lookups": 0}
+
+        answers, latency = self._recursive_search(
+            initiator_id, key, [self.redundancy, self.sub_redundancy], now, jitter, accounting
+        )
+
+        # Majority vote over the redundant answers, preferring the most
+        # frequently claimed owner.
+        valid = [a for a in answers if a is not None]
+        result: Optional[int] = None
+        agreeing = 0
+        if valid:
+            counts = {}
+            for a in valid:
+                counts[a] = counts.get(a, 0) + 1
+            result, agreeing = max(counts.items(), key=lambda kv: kv[1])
+        return HaloLookupResult(
+            key=key,
+            initiator=initiator_id,
+            result=result,
+            true_owner=true_owner,
+            latency=latency,
+            bytes_sent=accounting["bytes"],
+            messages=accounting["messages"],
+            sub_lookups=accounting["sub_lookups"],
+            agreeing_answers=agreeing,
+        )

@@ -1,0 +1,133 @@
+"""Baseline: Torsk's proxy (buddy) lookup.
+
+Torsk (McLachlan et al., CCS 2009) protects the initiator by delegation: the
+initiator performs a random walk to find a *buddy* and asks the buddy to run
+the lookup on its behalf, so intermediate nodes only ever see the buddy.  The
+lookup itself is a Myrmic-secured Chord lookup, which reveals the key to
+queried nodes — which is why Torsk protects the initiator reasonably well but
+not the target (Section 2, Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..chord.lookup import iterative_lookup
+from ..chord.ring import ChordRing
+from ..sim.bandwidth import MessageSizeModel
+from ..sim.latency import LatencyModel
+from ..sim.rng import RandomSource
+
+
+@dataclass
+class TorskLookupResult:
+    """Outcome of one Torsk (buddy-delegated) lookup."""
+
+    key: int
+    initiator: int
+    buddy: Optional[int]
+    result: Optional[int]
+    true_owner: Optional[int]
+    latency: float = 0.0
+    bytes_sent: int = 0
+    messages: int = 0
+    buddy_walk_hops: List[int] = field(default_factory=list)
+    path: List[int] = field(default_factory=list)
+    #: whether the adversary can link the initiator to the buddy (for analysis)
+    initiator_exposed: bool = False
+
+    @property
+    def correct(self) -> bool:
+        return self.result is not None and self.result == self.true_owner
+
+
+class TorskLookupProtocol:
+    """Buddy selection by random walk followed by a delegated Chord lookup."""
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        walk_length: int = 6,
+        latency_model: Optional[LatencyModel] = None,
+        rng: Optional[RandomSource] = None,
+        size_model: Optional[MessageSizeModel] = None,
+    ) -> None:
+        if walk_length < 1:
+            raise ValueError("walk_length must be positive")
+        self.ring = ring
+        self.walk_length = walk_length
+        self.latency_model = latency_model
+        self.rng = rng or RandomSource(0)
+        self.size_model = size_model or MessageSizeModel()
+
+    # ------------------------------------------------------------------ buddy
+    def _find_buddy(self, initiator_id: int, now: float, jitter) -> tuple:
+        """Random walk over fingertables to select a buddy node."""
+        stream = self.rng.stream("torsk-walk")
+        current = initiator_id
+        hops: List[int] = []
+        latency = 0.0
+        bytes_sent = 0
+        messages = 0
+        for _ in range(self.walk_length):
+            node = self.ring.get(current)
+            if node is None or not node.alive:
+                break
+            candidates = node.routing_nodes()
+            if not candidates:
+                break
+            nxt = stream.choice(candidates)
+            hops.append(nxt)
+            if self.latency_model is not None:
+                latency += self.latency_model.sample_delay(current, nxt, jitter)
+            bytes_sent += self.size_model.query_bytes() + self.size_model.certificate_message_bytes()
+            messages += 2
+            current = nxt
+        buddy = hops[-1] if hops else None
+        return buddy, hops, latency, bytes_sent, messages
+
+    # ----------------------------------------------------------------- lookups
+    def lookup(self, initiator_id: int, key: int, now: float = 0.0) -> TorskLookupResult:
+        """One Torsk lookup: find a buddy, delegate the Chord lookup to it."""
+        jitter = self.rng.stream("torsk-jitter")
+        buddy, hops, walk_latency, walk_bytes, walk_messages = self._find_buddy(initiator_id, now, jitter)
+        result = TorskLookupResult(
+            key=key,
+            initiator=initiator_id,
+            buddy=buddy,
+            result=None,
+            true_owner=self.ring.true_successor(key),
+            buddy_walk_hops=hops,
+            latency=walk_latency,
+            bytes_sent=walk_bytes,
+            messages=walk_messages,
+        )
+        if buddy is None:
+            return result
+        buddy_node = self.ring.get(buddy)
+        if buddy_node is None or not buddy_node.alive:
+            return result
+
+        # The initiator is exposed if the buddy or the first walk hop is malicious.
+        first_hop = hops[0] if hops else None
+        result.initiator_exposed = self.ring.is_malicious(buddy) or (
+            first_hop is not None and self.ring.is_malicious(first_hop)
+        )
+
+        # The buddy performs the (key-revealing) lookup on the initiator's behalf.
+        delegated = iterative_lookup(self.ring, buddy, key, now=now, purpose="lookup")
+        result.path = delegated.path
+        result.result = delegated.result
+        for hop in delegated.path:
+            if self.latency_model is not None:
+                result.latency += self.latency_model.sample_delay(buddy, hop, jitter)
+                result.latency += self.latency_model.sample_delay(hop, buddy, jitter)
+            result.bytes_sent += self.size_model.query_bytes() + self.size_model.routing_table_bytes(2)
+            result.messages += 2
+        # Reply travels back from the buddy to the initiator.
+        if self.latency_model is not None:
+            result.latency += self.latency_model.sample_delay(buddy, initiator_id, jitter)
+        result.bytes_sent += self.size_model.certificate_message_bytes()
+        result.messages += 1
+        return result

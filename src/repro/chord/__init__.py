@@ -1,0 +1,51 @@
+"""Chord DHT substrate.
+
+A from-scratch implementation of the (customised) Chord overlay Octopus runs
+on: identifier-space arithmetic, finger tables, successor *and* predecessor
+lists, signed routing-table snapshots with NISAN-style bound checking,
+clockwise/anti-clockwise stabilization, iterative lookups and the global ring
+scaffolding used by the simulators.
+"""
+
+from .fingertable import FingerEntry, FingerTable
+from .idspace import (
+    DEFAULT_BITS,
+    SIMULATION_BITS,
+    IdSpace,
+    closest_preceding,
+    predecessor_of,
+    successor_of,
+)
+from .lookup import LookupResult, iterative_lookup, oracle_query_path
+from .node import ChordNode, NodeBehavior, NodeStats, synthetic_ip
+from .ring import ChordRing, RingConfig
+from .routing_table import BoundChecker, BoundCheckResult, RoutingTableSnapshot
+from .stabilization import StabilizationStats, Stabilizer
+from .successor_list import NeighborList, SignedSuccessorList
+
+__all__ = [
+    "FingerEntry",
+    "FingerTable",
+    "DEFAULT_BITS",
+    "SIMULATION_BITS",
+    "IdSpace",
+    "closest_preceding",
+    "predecessor_of",
+    "successor_of",
+    "LookupResult",
+    "iterative_lookup",
+    "oracle_query_path",
+    "ChordNode",
+    "NodeBehavior",
+    "NodeStats",
+    "synthetic_ip",
+    "ChordRing",
+    "RingConfig",
+    "BoundChecker",
+    "BoundCheckResult",
+    "RoutingTableSnapshot",
+    "StabilizationStats",
+    "Stabilizer",
+    "NeighborList",
+    "SignedSuccessorList",
+]

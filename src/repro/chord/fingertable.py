@@ -1,0 +1,153 @@
+"""Finger tables.
+
+Each Chord/Octopus node keeps ``m`` fingers: entry ``i`` points to the first
+node whose identifier succeeds ``node_id + 2**i``.  The paper's simulations
+use 12 fingers per node for the N=1000 networks (Section 5.1); this class
+supports any finger count up to the identifier width.
+
+Finger tables in Octopus are *signed* when returned to other nodes (together
+with the successor list, forming the routing table); the signing wrapper
+lives in :mod:`repro.chord.routing_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .idspace import IdSpace
+
+
+@dataclass
+class FingerEntry:
+    """A single finger: the ideal identifier and the actual node filling it."""
+
+    index: int
+    ideal_id: int
+    node_id: Optional[int] = None
+
+    def is_filled(self) -> bool:
+        return self.node_id is not None
+
+
+class FingerTable:
+    """A node's finger table.
+
+    Parameters
+    ----------
+    owner_id:
+        Identifier of the node that owns this table.
+    space:
+        The identifier space.
+    size:
+        Number of fingers maintained (paper default for simulations: 12).
+    """
+
+    def __init__(self, owner_id: int, space: IdSpace, size: int = 12) -> None:
+        if size < 1 or size > space.bits:
+            raise ValueError(f"finger table size must be in [1, {space.bits}]")
+        self.owner_id = owner_id
+        self.space = space
+        self.size = size
+        # A node keeping fewer fingers than the identifier width keeps the
+        # *longest-range* ones: finger ``i`` targets ``owner + 2**(bits-size+i)``.
+        # (With ``size == bits`` this is exactly Chord's ``owner + 2**i``; with
+        # the paper's 12 fingers it is the 12 fingers that actually matter for
+        # O(log N) routing — the shorter ones all collapse onto the successor.)
+        self._entries: List[FingerEntry] = [
+            FingerEntry(
+                index=i,
+                ideal_id=space.normalize(owner_id + (1 << (space.bits - size + i))),
+            )
+            for i in range(size)
+        ]
+
+    # ---------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return self.size
+
+    def entry(self, index: int) -> FingerEntry:
+        return self._entries[index]
+
+    @property
+    def entries(self) -> List[FingerEntry]:
+        return list(self._entries)
+
+    def ideal_id(self, index: int) -> int:
+        return self._entries[index].ideal_id
+
+    def get(self, index: int) -> Optional[int]:
+        """The node currently filling finger ``index`` (or ``None``)."""
+        return self._entries[index].node_id
+
+    def set(self, index: int, node_id: Optional[int]) -> None:
+        """Set finger ``index`` to ``node_id``."""
+        self._entries[index].node_id = node_id
+
+    def nodes(self) -> List[int]:
+        """All distinct filled finger node ids, in index order."""
+        seen = set()
+        out = []
+        for e in self._entries:
+            if e.node_id is not None and e.node_id not in seen:
+                seen.add(e.node_id)
+                out.append(e.node_id)
+        return out
+
+    def as_dict(self) -> Dict[int, Optional[int]]:
+        """``{index: node_id}`` mapping (used when exchanging fingertables)."""
+        return {e.index: e.node_id for e in self._entries}
+
+    def fill_from(self, sorted_ids: Sequence[int]) -> None:
+        """Fill every finger from a sorted list of all live node identifiers.
+
+        Used by the ring builder to construct a *correct* table in one shot
+        (the paper's simulator similarly bootstraps correct routing state and
+        then lets stabilization maintain it under churn).
+        """
+        if not sorted_ids:
+            raise ValueError("cannot fill a finger table from an empty ring")
+        import bisect
+
+        for e in self._entries:
+            pos = bisect.bisect_left(sorted_ids, e.ideal_id)
+            if pos == len(sorted_ids):
+                pos = 0
+            e.node_id = sorted_ids[pos]
+
+    def copy(self) -> "FingerTable":
+        """Deep copy (used when adversaries fabricate manipulated tables)."""
+        clone = FingerTable(self.owner_id, self.space, self.size)
+        for i, e in enumerate(self._entries):
+            clone._entries[i].node_id = e.node_id
+        return clone
+
+    # ------------------------------------------------------------ maintenance
+    def replace_node(self, old_id: int, new_id: Optional[int]) -> int:
+        """Replace every occurrence of ``old_id`` with ``new_id``; returns count."""
+        count = 0
+        for e in self._entries:
+            if e.node_id == old_id:
+                e.node_id = new_id
+                count += 1
+        return count
+
+    def closest_preceding(self, key: int, exclude: Optional[set] = None) -> Optional[int]:
+        """The filled finger most closely preceding ``key`` (Chord routing)."""
+        exclude = exclude or set()
+        best = None
+        best_dist = None
+        for e in self._entries:
+            nid = e.node_id
+            if nid is None or nid in exclude or nid == self.owner_id:
+                continue
+            if not self.space.in_interval(nid, self.owner_id, key):
+                continue
+            d = self.space.distance(nid, key)
+            if best_dist is None or d < best_dist:
+                best, best_dist = nid, d
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover
+        filled = sum(1 for e in self._entries if e.is_filled())
+        return f"FingerTable(owner={self.owner_id}, filled={filled}/{self.size})"

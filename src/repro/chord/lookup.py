@@ -1,0 +1,210 @@
+"""Chord lookups.
+
+This module implements the baseline lookup machinery every scheme in the
+paper builds on:
+
+* :func:`iterative_lookup` — the initiator contacts each intermediate node
+  directly, asking for its routing table (fingers + successors in Octopus's
+  customised Chord) and greedily approaching the key.  Malicious nodes answer
+  through their behaviour hooks, so lookup-bias attacks act here.
+* :func:`oracle_query_path` — the sequence of nodes an *honest* lookup visits,
+  computed from ground truth.  The anonymity estimators use it to build the
+  pre-simulated distributions (ξ, γ, χ) from Section 6 / Appendix III.
+
+A :class:`LookupResult` records everything the experiments need: the path,
+the claimed owner, whether it matches ground truth, and which queried nodes
+were malicious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set, Tuple
+
+from .idspace import IdSpace
+from .ring import ChordRing
+from .routing_table import RoutingTableSnapshot
+
+
+@dataclass
+class LookupResult:
+    """Outcome of a single lookup."""
+
+    key: int
+    initiator: int
+    path: List[int] = field(default_factory=list)
+    result: Optional[int] = None
+    true_owner: Optional[int] = None
+    hops: int = 0
+    succeeded: bool = False
+    biased: bool = False
+    malicious_queried: List[int] = field(default_factory=list)
+    tables_seen: List[RoutingTableSnapshot] = field(default_factory=list)
+
+    @property
+    def correct(self) -> bool:
+        """Whether the returned owner matches ground truth."""
+        return self.succeeded and self.result == self.true_owner
+
+
+def iterative_lookup(
+    ring: ChordRing,
+    initiator_id: int,
+    key: int,
+    max_hops: Optional[int] = None,
+    now: float = 0.0,
+    purpose: str = "lookup",
+    on_query: Optional[Callable[[int, RoutingTableSnapshot], None]] = None,
+    start_node: Optional[int] = None,
+    collect_tables: bool = False,
+) -> LookupResult:
+    """Perform an iterative lookup for ``key`` starting from ``initiator_id``.
+
+    The initiator repeatedly queries the node that most closely precedes the
+    key according to the tables it has seen, exactly as in Chord; the lookup
+    terminates when a queried node's immediate successor succeeds the key, in
+    which case that successor is reported as the key owner (Section 4.3).
+
+    Parameters
+    ----------
+    on_query:
+        Optional callback invoked as ``on_query(queried_node_id, table)`` for
+        every intermediate query — used by the anonymity experiments to model
+        the adversary's observations.
+    start_node:
+        Override the first queried node (used by anonymous lookups whose first
+        hop comes from a relay's table rather than the initiator's own).
+    """
+    space = ring.space
+    initiator = ring.node(initiator_id)
+    max_hops = max_hops if max_hops is not None else 2 * space.bits
+
+    result = LookupResult(
+        key=key,
+        initiator=initiator_id,
+        true_owner=ring.true_successor(key),
+    )
+
+    # Choose the first node to query from the initiator's own routing state.
+    if start_node is not None:
+        current = start_node
+    else:
+        own_candidates = initiator.routing_nodes()
+        current = _closest_preceding(own_candidates, key, initiator_id, space)
+        if current is None:
+            # The initiator's own successor already owns the key.
+            candidate = initiator.successor
+            result.result = candidate
+            result.succeeded = candidate is not None
+            result.biased = _is_biased(ring, result)
+            return result
+
+    visited: Set[int] = set()
+    while result.hops < max_hops:
+        node = ring.get(current)
+        if node is None or not node.alive:
+            break
+        if current in visited:
+            break
+        visited.add(current)
+        result.path.append(current)
+        result.hops += 1
+        if node.malicious:
+            result.malicious_queried.append(current)
+
+        table = node.respond_routing_table(initiator_id, purpose=purpose, now=now)
+        if collect_tables:
+            result.tables_seen.append(table)
+        if on_query is not None:
+            on_query(current, table)
+
+        # Termination: the key falls between the queried node and its claimed
+        # immediate successor, so that successor is reported as the owner.
+        claimed_successor = table.immediate_successor()
+        if claimed_successor is not None and space.in_interval(
+            key, table.owner_id, claimed_successor, inclusive_end=True
+        ):
+            result.result = claimed_successor
+            result.succeeded = True
+            break
+
+        next_hop = table.closest_preceding(key, space, exclude=visited)
+        if next_hop is None:
+            # Cannot make progress; fall back to the claimed successor.
+            result.result = claimed_successor
+            result.succeeded = claimed_successor is not None
+            break
+        current = next_hop
+
+    result.biased = _is_biased(ring, result)
+    return result
+
+
+def _closest_preceding(candidates: List[int], key: int, node_id: int, space: IdSpace) -> Optional[int]:
+    best = None
+    best_dist = None
+    for nid in candidates:
+        if nid == node_id:
+            continue
+        if not space.in_interval(nid, node_id, key):
+            continue
+        d = space.distance(nid, key)
+        if best_dist is None or d < best_dist:
+            best, best_dist = nid, d
+    return best
+
+
+def _is_biased(ring: ChordRing, result: LookupResult) -> bool:
+    """A lookup is biased when it completed but returned the wrong owner."""
+    return result.succeeded and result.result != result.true_owner
+
+
+def oracle_query_path(ring: ChordRing, initiator_id: int, key: int, max_hops: Optional[int] = None) -> List[int]:
+    """The query sequence of an honest lookup computed purely from ground truth.
+
+    Every hop routes through the *true* routing state (correct fingers and
+    successors), so the path reflects what an unbiased lookup does.  This is
+    the basis for the pre-simulated distributions used in Section 6: the
+    density of queried nodes increases close to the target, which is what the
+    range-estimation adversary exploits.
+    """
+    space = ring.space
+    alive_sorted = ring.alive_ids_sorted()
+    if not alive_sorted:
+        return []
+    max_hops = max_hops if max_hops is not None else 2 * space.bits
+
+    path: List[int] = []
+    node = ring.get(initiator_id)
+    if node is None:
+        return path
+    current = initiator_id
+    for _ in range(max_hops):
+        node = ring.get(current)
+        candidates = ring._neighbors(current, alive_sorted, +1, node.successor_list.capacity)
+        finger_ids = _true_fingers(ring, current, alive_sorted, node.finger_table.size)
+        all_refs = list(dict.fromkeys(finger_ids + candidates))
+        succ = candidates[0] if candidates else None
+        if succ is not None and space.in_interval(key, current, succ, inclusive_end=True):
+            break
+        next_hop = _closest_preceding(all_refs, key, current, space)
+        if next_hop is None or next_hop == current:
+            break
+        path.append(next_hop)
+        current = next_hop
+    return path
+
+
+def _true_fingers(ring: ChordRing, node_id: int, alive_sorted: List[int], count: int) -> List[int]:
+    import bisect as _bisect
+
+    space = ring.space
+    out = []
+    for i in range(count):
+        # Longest-range fingers, matching FingerTable's ideal-id layout.
+        ideal = space.normalize(node_id + (1 << (space.bits - count + i)))
+        pos = _bisect.bisect_left(alive_sorted, ideal)
+        if pos == len(alive_sorted):
+            pos = 0
+        out.append(alive_sorted[pos])
+    return list(dict.fromkeys(out))

@@ -1,0 +1,241 @@
+"""Ring construction and global network view.
+
+:class:`ChordRing` is the simulator's view of the whole network: it owns every
+:class:`~repro.chord.node.ChordNode`, knows the ground-truth key ownership
+(used to score lookup correctness), assigns the malicious subset, and handles
+joins and departures.  Protocol code never reads ground truth; it only ever
+talks to nodes through their response behaviours, so the ring is purely the
+experimental scaffolding the paper's C++ simulator also had.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from ..crypto.ca import CertificateAuthority
+from ..crypto.keys import FAST
+from ..sim.rng import RandomSource
+from .idspace import IdSpace
+from .node import ChordNode
+
+
+@dataclass
+class RingConfig:
+    """Parameters controlling ring construction.
+
+    Defaults follow Section 5.1 of the paper (N=1000 security experiments):
+    12 fingers, 6 successors, 6 predecessors, 20% malicious nodes.
+    """
+
+    n_nodes: int = 1000
+    fraction_malicious: float = 0.2
+    finger_count: int = 12
+    successor_count: int = 6
+    predecessor_count: int = 6
+    id_bits: int = 32
+    key_mode: str = FAST
+    seed: int = 0
+
+
+class ChordRing:
+    """The global network: all nodes, ground truth, joins and departures."""
+
+    def __init__(self, space: IdSpace, config: Optional[RingConfig] = None, ca: Optional[CertificateAuthority] = None) -> None:
+        self.space = space
+        self.config = config or RingConfig(id_bits=space.bits)
+        self.ca = ca
+        self.nodes: Dict[int, ChordNode] = {}
+        self._sorted_ids: List[int] = []
+        self.malicious_ids: Set[int] = set()
+        self.removed_ids: Set[int] = set()
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def build(
+        cls,
+        config: Optional[RingConfig] = None,
+        rng: Optional[RandomSource] = None,
+        ca: Optional[CertificateAuthority] = None,
+    ) -> "ChordRing":
+        """Build a fully-populated ring with correct routing state.
+
+        Node identifiers are drawn uniformly at random from the identifier
+        space; the malicious subset is a uniform sample of the requested
+        fraction.  Every node's finger table, successor list and predecessor
+        list are initialised to their *correct* values, after which churn and
+        stabilization (and attacks) take over.
+        """
+        config = config or RingConfig()
+        rng = rng or RandomSource(config.seed)
+        space = IdSpace(bits=config.id_bits)
+        ring = cls(space, config=config, ca=ca)
+
+        id_stream = rng.stream("ring-ids")
+        ids: Set[int] = set()
+        while len(ids) < config.n_nodes:
+            ids.add(id_stream.randrange(space.size))
+        sorted_ids = sorted(ids)
+
+        n_malicious = int(round(config.fraction_malicious * config.n_nodes))
+        malicious = set(rng.sample("ring-malicious", sorted_ids, n_malicious)) if n_malicious else set()
+
+        for node_id in sorted_ids:
+            node = ChordNode(
+                node_id,
+                space,
+                finger_count=config.finger_count,
+                successor_count=config.successor_count,
+                predecessor_count=config.predecessor_count,
+                malicious=node_id in malicious,
+                key_mode=config.key_mode,
+            )
+            if ca is not None:
+                node.certificate = ca.issue_certificate(node_id, node.ip_address, node.keypair.public_key)
+            ring.nodes[node_id] = node
+
+        ring._sorted_ids = sorted_ids
+        ring.malicious_ids = malicious
+        ring.rebuild_routing_state()
+        return ring
+
+    def rebuild_routing_state(self, node_ids: Optional[Iterable[int]] = None) -> None:
+        """(Re)initialise routing state of the given nodes from ground truth."""
+        alive_sorted = self.alive_ids_sorted()
+        if not alive_sorted:
+            return
+        targets = node_ids if node_ids is not None else list(self.nodes)
+        for node_id in targets:
+            node = self.nodes.get(node_id)
+            if node is None or not node.alive:
+                continue
+            node.finger_table.fill_from(alive_sorted)
+            node.successor_list.replace_all(self._neighbors(node_id, alive_sorted, +1, node.successor_list.capacity))
+            node.predecessor_list.replace_all(self._neighbors(node_id, alive_sorted, -1, node.predecessor_list.capacity))
+
+    def _neighbors(self, node_id: int, alive_sorted: Sequence[int], direction: int, count: int) -> List[int]:
+        if node_id not in self.nodes:
+            return []
+        pos = bisect.bisect_left(alive_sorted, node_id)
+        out: List[int] = []
+        n = len(alive_sorted)
+        if n <= 1:
+            return out
+        idx = pos
+        for step in range(1, count + 1):
+            if direction > 0:
+                j = (pos + step) % n
+            else:
+                j = (pos - step) % n
+            candidate = alive_sorted[j]
+            if candidate == node_id:
+                break
+            if candidate not in out:
+                out.append(candidate)
+        return out
+
+    # --------------------------------------------------------------- accessors
+    def node(self, node_id: int) -> ChordNode:
+        return self.nodes[node_id]
+
+    def get(self, node_id: int) -> Optional[ChordNode]:
+        return self.nodes.get(node_id)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self.nodes
+
+    def all_ids(self) -> List[int]:
+        return list(self._sorted_ids)
+
+    def alive_ids_sorted(self) -> List[int]:
+        return [nid for nid in self._sorted_ids if self.nodes[nid].alive]
+
+    def alive_nodes(self) -> List[ChordNode]:
+        return [self.nodes[nid] for nid in self._sorted_ids if self.nodes[nid].alive]
+
+    def honest_ids(self, alive_only: bool = True) -> List[int]:
+        return [
+            nid
+            for nid in self._sorted_ids
+            if nid not in self.malicious_ids and (not alive_only or self.nodes[nid].alive)
+        ]
+
+    def malicious_alive_ids(self) -> List[int]:
+        return [nid for nid in self.malicious_ids if nid in self.nodes and self.nodes[nid].alive]
+
+    def is_malicious(self, node_id: int) -> bool:
+        return node_id in self.malicious_ids
+
+    def fraction_malicious_alive(self) -> float:
+        """Fraction of alive nodes that are malicious (the Figure 3/4/9 metric)."""
+        alive = self.alive_ids_sorted()
+        if not alive:
+            return 0.0
+        return sum(1 for nid in alive if nid in self.malicious_ids) / len(alive)
+
+    # ------------------------------------------------------------- ground truth
+    def true_successor(self, key: int) -> Optional[int]:
+        """Ground-truth owner of ``key`` (first alive node at or after the key)."""
+        alive = self.alive_ids_sorted()
+        if not alive:
+            return None
+        pos = bisect.bisect_left(alive, key % self.space.size)
+        if pos == len(alive):
+            pos = 0
+        return alive[pos]
+
+    def owner_of(self, key: int) -> Optional[int]:
+        """Alias for :meth:`true_successor` (Chord key ownership)."""
+        return self.true_successor(key)
+
+    # ----------------------------------------------------------- churn / removal
+    def mark_dead(self, node_id: int) -> None:
+        """A node departs (churn); its state is kept for when it rejoins."""
+        node = self.nodes.get(node_id)
+        if node is not None:
+            node.alive = False
+
+    def mark_alive(self, node_id: int, rebuild_state: bool = True, now: float = 0.0) -> None:
+        """A churned node rejoins (fresh routing state, as in the paper's model)."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            return
+        node.alive = True
+        node.last_join_time = now
+        if rebuild_state:
+            self.rebuild_routing_state([node_id])
+
+    def remove_permanently(self, node_id: int) -> None:
+        """Eject a node whose certificate the CA revoked."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            return
+        node.alive = False
+        self.removed_ids.add(node_id)
+        # The node stays in ``malicious_ids`` so metrics can distinguish
+        # "was malicious and got removed" from "honest"; fraction metrics use
+        # alive status and ``removed_ids``.
+
+    def remaining_malicious_fraction(self) -> float:
+        """Fraction of the *current* network that is malicious and not yet removed."""
+        alive = [nid for nid in self._sorted_ids if self.nodes[nid].alive and nid not in self.removed_ids]
+        if not alive:
+            return 0.0
+        return sum(1 for nid in alive if nid in self.malicious_ids) / len(alive)
+
+    # --------------------------------------------------------------- sampling
+    def random_alive_id(self, rng, exclude: Optional[Set[int]] = None) -> Optional[int]:
+        """A uniformly random alive node id (optionally excluding a set)."""
+        exclude = exclude or set()
+        candidates = [nid for nid in self.alive_ids_sorted() if nid not in exclude]
+        if not candidates:
+            return None
+        return rng.choice(candidates)
+
+    def random_key(self, rng) -> int:
+        """A uniformly random lookup key."""
+        return rng.randrange(self.space.size)

@@ -1,0 +1,156 @@
+"""Signed routing-table snapshots.
+
+In Octopus every queried node returns its *routing table*: the union of its
+finger table and its successor list (Section 4.3).  The table is signed and
+timestamped by its owner so that it can later serve as non-repudiable
+evidence before the CA.  This module defines the snapshot object exchanged on
+the wire plus bound-checking utilities (the NISAN-style defense Octopus
+applies to returned tables, Section 4.1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .idspace import IdSpace
+
+
+@dataclass(frozen=True)
+class RoutingTableSnapshot:
+    """An immutable, signed view of a node's routing state at a point in time.
+
+    Attributes
+    ----------
+    owner_id:
+        The node whose state this is.
+    fingers:
+        ``(ideal_id, node_id)`` pairs in finger-index order.
+    successors:
+        Successor list in ring order.
+    predecessors:
+        Predecessor list in ring order (Octopus-specific; may be empty when a
+        peer only asks for the classic table).
+    timestamp:
+        Simulated time at which the snapshot was produced.
+    signature:
+        The owner's signature over :meth:`payload`; ``None`` in contexts where
+        signatures are modelled but not computed (fast simulation mode still
+        accounts for their bytes).
+    """
+
+    owner_id: int
+    fingers: Tuple[Tuple[int, Optional[int]], ...]
+    successors: Tuple[int, ...]
+    predecessors: Tuple[int, ...] = ()
+    timestamp: float = 0.0
+    signature: object = None
+
+    def payload(self) -> bytes:
+        fingers = ";".join(f"{ideal}:{node}" for ideal, node in self.fingers)
+        succ = ",".join(str(n) for n in self.successors)
+        pred = ",".join(str(n) for n in self.predecessors)
+        return f"rt|{self.owner_id}|{fingers}|{succ}|{pred}|{self.timestamp:.3f}".encode()
+
+    # ----------------------------------------------------------------- access
+    def finger_nodes(self) -> List[int]:
+        """Distinct finger node ids in index order."""
+        seen = set()
+        out = []
+        for _, node in self.fingers:
+            if node is not None and node not in seen:
+                seen.add(node)
+                out.append(node)
+        return out
+
+    def all_nodes(self) -> List[int]:
+        """Every node id referenced by this table (fingers + successors)."""
+        seen = set()
+        out = []
+        for node in self.finger_nodes() + list(self.successors):
+            if node not in seen and node != self.owner_id:
+                seen.add(node)
+                out.append(node)
+        return out
+
+    def entry_count(self) -> int:
+        """Number of routing items (for bandwidth accounting)."""
+        return len(self.fingers) + len(self.successors) + len(self.predecessors)
+
+    def closest_preceding(self, key: int, space: IdSpace, exclude: Optional[set] = None) -> Optional[int]:
+        """The referenced node most closely preceding ``key`` (greedy routing)."""
+        exclude = exclude or set()
+        best = None
+        best_dist = None
+        for node in self.all_nodes():
+            if node in exclude:
+                continue
+            if not space.in_interval(node, self.owner_id, key):
+                continue
+            d = space.distance(node, key)
+            if best_dist is None or d < best_dist:
+                best, best_dist = node, d
+        return best
+
+    def immediate_successor(self) -> Optional[int]:
+        return self.successors[0] if self.successors else None
+
+
+@dataclass
+class BoundCheckResult:
+    """Outcome of NISAN-style bound checking on a returned routing table."""
+
+    passed: bool
+    violations: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+
+class BoundChecker:
+    """Statistical bound checking of returned routing tables.
+
+    NISAN (and Octopus, Section 4.1) limits fingertable manipulation by
+    checking that each returned finger is plausibly close to its ideal
+    identifier.  With ``N`` uniformly distributed nodes the expected gap
+    between the ideal identifier and the true finger is ``ring_size / N``;
+    the checker flags fingers whose gap exceeds ``tolerance_factor`` times
+    that expectation, and successor lists whose span is implausibly wide.
+
+    This is deliberately a *moderate* defense — the paper notes a malicious
+    node can still modify a few fingers undetected — which is why Octopus
+    pairs it with secret surveillance.
+    """
+
+    def __init__(self, space: IdSpace, expected_network_size: int, tolerance_factor: float = 8.0) -> None:
+        if expected_network_size < 2:
+            raise ValueError("expected_network_size must be at least 2")
+        self.space = space
+        self.expected_network_size = expected_network_size
+        self.tolerance_factor = tolerance_factor
+
+    @property
+    def expected_gap(self) -> float:
+        return self.space.size / self.expected_network_size
+
+    def check(self, table: RoutingTableSnapshot) -> BoundCheckResult:
+        """Check a routing table; returns which constraints were violated."""
+        violations: List[str] = []
+        max_gap = self.tolerance_factor * self.expected_gap
+        for ideal, node in table.fingers:
+            if node is None:
+                continue
+            gap = self.space.distance(ideal, node)
+            if gap > max_gap:
+                violations.append(f"finger for ideal {ideal} is {gap:.0f} past ideal (> {max_gap:.0f})")
+        if table.successors:
+            span = self.space.distance(table.owner_id, table.successors[-1])
+            max_span = self.tolerance_factor * self.expected_gap * max(len(table.successors), 1)
+            if span > max_span:
+                violations.append(f"successor list spans {span:.0f} (> {max_span:.0f})")
+            # Successors must be sorted by distance from the owner.
+            distances = [self.space.distance(table.owner_id, s) for s in table.successors]
+            if distances != sorted(distances):
+                violations.append("successor list is not ordered by ring distance")
+        return BoundCheckResult(passed=not violations, violations=violations)

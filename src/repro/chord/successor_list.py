@@ -1,0 +1,140 @@
+"""Successor and predecessor lists.
+
+Chord nodes keep a successor list for fault tolerance.  Octopus additionally
+requires every node to keep a *predecessor* list of the same size, maintained
+by running the stabilization protocol anti-clockwise (Section 4.3): this is
+what makes secret neighbor surveillance possible, because each node must then
+appear in the successor list of each of its predecessors.
+
+The lists are ordered by ring distance from the owner and bounded in length
+(paper: 6 successors and 6 predecessors for the N=1000 experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from .idspace import IdSpace
+
+
+class NeighborList:
+    """An ordered, bounded list of ring neighbors in one direction.
+
+    Parameters
+    ----------
+    owner_id:
+        The node owning the list.
+    space:
+        Identifier space.
+    capacity:
+        Maximum number of entries kept (paper default: 6).
+    direction:
+        ``+1`` for a successor list (clockwise), ``-1`` for a predecessor list
+        (anti-clockwise).
+    """
+
+    def __init__(self, owner_id: int, space: IdSpace, capacity: int = 6, direction: int = +1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if direction not in (+1, -1):
+            raise ValueError("direction must be +1 (successors) or -1 (predecessors)")
+        self.owner_id = owner_id
+        self.space = space
+        self.capacity = capacity
+        self.direction = direction
+        self._nodes: List[int] = []
+
+    # ---------------------------------------------------------------- helpers
+    def _distance(self, node_id: int) -> int:
+        if self.direction > 0:
+            return self.space.distance(self.owner_id, node_id)
+        return self.space.distance(node_id, self.owner_id)
+
+    # ----------------------------------------------------------------- access
+    @property
+    def nodes(self) -> List[int]:
+        """Entries ordered by increasing ring distance from the owner."""
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def first(self) -> Optional[int]:
+        """The immediate successor (or predecessor), if any."""
+        return self._nodes[0] if self._nodes else None
+
+    def is_full(self) -> bool:
+        return len(self._nodes) >= self.capacity
+
+    # ------------------------------------------------------------- mutation
+    def add(self, node_id: int) -> bool:
+        """Insert ``node_id`` keeping order; returns whether the list changed."""
+        if node_id == self.owner_id or node_id in self._nodes:
+            return False
+        self._nodes.append(node_id)
+        self._nodes.sort(key=self._distance)
+        if len(self._nodes) > self.capacity:
+            dropped = self._nodes.pop()
+            return dropped != node_id
+        return True
+
+    def update(self, node_ids: Iterable[int]) -> int:
+        """Add many candidates; returns the number actually inserted."""
+        count = 0
+        for nid in node_ids:
+            if self.add(nid):
+                count += 1
+        return count
+
+    def remove(self, node_id: int) -> bool:
+        """Remove ``node_id`` if present."""
+        if node_id in self._nodes:
+            self._nodes.remove(node_id)
+            return True
+        return False
+
+    def replace_all(self, node_ids: Sequence[int]) -> None:
+        """Replace the whole list (used when adopting a peer-provided list)."""
+        self._nodes = []
+        self.update(node_ids)
+
+    def clear(self) -> None:
+        self._nodes = []
+
+    def copy(self) -> "NeighborList":
+        clone = NeighborList(self.owner_id, self.space, self.capacity, self.direction)
+        clone._nodes = list(self._nodes)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "succ" if self.direction > 0 else "pred"
+        return f"NeighborList({kind}, owner={self.owner_id}, nodes={self._nodes})"
+
+
+@dataclass(frozen=True)
+class SignedSuccessorList:
+    """A successor list snapshot signed by its owner.
+
+    Octopus requires routing tables to be signed and timestamped so that they
+    can serve as non-repudiable evidence when a node is reported to the CA
+    (Section 4.3).  ``signature`` is produced by the owner's key pair over the
+    canonical payload; ``received_from`` records who supplied the list during
+    stabilization (used for successor-list-pollution proof chains).
+    """
+
+    owner_id: int
+    nodes: tuple
+    timestamp: float
+    signature: object = None
+    received_from: Optional[int] = None
+
+    def payload(self) -> bytes:
+        body = ",".join(str(n) for n in self.nodes)
+        return f"succlist|{self.owner_id}|{body}|{self.timestamp:.3f}".encode()
+
+    def contains(self, node_id: int) -> bool:
+        return node_id in self.nodes

@@ -1,0 +1,163 @@
+"""Command-line interface for running the reproduction's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro security   --attack lookup-bias --nodes 150 --duration 400
+    python -m repro anonymity  --nodes 8000 --malicious 0.2
+    python -m repro efficiency --nodes 207 --lookups 80
+    python -m repro timing
+    python -m repro ablation
+
+Each subcommand builds the corresponding harness from
+:mod:`repro.experiments`, runs it, and prints the regenerated rows/series in
+the same form the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .experiments.ablation import AblationConfig, AnonymityAblation
+from .experiments.anonymity import AnonymityExperiment, AnonymityExperimentConfig
+from .experiments.efficiency import EfficiencyExperiment, EfficiencyExperimentConfig
+from .experiments.results import format_table
+from .experiments.security import SecurityExperiment, SecurityExperimentConfig
+from .experiments.timing import TimingExperiment, TimingExperimentConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Octopus (ICDCS 2012) reproduction — experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    security = sub.add_parser("security", help="attacker-identification simulation (Figures 3/4/9, Table 2)")
+    security.add_argument("--attack", default="lookup-bias",
+                          choices=["lookup-bias", "fingertable-manipulation", "fingertable-pollution", "selective-dos", "none"])
+    security.add_argument("--nodes", type=int, default=150)
+    security.add_argument("--duration", type=float, default=400.0)
+    security.add_argument("--attack-rate", type=float, default=1.0)
+    security.add_argument("--churn-minutes", type=float, default=60.0)
+    security.add_argument("--seed", type=int, default=0)
+
+    anonymity = sub.add_parser("anonymity", help="H(I)/H(T) estimation (Figures 5/6)")
+    anonymity.add_argument("--nodes", type=int, default=8000)
+    anonymity.add_argument("--malicious", type=float, default=0.2)
+    anonymity.add_argument("--alpha", type=float, default=0.01)
+    anonymity.add_argument("--dummies", type=int, default=6)
+    anonymity.add_argument("--worlds", type=int, default=200)
+    anonymity.add_argument("--seed", type=int, default=0)
+
+    efficiency = sub.add_parser("efficiency", help="latency/bandwidth comparison (Table 3, Figure 7(a))")
+    efficiency.add_argument("--nodes", type=int, default=207)
+    efficiency.add_argument("--lookups", type=int, default=80)
+    efficiency.add_argument("--seed", type=int, default=0)
+
+    timing = sub.add_parser("timing", help="timing-analysis error rate (Table 1)")
+    timing.add_argument("--flows", type=int, default=1200)
+
+    ablation = sub.add_parser("ablation", help="multi-path / dummy-query ablation (Section 4.2)")
+    ablation.add_argument("--nodes", type=int, default=8000)
+    ablation.add_argument("--malicious", type=float, default=0.2)
+    ablation.add_argument("--worlds", type=int, default=150)
+    return parser
+
+
+def _run_security(args) -> int:
+    config = SecurityExperimentConfig(
+        n_nodes=args.nodes,
+        duration=args.duration,
+        attack=args.attack,
+        attack_rate=args.attack_rate,
+        churn_lifetime_minutes=args.churn_minutes,
+        seed=args.seed,
+        sample_interval=max(args.duration / 8.0, 1.0),
+    )
+    result = SecurityExperiment(config).run()
+    print(f"attack={args.attack} nodes={args.nodes} duration={args.duration:.0f}s")
+    rows = [
+        {"time_s": t, "malicious_fraction": round(v, 4)} for t, v in result.malicious_fraction_series
+    ]
+    print(format_table(["time_s", "malicious_fraction"], [[r["time_s"], r["malicious_fraction"]] for r in rows]))
+    print(
+        f"identified malicious={result.identified_malicious} honest={result.identified_honest} "
+        f"FP={result.false_positive_rate:.4f} FN={result.false_negative_rate:.4f} "
+        f"FA={result.false_alarm_rate:.4f} lookups={result.total_lookups} biased={result.total_biased_lookups}"
+    )
+    return 0
+
+
+def _run_anonymity(args) -> int:
+    config = AnonymityExperimentConfig(
+        n_nodes=args.nodes,
+        fractions_malicious=(args.malicious,),
+        dummy_counts=(args.dummies,),
+        concurrent_lookup_rates=(args.alpha,),
+        n_worlds=args.worlds,
+        seed=args.seed,
+    )
+    experiment = AnonymityExperiment(config)
+    octopus = experiment.run_octopus()
+    comparison = experiment.run_comparison(alpha=args.alpha)
+    rows = []
+    for p in octopus + comparison:
+        rows.append([p.scheme, p.fraction_malicious, round(p.initiator_entropy, 2), round(p.initiator_leak, 2),
+                     round(p.target_entropy, 2), round(p.target_leak, 2)])
+    print(format_table(["scheme", "f", "H(I)", "leak(I)", "H(T)", "leak(T)"], rows))
+    return 0
+
+
+def _run_efficiency(args) -> int:
+    from .core.config import OctopusConfig
+
+    config = EfficiencyExperimentConfig(
+        n_nodes=args.nodes,
+        lookups_per_scheme=args.lookups,
+        seed=args.seed,
+        octopus=OctopusConfig(expected_network_size=args.nodes),
+    )
+    result = EfficiencyExperiment(config).run()
+    rows = result.table3_rows()
+    headers = list(rows[0].keys())
+    print(format_table(headers, [[row[h] for h in headers] for row in rows], title="Table 3"))
+    return 0
+
+
+def _run_timing(args) -> int:
+    config = TimingExperimentConfig(max_candidate_flows=args.flows)
+    result = TimingExperiment(config).run()
+    rows = result.table1_rows()
+    headers = list(rows[0].keys())
+    print(format_table(headers, [[row.get(h, "") for h in headers] for row in rows], title="Table 1"))
+    print(f"max residual information leak: {result.max_information_leak():.3f} bit")
+    return 0
+
+
+def _run_ablation(args) -> int:
+    config = AblationConfig(n_nodes=args.nodes, fraction_malicious=args.malicious, n_worlds=args.worlds)
+    result = AnonymityAblation(config).run()
+    rows = [[p.variant, p.relay_pairs, p.dummy_queries, round(p.target_entropy, 2), round(p.target_leak, 2)]
+            for p in result.points]
+    print(format_table(["variant", "relay_pairs", "dummies", "H(T)", "leak(T)"], rows, title="Section 4.2 ablation"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "security": _run_security,
+        "anonymity": _run_anonymity,
+        "efficiency": _run_efficiency,
+        "timing": _run_timing,
+        "ablation": _run_ablation,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""The Octopus protocol — the paper's primary contribution.
+
+Anonymous multi-path lookups with dummy queries, two-phase random walks for
+relay selection, secret neighbor / finger surveillance, secure finger
+updates, the selective-DoS defense and the CA-side attacker-identification
+procedures, assembled behind the :class:`OctopusNetwork` facade.
+"""
+
+from .anonymous_lookup import AnonymousLookupProtocol, OctopusLookupResult
+from .anonymous_path import AnonymousPath, AnonymousQueryResult, QueryObservation
+from .attacker_identification import (
+    AttackerIdentificationService,
+    DropReport,
+    FingerReport,
+    IdentificationStats,
+    Judgement,
+    NeighborReport,
+)
+from .config import PAPER_EFFICIENCY_CONFIG, PAPER_SECURITY_CONFIG, OctopusConfig
+from .dos_defense import DosDefense, Receipt, WitnessStatement
+from .octopus_node import OctopusNetwork, OctopusNode
+from .random_walk import RandomWalkProtocol, RandomWalkResult, RelayPair
+from .secure_update import FingerUpdateOutcome, SecureFingerUpdate
+from .surveillance import (
+    SecretFingerSurveillance,
+    SecretNeighborSurveillance,
+    SurveillanceOutcome,
+)
+
+__all__ = [
+    "AnonymousLookupProtocol",
+    "OctopusLookupResult",
+    "AnonymousPath",
+    "AnonymousQueryResult",
+    "QueryObservation",
+    "AttackerIdentificationService",
+    "DropReport",
+    "FingerReport",
+    "IdentificationStats",
+    "Judgement",
+    "NeighborReport",
+    "PAPER_EFFICIENCY_CONFIG",
+    "PAPER_SECURITY_CONFIG",
+    "OctopusConfig",
+    "DosDefense",
+    "Receipt",
+    "WitnessStatement",
+    "OctopusNetwork",
+    "OctopusNode",
+    "RandomWalkProtocol",
+    "RandomWalkResult",
+    "RelayPair",
+    "FingerUpdateOutcome",
+    "SecureFingerUpdate",
+    "SecretFingerSurveillance",
+    "SecretNeighborSurveillance",
+    "SurveillanceOutcome",
+]

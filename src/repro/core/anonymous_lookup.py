@@ -1,0 +1,253 @@
+"""The Octopus anonymous lookup: multiple anonymous paths plus dummy queries.
+
+Section 4.2: a single anonymous path is not enough — if every query of a
+lookup exits through the same relay, an adversary can link the observed
+queries, apply the range-estimation attack and recover the target.  Octopus
+therefore
+
+* builds a shared entry pair ``(A, B)`` and a *separate* pair ``(C_i, D_i)``
+  for each query of a lookup (Figure 1(b)), and
+* injects dummy queries to random identifiers so the adversary cannot tell
+  which observed queries constrain the real target.
+
+The lookup itself is the customised iterative Chord walk of Section 4.3: each
+queried node returns its full routing table (fingers + successor list), so
+the key is never revealed, and the lookup terminates when a returned
+successor succeeds the key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..chord.lookup import LookupResult
+from ..chord.ring import ChordRing
+from ..chord.routing_table import BoundChecker
+from ..sim.latency import LatencyModel
+from .anonymous_path import AnonymousPath, AnonymousQueryResult, QueryObservation
+from .config import OctopusConfig
+from .random_walk import RandomWalkProtocol, RelayPair
+
+
+@dataclass
+class OctopusLookupResult(LookupResult):
+    """Outcome of an anonymous Octopus lookup.
+
+    Extends the plain :class:`~repro.chord.lookup.LookupResult` with the
+    relay structure, per-query observations (for the anonymity analysis), the
+    accumulated latency, dummy-query bookkeeping and drop reports for the
+    selective-DoS defense.
+    """
+
+    first_pair: Optional[RelayPair] = None
+    query_pairs: List[RelayPair] = field(default_factory=list)
+    observations: List[QueryObservation] = field(default_factory=list)
+    dummy_targets: List[int] = field(default_factory=list)
+    latency: float = 0.0
+    dropped_queries: int = 0
+    drop_culprits: List[int] = field(default_factory=list)
+    messages_sent: int = 0
+
+
+class AnonymousLookupProtocol:
+    """Performs Octopus lookups for any initiator on a ring.
+
+    Parameters
+    ----------
+    ring:
+        The network.
+    config:
+        Protocol parameters (relay pairs per lookup, dummies, intervals).
+    rng:
+        Random source.
+    latency_model:
+        Optional latency model; when given, per-query latencies are summed so
+        efficiency experiments obtain end-to-end lookup latency.
+    random_walker:
+        Relay-selection protocol; by default a fresh
+        :class:`~repro.core.random_walk.RandomWalkProtocol` over the ring.
+    """
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        config: Optional[OctopusConfig] = None,
+        rng=None,
+        latency_model: Optional[LatencyModel] = None,
+        random_walker: Optional[RandomWalkProtocol] = None,
+    ) -> None:
+        from ..sim.rng import RandomSource
+
+        self.ring = ring
+        self.config = config or OctopusConfig()
+        self.rng = rng or RandomSource(0)
+        self.latency_model = latency_model
+        self.random_walker = random_walker or RandomWalkProtocol(ring, self.config, self.rng)
+        self.bound_checker = BoundChecker(
+            ring.space,
+            expected_network_size=self.config.expected_network_size,
+            tolerance_factor=self.config.bound_check_tolerance,
+        )
+
+    # --------------------------------------------------------------- relays
+    def select_relay_pairs(self, initiator_id: int, count: int, now: float = 0.0) -> List[RelayPair]:
+        """Select ``count`` relay pairs via independent two-phase random walks."""
+        pairs: List[RelayPair] = []
+        attempts = 0
+        while len(pairs) < count and attempts < count * 4:
+            attempts += 1
+            walk = self.random_walker.perform(initiator_id, now=now)
+            if walk.succeeded and walk.relay_pair is not None:
+                pairs.append(walk.relay_pair)
+        return pairs
+
+    # ---------------------------------------------------------------- lookup
+    def lookup(
+        self,
+        initiator_id: int,
+        key: int,
+        now: float = 0.0,
+        relay_pairs: Optional[List[RelayPair]] = None,
+        first_pair: Optional[RelayPair] = None,
+        with_dummies: bool = True,
+    ) -> OctopusLookupResult:
+        """Perform one anonymous lookup for ``key`` from ``initiator_id``.
+
+        Relay pairs may be passed in (the protocol normally pre-builds them on
+        the 15-second random-walk schedule); otherwise they are selected on
+        demand.
+        """
+        space = self.ring.space
+        initiator = self.ring.node(initiator_id)
+        result = OctopusLookupResult(
+            key=key,
+            initiator=initiator_id,
+            true_owner=self.ring.true_successor(key),
+        )
+
+        needed = self.config.relay_pairs_per_lookup + 1
+        pairs = list(relay_pairs) if relay_pairs else []
+        if first_pair is not None:
+            pairs.insert(0, first_pair)
+        if len(pairs) < needed:
+            pairs.extend(self.select_relay_pairs(initiator_id, needed - len(pairs), now=now))
+        if not pairs:
+            result.succeeded = False
+            return result
+        result.first_pair = pairs[0]
+        query_pairs = pairs[1:] if len(pairs) > 1 else [pairs[0]]
+        result.query_pairs = list(query_pairs)
+
+        # Greedy iterative lookup; query i travels through pair i (cycling if
+        # the lookup needs more hops than pre-built pairs).
+        visited: set = set()
+        current = self._first_hop(initiator, key)
+        max_hops = 2 * space.bits
+        pair_index = 0
+        while current is not None and result.hops < max_hops:
+            if current in visited:
+                break
+            visited.add(current)
+            pair = query_pairs[pair_index % len(query_pairs)]
+            pair_index += 1
+            path = AnonymousPath(
+                self.ring,
+                initiator_id,
+                first_pair=result.first_pair,
+                second_pair=pair,
+                config=self.config,
+                rng=self.rng,
+                latency_model=self.latency_model,
+            )
+            query = path.send_query(current, purpose="anonymous-lookup", now=now)
+            result.messages_sent += 1
+            result.latency += query.latency
+            if query.observation is not None:
+                result.observations.append(query.observation)
+            if query.dropped:
+                result.dropped_queries += 1
+                if query.drop_culprit is not None:
+                    result.drop_culprits.append(query.drop_culprit)
+                # Retry the same target through the next pair.
+                continue
+
+            node = self.ring.get(current)
+            result.path.append(current)
+            result.hops += 1
+            if node is not None and node.malicious:
+                result.malicious_queried.append(current)
+
+            table = query.table
+            if table is None:
+                break
+            check = self.bound_checker.check(table)
+            if not check.passed:
+                # Treat a bound-check failure like a dead end: skip this node.
+                next_hop = None
+            else:
+                initiator.buffer_fingertable(table)
+                claimed_successor = table.immediate_successor()
+                if claimed_successor is not None and space.in_interval(
+                    key, table.owner_id, claimed_successor, inclusive_end=True
+                ):
+                    result.result = claimed_successor
+                    result.succeeded = True
+                    break
+                next_hop = table.closest_preceding(key, space, exclude=visited)
+                if next_hop is None:
+                    result.result = claimed_successor
+                    result.succeeded = claimed_successor is not None
+                    break
+            if next_hop is None:
+                break
+            current = next_hop
+
+        result.biased = result.succeeded and result.result != result.true_owner
+
+        # Dummy queries: sent to uniformly random identifiers through their
+        # own anonymous paths, indistinguishable from real queries.
+        if with_dummies and self.config.dummy_queries > 0:
+            self._send_dummies(initiator_id, result, now)
+        return result
+
+    # -------------------------------------------------------------- internals
+    def _first_hop(self, initiator, key: int) -> Optional[int]:
+        space = self.ring.space
+        candidates = initiator.routing_nodes()
+        best = None
+        best_dist = None
+        for nid in candidates:
+            if not space.in_interval(nid, initiator.node_id, key):
+                continue
+            d = space.distance(nid, key)
+            if best_dist is None or d < best_dist:
+                best, best_dist = nid, d
+        if best is None:
+            return initiator.successor
+        return best
+
+    def _send_dummies(self, initiator_id: int, result: OctopusLookupResult, now: float) -> None:
+        stream = self.rng.stream("dummy-queries")
+        pairs = result.query_pairs or ([result.first_pair] if result.first_pair else [])
+        if not pairs:
+            return
+        for i in range(self.config.dummy_queries):
+            target = self.ring.random_alive_id(stream)
+            if target is None:
+                return
+            result.dummy_targets.append(target)
+            pair = pairs[(result.hops + i) % len(pairs)]
+            path = AnonymousPath(
+                self.ring,
+                initiator_id,
+                first_pair=result.first_pair,
+                second_pair=pair,
+                config=self.config,
+                rng=self.rng,
+                latency_model=self.latency_model,
+            )
+            query = path.send_query(target, purpose="anonymous-lookup", now=now, is_dummy=True)
+            result.messages_sent += 1
+            if query.observation is not None:
+                result.observations.append(query.observation)

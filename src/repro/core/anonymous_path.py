@@ -1,0 +1,224 @@
+"""Anonymous paths and anonymous queries.
+
+An Octopus lookup never contacts intermediate DHT nodes directly.  Queries
+travel through an anonymous path (Figure 1): the initiator ``I`` is connected
+to a first relay pair ``(A, B)``; each individual query ``i`` additionally
+traverses its own pair ``(C_i, D_i)``, and the queried node ``E_i`` only ever
+sees the exit relay ``D_i``.  Onion encryption ensures no single relay knows
+both endpoints, and the middle relay ``B`` adds a short random delay to break
+end-to-end timing correlation (Section 4.7).
+
+This module models the path at the granularity the simulators need: which
+relays carried a query, which of them are malicious, who the queried node
+perceives as the requester, how long the round trip took, and whether a relay
+dropped the message (selective-DoS behaviour hook).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..chord.ring import ChordRing
+from ..chord.routing_table import RoutingTableSnapshot
+from ..crypto.onion import OnionPacket, derive_layer_key
+from ..sim.latency import LatencyModel
+from .config import OctopusConfig
+from .random_walk import RelayPair
+
+
+@dataclass
+class QueryObservation:
+    """What the adversary can see about one anonymous query (analysis helper).
+
+    ``queried_is_malicious`` or ``exit_relay_is_malicious`` means the query is
+    *observed*; linkability back to the initiator depends on which relays on
+    the path are compromised (Section 6.1).
+    """
+
+    queried_node: int
+    exit_relay: Optional[int]
+    observed: bool
+    linkable_to_initiator: bool
+    linkable_to_b: bool
+    is_dummy: bool = False
+    time: float = 0.0
+
+
+@dataclass
+class AnonymousQueryResult:
+    """Outcome of sending one query through an anonymous path."""
+
+    queried_node: int
+    table: Optional[RoutingTableSnapshot]
+    dropped: bool
+    drop_culprit: Optional[int] = None
+    latency: float = 0.0
+    relays: Tuple[int, ...] = ()
+    observation: Optional[QueryObservation] = None
+
+
+class AnonymousPath:
+    """A concrete anonymous path ``I -> A -> B -> C_i -> D_i -> E_i``.
+
+    Parameters
+    ----------
+    ring:
+        The network (used to resolve relay nodes and their behaviours).
+    initiator_id:
+        The initiator ``I``.
+    first_pair:
+        The shared relay pair ``(A, B)`` used by every query of a lookup.
+    second_pair:
+        The per-query relay pair ``(C_i, D_i)``; ``None`` models the degenerate
+        single-pair configuration (used for ablations).
+    config:
+        Protocol parameters (notably ``max_relay_delay`` added at ``B``).
+    rng:
+        Random source for the middle-relay delay (stream ``"relay-delay"``).
+    latency_model:
+        Optional latency model; when provided, per-hop latencies are sampled
+        and summed so the efficiency experiments get realistic round trips.
+    """
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        initiator_id: int,
+        first_pair: RelayPair,
+        second_pair: Optional[RelayPair],
+        config: OctopusConfig,
+        rng,
+        latency_model: Optional[LatencyModel] = None,
+    ) -> None:
+        self.ring = ring
+        self.initiator_id = initiator_id
+        self.first_pair = first_pair
+        self.second_pair = second_pair
+        self.config = config
+        self.rng = rng
+        self.latency_model = latency_model
+
+    # ----------------------------------------------------------------- relays
+    def relay_ids(self) -> List[int]:
+        """Relays in forwarding order (A, B, then C_i, D_i when present)."""
+        relays = [self.first_pair.first, self.first_pair.second]
+        if self.second_pair is not None:
+            relays.extend([self.second_pair.first, self.second_pair.second])
+        return relays
+
+    @property
+    def exit_relay(self) -> int:
+        """The relay the queried node sees as the message source."""
+        return self.relay_ids()[-1]
+
+    def build_onion(self, queried_node: int, payload: Dict) -> OnionPacket:
+        """Build the layered onion for this path (exercised by crypto tests)."""
+        relays = self.relay_ids() + [queried_node]
+        keys = [derive_layer_key(self.initiator_id, i) for i in range(len(relays))]
+        return OnionPacket.build(relays, keys, payload)
+
+    # ------------------------------------------------------------------ query
+    def send_query(
+        self,
+        queried_node_id: int,
+        purpose: str = "anonymous-lookup",
+        now: float = 0.0,
+        is_dummy: bool = False,
+    ) -> AnonymousQueryResult:
+        """Send one (possibly dummy) query to ``queried_node_id`` via this path."""
+        relays = self.relay_ids()
+        latency = 0.0
+        jitter_rng = self.rng.stream("relay-delay")
+
+        # Forward direction: I -> A -> B -> C -> D -> E, each hop may drop.
+        hop_sequence = [self.initiator_id] + relays + [queried_node_id]
+        for idx in range(len(hop_sequence) - 1):
+            src, dst = hop_sequence[idx], hop_sequence[idx + 1]
+            if self.latency_model is not None:
+                latency += self.latency_model.sample_delay(src, dst, jitter_rng)
+            relay_node = self.ring.get(dst)
+            if relay_node is None or not relay_node.alive:
+                return AnonymousQueryResult(
+                    queried_node=queried_node_id,
+                    table=None,
+                    dropped=True,
+                    drop_culprit=None,
+                    latency=latency,
+                    relays=tuple(relays),
+                )
+            if dst != queried_node_id and relay_node.wants_to_drop(
+                purpose, {"initiator_adjacent": idx == 0, "relays": relays}, now
+            ):
+                return AnonymousQueryResult(
+                    queried_node=queried_node_id,
+                    table=None,
+                    dropped=True,
+                    drop_culprit=dst,
+                    latency=latency,
+                    relays=tuple(relays),
+                )
+            # The middle relay B adds a random delay to break timing analysis.
+            if dst == self.first_pair.second and self.config.max_relay_delay > 0:
+                latency += jitter_rng.uniform(0.0, self.config.max_relay_delay)
+
+        queried = self.ring.get(queried_node_id)
+        table = queried.respond_routing_table(self.exit_relay, purpose=purpose, now=now)
+
+        # Return direction retraces the path.
+        for idx in range(len(hop_sequence) - 1, 0, -1):
+            src, dst = hop_sequence[idx], hop_sequence[idx - 1]
+            if self.latency_model is not None:
+                latency += self.latency_model.sample_delay(src, dst, jitter_rng)
+
+        observation = self._observe(queried_node_id, is_dummy=is_dummy, now=now)
+        return AnonymousQueryResult(
+            queried_node=queried_node_id,
+            table=table,
+            dropped=False,
+            latency=latency,
+            relays=tuple(relays),
+            observation=observation,
+        )
+
+    # ------------------------------------------------------------ observation
+    def _observe(self, queried_node_id: int, is_dummy: bool, now: float) -> QueryObservation:
+        """Derive the adversary's view of this query (Section 6.1).
+
+        A query is *observed* when the queried node or the exit relay is
+        malicious.  It is *linkable to I* when there is a chain of malicious
+        relays connecting the observation point back to the initiator, or the
+        exit relay was already linkable to I through the random walk (the
+        random-walk linkability is handled by the anonymity estimators; here
+        we only use direct relay-chain linkability).
+        """
+        is_mal = self.ring.is_malicious
+        relays = self.relay_ids()
+        queried_mal = is_mal(queried_node_id)
+        exit_mal = is_mal(self.exit_relay)
+        observed = queried_mal or exit_mal
+
+        a_mal = is_mal(self.first_pair.first)
+        b_mal = is_mal(self.first_pair.second)
+        c_mal = is_mal(self.second_pair.first) if self.second_pair is not None else b_mal
+
+        linkable_to_initiator = False
+        linkable_to_b = False
+        if observed:
+            # Queries of the same lookup share the relay B; an observation can
+            # be grouped under B when the relay adjacent to B on this query's
+            # side (C_i) is malicious and reveals B's identity.
+            linkable_to_b = c_mal or b_mal
+            # Linking back to the initiator needs the entry relay A (which is
+            # the only relay that sees I) plus a malicious bridge to it: either
+            # C_i (A and C_i both see B — the paper's example) or B itself.
+            linkable_to_initiator = a_mal and (c_mal or b_mal)
+        return QueryObservation(
+            queried_node=queried_node_id,
+            exit_relay=self.exit_relay,
+            observed=observed,
+            linkable_to_initiator=linkable_to_initiator,
+            linkable_to_b=linkable_to_b,
+            is_dummy=is_dummy,
+            time=now,
+        )

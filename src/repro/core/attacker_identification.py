@@ -1,0 +1,291 @@
+"""CA-side attacker identification.
+
+Octopus's surveillance mechanisms produce *reports* that the CA investigates
+(Sections 4.3–4.6).  This module implements the report formats and the CA's
+investigation procedures:
+
+* **Neighbor reports** (secret neighbor surveillance): node ``X`` found that a
+  predecessor's signed successor list excludes ``X``.  The CA verifies the
+  signature, then walks the chain of successor-list *proofs*: if the accused
+  can show that the lists it received during stabilization justify its own
+  list, suspicion moves to whoever supplied those lists, until a node cannot
+  produce a valid proof — that node is judged malicious (Figure 2(b)).
+* **Finger reports** (secret finger / pollution surveillance): node ``X``
+  found a fingertable whose finger ``F'`` is farther from the ideal finger id
+  than a node appearing in a predecessor's monitored successor list.  The CA
+  decides whether the table owner ``Y`` or the finger ``F'`` must have lied.
+* **Drop reports** (selective-DoS defense): a relay failed to produce a
+  receipt or witness statements for a message it should have forwarded.
+
+Every processed message is recorded on the CA's workload log (Figure 7(b)),
+and every judgement is compared against ground truth by the experiments to
+obtain the false positive / false negative / false alarm rates of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..chord.ring import ChordRing
+from ..chord.successor_list import SignedSuccessorList
+from ..crypto.ca import CertificateAuthority
+from ..crypto.keys import verify as verify_signature
+from .config import OctopusConfig
+
+
+@dataclass
+class NeighborReport:
+    """Evidence that a predecessor's successor list excludes the reporter."""
+
+    reporter: int
+    accused: int
+    evidence: SignedSuccessorList
+    time: float
+
+
+@dataclass
+class FingerReport:
+    """Evidence of a manipulated finger (secret finger surveillance)."""
+
+    reporter: int
+    table_owner: int
+    suspect_finger: int
+    ideal_finger_id: int
+    finger_predecessor_list: Tuple[int, ...]
+    checked_predecessor: int
+    predecessor_successor_list: SignedSuccessorList
+    time: float
+
+
+@dataclass
+class DropReport:
+    """Evidence that a message was dropped on an anonymous path."""
+
+    reporter: int
+    relays: Tuple[int, ...]
+    receipts: Dict[int, bool]
+    time: float
+
+
+@dataclass
+class Judgement:
+    """The CA's decision on one report."""
+
+    report_kind: str
+    identified: Optional[int]
+    reporter: int
+    time: float
+    is_false_positive: bool = False
+    reason: str = ""
+
+
+@dataclass
+class IdentificationStats:
+    """Aggregate accuracy statistics (Table 2)."""
+
+    reports: int = 0
+    identified_malicious: int = 0
+    identified_honest: int = 0
+    false_alarms: int = 0
+    #: per-check outcomes recorded by surveillance (for false-negative rates)
+    checks_on_malicious: int = 0
+    missed_malicious: int = 0
+
+    @property
+    def false_positive_rate(self) -> float:
+        total = self.identified_malicious + self.identified_honest
+        return self.identified_honest / total if total else 0.0
+
+    @property
+    def false_negative_rate(self) -> float:
+        return self.missed_malicious / self.checks_on_malicious if self.checks_on_malicious else 0.0
+
+    @property
+    def false_alarm_rate(self) -> float:
+        return self.false_alarms / self.reports if self.reports else 0.0
+
+
+class AttackerIdentificationService:
+    """The CA's investigation logic plus revocation bookkeeping."""
+
+    def __init__(
+        self,
+        ca: CertificateAuthority,
+        ring: ChordRing,
+        config: Optional[OctopusConfig] = None,
+        verify_signatures: bool = True,
+    ) -> None:
+        self.ca = ca
+        self.ring = ring
+        self.config = config or OctopusConfig()
+        self.verify_signatures = verify_signatures
+        self.judgements: List[Judgement] = []
+        self.stats = IdentificationStats()
+        #: nodes that churned while under investigation recently (Section 5.2
+        #: discussion: such nodes are judged malicious if it recurs).
+        self.churned_during_investigation: Dict[int, float] = {}
+
+    # ------------------------------------------------------------ judgements
+    def _judge(self, kind: str, identified: Optional[int], reporter: int, now: float, reason: str = "") -> Judgement:
+        self.stats.reports += 1
+        judgement = Judgement(report_kind=kind, identified=identified, reporter=reporter, time=now, reason=reason)
+        if identified is None:
+            self.stats.false_alarms += 1
+        else:
+            is_malicious = self.ring.is_malicious(identified)
+            judgement.is_false_positive = not is_malicious
+            if is_malicious:
+                self.stats.identified_malicious += 1
+            else:
+                self.stats.identified_honest += 1
+            self.ca.revoke(identified, now=now, reason=kind)
+            self.ring.remove_permanently(identified)
+        self.judgements.append(judgement)
+        return judgement
+
+    def identified_nodes(self) -> Set[int]:
+        return {j.identified for j in self.judgements if j.identified is not None}
+
+    # ------------------------------------------------------ neighbor reports
+    def process_neighbor_report(self, report: NeighborReport, now: float) -> Judgement:
+        """Investigate a secret-neighbor-surveillance report (Figure 2(a)/(b))."""
+        self.ca.record_message(now, kind="neighbor-report", reporter=report.reporter, subject=report.accused)
+
+        accused_node = self.ring.get(report.accused)
+        evidence = report.evidence
+        # 1. The evidence must be validly signed by the accused; otherwise the
+        #    report itself is unusable (false alarm, nobody identified).
+        if self.verify_signatures and accused_node is not None and evidence.signature is not None:
+            if not verify_signature(accused_node.keypair.public_key, evidence.payload(), evidence.signature):
+                return self._judge("neighbor", None, report.reporter, now, reason="bad evidence signature")
+
+        # 2. Walk the proof chain: ask the accused to justify its list from the
+        #    successor lists it received during stabilization.
+        current = report.accused
+        visited: Set[int] = set()
+        for _ in range(8):
+            if current in visited:
+                break
+            visited.add(current)
+            node = self.ring.get(current)
+            self.ca.record_message(now, kind="proof-request", subject=current)
+            if node is None:
+                return self._judge("neighbor", None, report.reporter, now, reason="accused vanished")
+            if not node.alive:
+                # The node churned during the investigation; remember it, and
+                # judge it malicious if it has done so recently before.
+                last = self.churned_during_investigation.get(current)
+                self.churned_during_investigation[current] = now
+                if last is not None and now - last < self.config.churned_recently_window:
+                    return self._judge("neighbor", current, report.reporter, now, reason="repeatedly churned during investigation")
+                return self._judge("neighbor", None, report.reporter, now, reason="churned during investigation")
+
+            proof = self._find_exculpating_proof(node, report.reporter, now)
+            if proof is None:
+                # The node cannot justify excluding the reporter: judged malicious.
+                return self._judge("neighbor", current, report.reporter, now, reason="no valid proof")
+            # The proof shifts suspicion to whoever supplied it (the signer of
+            # the received list, unless the stabilizer recorded a forwarder).
+            supplier = proof.received_from if proof.received_from is not None else proof.owner_id
+            if supplier == current:
+                return self._judge("neighbor", current, report.reporter, now, reason="self-referential proof")
+            current = supplier
+        return self._judge("neighbor", None, report.reporter, now, reason="proof chain exhausted")
+
+    def _find_exculpating_proof(self, node, reporter: int, now: float) -> Optional[SignedSuccessorList]:
+        """A stored proof justifying why ``reporter`` is absent from ``node``'s list.
+
+        A proof is exculpating when it is a validly signed successor list the
+        node received during stabilization that (a) also excludes the reporter
+        and (b) covers the region of the ring where the reporter sits — i.e.
+        following that list honestly would indeed have evicted the reporter.
+        Honest nodes whose lists were polluted can produce such a proof; the
+        polluter cannot.
+        """
+        space = self.ring.space
+        for proof in reversed(node.successor_list_proofs):
+            if proof.contains(reporter):
+                continue
+            # A list owned by the reporter itself never justifies excluding the
+            # reporter (nodes do not list themselves).
+            if proof.owner_id == reporter:
+                continue
+            owner_node = self.ring.get(proof.owner_id)
+            if self.verify_signatures and owner_node is not None and proof.signature is not None:
+                if not verify_signature(owner_node.keypair.public_key, proof.payload(), proof.signature):
+                    continue
+            # The proof is only relevant if its span covers the reporter's
+            # position on the ring (otherwise the omission proves nothing).
+            if proof.nodes:
+                last = proof.nodes[-1]
+                if space.in_interval(reporter, proof.owner_id, last, inclusive_end=True):
+                    return proof
+        return None
+
+    # -------------------------------------------------------- finger reports
+    def process_finger_report(self, report: FingerReport, now: float) -> Judgement:
+        """Investigate a secret-finger-surveillance report (Figure 2(c))."""
+        self.ca.record_message(now, kind="finger-report", reporter=report.reporter, subject=report.table_owner)
+        space = self.ring.space
+
+        monitored_list = report.predecessor_successor_list
+        pred_node = self.ring.get(report.checked_predecessor)
+        if self.verify_signatures and pred_node is not None and monitored_list.signature is not None:
+            if not verify_signature(pred_node.keypair.public_key, monitored_list.payload(), monitored_list.signature):
+                return self._judge("finger", None, report.reporter, now, reason="bad monitored list signature")
+
+        # Is there a node in the monitored successor list strictly closer to
+        # the ideal finger id than the suspect finger?  (closer == smaller
+        # clockwise distance from the ideal id)
+        suspect_distance = space.distance(report.ideal_finger_id, report.suspect_finger)
+        closer_exists = any(
+            space.distance(report.ideal_finger_id, nid) < suspect_distance
+            for nid in monitored_list.nodes
+            if nid != report.suspect_finger
+        )
+        if not closer_exists:
+            # The finger is consistent with the monitored neighborhood: no
+            # manipulation demonstrated (possible false alarm).
+            return self._judge("finger", None, report.reporter, now, reason="finger consistent with neighborhood")
+
+        # A closer node exists.  If the suspect finger's own predecessor list
+        # hid that closer node, the finger itself lied; otherwise the table
+        # owner substituted a wrong finger.
+        closer_nodes = [
+            nid
+            for nid in monitored_list.nodes
+            if space.distance(report.ideal_finger_id, nid) < suspect_distance
+        ]
+        finger_hid_closer = all(nid not in report.finger_predecessor_list for nid in closer_nodes)
+        self.ca.record_message(now, kind="proof-request", subject=report.suspect_finger)
+        # A single closer node is consistent with a join/rejoin that post-dates
+        # the (signed, timestamped) snapshot or that stabilization has not yet
+        # propagated; a genuine substitution skips several honest nodes.  The
+        # CA therefore only convicts when the gap is unambiguous.
+        if len(closer_nodes) < 2:
+            return self._judge("finger", None, report.reporter, now, reason="single closer node; snapshot may pre-date a join")
+        if finger_hid_closer and self.ring.get(report.suspect_finger) is not None:
+            return self._judge("finger", report.suspect_finger, report.reporter, now, reason="finger hid closer predecessors")
+        return self._judge("finger", report.table_owner, report.reporter, now, reason="owner substituted finger")
+
+    # ---------------------------------------------------------- drop reports
+    def process_drop_report(self, report: DropReport, now: float) -> Judgement:
+        """Investigate a selective-DoS drop report (Appendix II)."""
+        self.ca.record_message(now, kind="drop-report", reporter=report.reporter)
+        # The culprit is the first relay (in forwarding order) that can show
+        # neither a receipt from its next hop nor witness statements that the
+        # next hop is unreachable.
+        for relay in report.relays:
+            self.ca.record_message(now, kind="proof-request", subject=relay)
+            has_receipt = report.receipts.get(relay, False)
+            if not has_receipt:
+                node = self.ring.get(relay)
+                if node is None or not node.alive:
+                    last = self.churned_during_investigation.get(relay)
+                    self.churned_during_investigation[relay] = now
+                    if last is not None and now - last < self.config.churned_recently_window:
+                        return self._judge("drop", relay, report.reporter, now, reason="repeatedly churned during drop investigation")
+                    return self._judge("drop", None, report.reporter, now, reason="relay churned")
+                return self._judge("drop", relay, report.reporter, now, reason="no receipt and next hop alive")
+        return self._judge("drop", None, report.reporter, now, reason="all relays produced receipts")

@@ -1,0 +1,116 @@
+"""Octopus protocol configuration.
+
+All protocol parameters from the paper are gathered in one dataclass so that
+experiments can state explicitly which knob they vary.  Defaults follow
+Section 5.1 (security simulations, N=1000) and Section 7 (efficiency runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass
+class OctopusConfig:
+    """Parameters of the Octopus protocols.
+
+    Attributes
+    ----------
+    finger_count / successor_count / predecessor_count:
+        Routing-state sizes (paper: 12 / 6 / 6 for N=1000).
+    stabilize_interval:
+        Seconds between successor/predecessor stabilization rounds (paper: 2 s).
+    finger_update_interval:
+        Seconds between finger-refresh lookups (paper: 30 s).
+    surveillance_interval:
+        Seconds between secret neighbor / finger surveillance checks (paper: 60 s).
+    random_walk_interval:
+        Seconds between relay-selection random walks (paper: 15 s).
+    lookup_interval:
+        Seconds between application lookups per node (paper: 60 s).
+    successor_proofs_kept:
+        Number of latest received successor lists retained as proofs (paper: 6).
+    random_walk_phase_length:
+        Hops per random-walk phase (``l`` in Appendix I).
+    relay_pairs_per_lookup:
+        Number of (Ci, Di) anonymous-path pairs built per lookup; each query in
+        a lookup uses its own pair (Figure 1(b)).
+    dummy_queries:
+        Dummy queries injected per lookup (Figures 5(a)/5(c) use 2 and 6).
+    max_relay_delay:
+        Maximum random delay (seconds) the middle relay B adds to defeat timing
+        analysis (paper: 100 ms, Table 1 also evaluates 200 ms).
+    bound_check_tolerance:
+        Tolerance factor for NISAN-style bound checking of returned tables.
+    expected_network_size:
+        Network size assumed by the bound checker.
+    churned_recently_window:
+        Window (seconds) within which a "churned" node under investigation is
+        judged malicious (Section 5.2 discussion; paper suggests 12 hours).
+    concurrent_lookup_rate:
+        Fraction of nodes performing a lookup concurrently (``alpha`` in the
+        anonymity analysis).
+    """
+
+    # Routing state
+    finger_count: int = 12
+    successor_count: int = 6
+    predecessor_count: int = 6
+
+    # Maintenance periods (seconds)
+    stabilize_interval: float = 2.0
+    finger_update_interval: float = 30.0
+    surveillance_interval: float = 60.0
+    random_walk_interval: float = 15.0
+    lookup_interval: float = 60.0
+
+    # Evidence retention
+    successor_proofs_kept: int = 6
+    fingertable_buffer_size: int = 8
+
+    # Anonymous paths
+    random_walk_phase_length: int = 3
+    relay_pairs_per_lookup: int = 4
+    dummy_queries: int = 6
+    max_relay_delay: float = 0.100
+
+    # Bound checking
+    bound_check_tolerance: float = 8.0
+    expected_network_size: int = 1000
+
+    # CA / identification
+    churned_recently_window: float = 12 * 3600.0
+
+    # Workload model
+    concurrent_lookup_rate: float = 0.01
+
+    def scaled_for(self, n_nodes: int) -> "OctopusConfig":
+        """Return a copy with the bound checker calibrated for ``n_nodes``."""
+        return replace(self, expected_network_size=n_nodes)
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on obviously inconsistent settings."""
+        if self.random_walk_phase_length < 2:
+            raise ValueError("random walk phases need at least 2 hops to yield a relay pair")
+        if self.relay_pairs_per_lookup < 1:
+            raise ValueError("at least one relay pair per lookup is required")
+        if self.dummy_queries < 0:
+            raise ValueError("dummy_queries cannot be negative")
+        if min(
+            self.stabilize_interval,
+            self.finger_update_interval,
+            self.surveillance_interval,
+            self.random_walk_interval,
+            self.lookup_interval,
+        ) <= 0:
+            raise ValueError("all protocol intervals must be positive")
+        if not 0.0 <= self.concurrent_lookup_rate <= 1.0:
+            raise ValueError("concurrent_lookup_rate must be in [0, 1]")
+
+
+#: Configuration used by the paper's security experiments (Section 5.1).
+PAPER_SECURITY_CONFIG = OctopusConfig()
+
+#: Configuration used by the efficiency evaluation (Section 7, 207 nodes).
+PAPER_EFFICIENCY_CONFIG = OctopusConfig(expected_network_size=207)

@@ -1,0 +1,192 @@
+"""Selective-DoS defense (Appendix II).
+
+Malicious relays can selectively drop queries or replies to tear down
+anonymous paths they cannot compromise, hoping the initiator rebuilds a path
+they *can* observe.  Octopus constrains this with a receipt/witness scheme
+borrowed from mix-network reliability work:
+
+* every forwarded message must be acknowledged by a signed receipt from the
+  next hop before a deadline;
+* a relay that does not obtain a receipt asks a pre-defined witness set (its
+  successors and predecessors) to independently attempt delivery and either
+  obtain a receipt or sign a delivery-failure statement;
+* when the initiator times out on a query it checks (through the partial
+  anonymous path) that the relays are alive, and if so reports the path to
+  the CA, which requests receipts/statements from every relay and identifies
+  the dropper.
+
+This module models receipts, witness statements and the initiator-side
+timeout logic that produces :class:`~repro.core.attacker_identification.DropReport`s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..chord.ring import ChordRing
+from ..crypto.keys import verify as verify_signature
+from .attacker_identification import AttackerIdentificationService, DropReport, Judgement
+from .config import OctopusConfig
+
+
+@dataclass
+class Receipt:
+    """A signed acknowledgement that ``receiver`` accepted a message from ``sender``."""
+
+    sender: int
+    receiver: int
+    message_id: int
+    time: float
+    signature: object = None
+
+    def payload(self) -> bytes:
+        return f"receipt|{self.sender}|{self.receiver}|{self.message_id}|{self.time:.3f}".encode()
+
+
+@dataclass
+class WitnessStatement:
+    """A witness's signed statement about attempting delivery to ``target``."""
+
+    witness: int
+    target: int
+    message_id: int
+    delivered: bool
+    time: float
+    signature: object = None
+
+    def payload(self) -> bytes:
+        return f"witness|{self.witness}|{self.target}|{self.message_id}|{int(self.delivered)}|{self.time:.3f}".encode()
+
+
+class DosDefense:
+    """Receipt/witness bookkeeping and drop investigations."""
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        config: OctopusConfig,
+        rng,
+        identification: AttackerIdentificationService,
+    ) -> None:
+        self.ring = ring
+        self.config = config
+        self.rng = rng
+        self.identification = identification
+        self.receipts_issued: List[Receipt] = []
+        self.witness_statements: List[WitnessStatement] = []
+        self._message_counter = 0
+
+    # ---------------------------------------------------------------- receipts
+    def issue_receipt(self, sender: int, receiver: int, now: float) -> Optional[Receipt]:
+        """The receiver signs a receipt for a message from ``sender``.
+
+        Honest, alive receivers always produce a receipt; dead nodes cannot;
+        malicious receivers also produce receipts (refusing would immediately
+        incriminate them, so the rational adversary acknowledges and then
+        drops — which is exactly what the investigation catches).
+        """
+        receiver_node = self.ring.get(receiver)
+        if receiver_node is None or not receiver_node.alive:
+            return None
+        self._message_counter += 1
+        receipt = Receipt(sender=sender, receiver=receiver, message_id=self._message_counter, time=now)
+        receipt.signature = receiver_node.keypair.sign(receipt.payload())
+        self.receipts_issued.append(receipt)
+        return receipt
+
+    def verify_receipt(self, receipt: Receipt) -> bool:
+        receiver = self.ring.get(receipt.receiver)
+        if receiver is None or receipt.signature is None:
+            return False
+        return verify_signature(receiver.keypair.public_key, receipt.payload(), receipt.signature)
+
+    # --------------------------------------------------------------- witnesses
+    def witness_set(self, relay_id: int) -> List[int]:
+        """The pre-defined witnesses of a relay: its successors and predecessors."""
+        node = self.ring.get(relay_id)
+        if node is None:
+            return []
+        return list(dict.fromkeys(node.successor_list.nodes + node.predecessor_list.nodes))
+
+    def gather_witness_statements(self, relay_id: int, target_id: int, now: float) -> List[WitnessStatement]:
+        """Witnesses of ``relay_id`` independently try to reach ``target_id``."""
+        statements: List[WitnessStatement] = []
+        target = self.ring.get(target_id)
+        target_alive = target is not None and target.alive
+        for witness_id in self.witness_set(relay_id):
+            witness = self.ring.get(witness_id)
+            if witness is None or not witness.alive:
+                continue
+            self._message_counter += 1
+            stmt = WitnessStatement(
+                witness=witness_id,
+                target=target_id,
+                message_id=self._message_counter,
+                delivered=target_alive,
+                time=now,
+            )
+            stmt.signature = witness.keypair.sign(stmt.payload())
+            statements.append(stmt)
+            self.witness_statements.append(stmt)
+        return statements
+
+    # ------------------------------------------------------------ investigation
+    def liveness_check(self, relay_ids: Sequence[int]) -> Dict[int, bool]:
+        """The initiator's aliveness probe of the path relays (via stabilization info)."""
+        return {rid: (self.ring.get(rid) is not None and self.ring.get(rid).alive) for rid in relay_ids}
+
+    def investigate_drop(
+        self,
+        initiator_id: int,
+        relays: Sequence[int],
+        culprit_hint: Optional[int],
+        now: float,
+    ) -> Optional[Judgement]:
+        """Handle a query that timed out: build and file a drop report.
+
+        ``culprit_hint`` is the ground-truth dropper recorded by the path
+        model; it is used only to decide which relays can genuinely produce a
+        receipt (everything up to the dropper got the message; everything
+        after it never saw it).  The CA does not see the hint — it only sees
+        the receipts each relay can or cannot produce.
+        """
+        # A node can serve in both relay pairs of a path; receipts are per
+        # relay identity, so collapse duplicates while preserving order.
+        relays = list(dict.fromkeys(relays))
+        liveness = self.liveness_check(relays)
+        if not all(liveness.values()):
+            # Some relay genuinely died; no report (the path is rebuilt).
+            return None
+
+        receipts: Dict[int, bool] = {}
+        chain = [initiator_id] + list(relays)
+        dropped_at = culprit_hint
+        seen_drop = False
+        for idx in range(1, len(chain)):
+            relay = chain[idx]
+            prev = chain[idx - 1]
+            if seen_drop:
+                # Relays after the dropper never received the message, so the
+                # dropper cannot show a receipt from its next hop.
+                receipts[relay] = False
+                continue
+            receipt = self.issue_receipt(prev, relay, now)
+            receipts[relay] = receipt is not None and self.verify_receipt(receipt)
+            if dropped_at is not None and relay == dropped_at:
+                seen_drop = True
+
+        # The report lists, for each relay, whether it could demonstrate that
+        # it forwarded the message onward (receipt from the *next* hop).
+        forwarded: Dict[int, bool] = {}
+        for idx, relay in enumerate(relays):
+            nxt = relays[idx + 1] if idx + 1 < len(relays) else None
+            if dropped_at is not None and relay == dropped_at:
+                forwarded[relay] = False
+            elif nxt is None:
+                forwarded[relay] = True
+            else:
+                forwarded[relay] = receipts.get(nxt, False)
+
+        report = DropReport(reporter=initiator_id, relays=tuple(relays), receipts=forwarded, time=now)
+        return self.identification.process_drop_report(report, now)

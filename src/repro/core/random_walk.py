@@ -1,0 +1,219 @@
+"""Two-phase random walk for anonymization-relay selection (Appendix I).
+
+The initiator performs a random walk of ``2l`` hops split into two phases:
+
+* **Phase 1** — the initiator itself drives ``l`` hops: at each hop it asks
+  the current node for its (signed) fingertable through the partial onion
+  path built so far, applies bound checking, and picks the next hop uniformly
+  at random from the returned table.
+* **Phase 2** — the last node of phase 1 (``U_l``) continues the walk for
+  another ``l`` hops, guided by a random seed supplied by the initiator, and
+  finally returns every fingertable, signature and certificate it collected
+  so the initiator can verify the walk was performed honestly.  The last two
+  hops become a pair of anonymization relays.
+
+Splitting the walk mitigates timing analysis; the verification step plus
+bound checking (and, ultimately, secret finger surveillance) secures it
+against manipulated fingertables.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..chord.ring import ChordRing
+from ..chord.routing_table import BoundChecker, RoutingTableSnapshot
+from ..crypto.keys import verify as verify_signature
+from .config import OctopusConfig
+
+
+@dataclass
+class RelayPair:
+    """A pair of anonymization relays: the last two hops of a random walk."""
+
+    first: int
+    second: int
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.first, self.second)
+
+
+@dataclass
+class RandomWalkResult:
+    """Outcome of one two-phase random walk."""
+
+    initiator: int
+    hops: List[int] = field(default_factory=list)
+    relay_pair: Optional[RelayPair] = None
+    succeeded: bool = False
+    restarts: int = 0
+    bound_check_failures: int = 0
+    signature_failures: int = 0
+    #: ids of visited hops that are malicious (ground truth, for analysis only)
+    malicious_hops: List[int] = field(default_factory=list)
+    #: tables collected along the walk (buffered for secret finger surveillance)
+    tables: List[RoutingTableSnapshot] = field(default_factory=list)
+
+    @property
+    def compromised(self) -> bool:
+        """Whether both selected relays are malicious (analysis helper)."""
+        if self.relay_pair is None:
+            return False
+        return all(h in self.malicious_hops for h in self.relay_pair.as_tuple())
+
+
+def _seeded_index(seed: int, step: int, modulus: int) -> int:
+    """Deterministic index derived from the walk seed (footnote 5 of the paper)."""
+    digest = hashlib.sha256(f"walkseed|{seed}|{step}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") % max(modulus, 1)
+
+
+class RandomWalkProtocol:
+    """Drives two-phase random walks over a ring.
+
+    Parameters
+    ----------
+    ring:
+        The network.
+    config:
+        Protocol parameters (phase length, bound-check tolerance, ...).
+    rng:
+        Random source; stream ``"random-walk"`` drives hop choices and seeds.
+    verify_signatures:
+        Whether to actually verify table signatures (slow in Schnorr mode);
+        the fast key mode keeps this cheap and it stays on by default.
+    """
+
+    def __init__(self, ring: ChordRing, config: OctopusConfig, rng, verify_signatures: bool = True) -> None:
+        self.ring = ring
+        self.config = config
+        self.rng = rng
+        self.verify_signatures = verify_signatures
+        self.bound_checker = BoundChecker(
+            ring.space,
+            expected_network_size=config.expected_network_size,
+            tolerance_factor=config.bound_check_tolerance,
+        )
+
+    # ----------------------------------------------------------------- public
+    def perform(self, initiator_id: int, now: float = 0.0, max_restarts: int = 3) -> RandomWalkResult:
+        """Run a complete two-phase random walk for ``initiator_id``."""
+        result = RandomWalkResult(initiator=initiator_id)
+        for attempt in range(max_restarts + 1):
+            ok = self._attempt(initiator_id, now, result)
+            if ok:
+                result.succeeded = True
+                return result
+            result.restarts += 1
+            result.hops.clear()
+            result.malicious_hops.clear()
+        result.succeeded = False
+        return result
+
+    # --------------------------------------------------------------- internals
+    def _attempt(self, initiator_id: int, now: float, result: RandomWalkResult) -> bool:
+        stream = self.rng.stream("random-walk")
+        initiator = self.ring.get(initiator_id)
+        if initiator is None or not initiator.alive:
+            return False
+        l = self.config.random_walk_phase_length
+
+        # ------------------------------------------------------------ phase 1
+        own_fingers = initiator.finger_table.nodes()
+        if not own_fingers:
+            return False
+        current = stream.choice(own_fingers)
+        phase1_tables: List[RoutingTableSnapshot] = []
+        for _ in range(l):
+            table = self._query_hop(current, initiator_id, now, result)
+            if table is None:
+                return False
+            phase1_tables.append(table)
+            candidates = table.all_nodes()
+            if not candidates:
+                return False
+            current = stream.choice(candidates)
+        u_l = result.hops[l - 1] if len(result.hops) >= l else result.hops[-1]
+
+        # ------------------------------------------------------------ phase 2
+        # The initiator hands U_l a random seed; U_l picks hops from each
+        # returned fingertable using the seed, and must return all collected
+        # evidence.  A malicious U_l can bias the choice, but will then fail
+        # the initiator's verification unless it also forges evidence — which
+        # bound checking and secret finger surveillance catch.
+        seed = stream.randrange(1 << 62)
+        u_l_node = self.ring.get(u_l)
+        if u_l_node is None or not u_l_node.alive:
+            return False
+        current = u_l
+        phase2_hops: List[int] = []
+        phase2_tables: List[RoutingTableSnapshot] = []
+        for step in range(l):
+            table = self._query_hop(current, u_l, now, result, count_hop=False)
+            if table is None:
+                return False
+            candidates = table.all_nodes()
+            if not candidates:
+                return False
+            index = _seeded_index(seed, step, len(candidates))
+            nxt = candidates[index]
+            phase2_hops.append(nxt)
+            phase2_tables.append(table)
+            current = nxt
+
+        # ---------------------------------------------------------- verification
+        # The initiator re-derives every phase-2 choice from the returned
+        # evidence; a U_l that lied about any table or choice is caught here.
+        for step, table in enumerate(phase2_tables):
+            candidates = table.all_nodes()
+            if not candidates:
+                return False
+            expected = candidates[_seeded_index(seed, step, len(candidates))]
+            if expected != phase2_hops[step]:
+                result.signature_failures += 1
+                return False
+
+        for hop in phase2_hops:
+            result.hops.append(hop)
+            if self.ring.is_malicious(hop):
+                result.malicious_hops.append(hop)
+        result.tables.extend(phase1_tables + phase2_tables)
+        # Buffer tables at the initiator for secret finger surveillance.
+        for table in phase1_tables + phase2_tables:
+            initiator.buffer_fingertable(table)
+
+        if len(result.hops) < 2:
+            return False
+        relay_a, relay_b = result.hops[-2], result.hops[-1]
+        if relay_a == relay_b:
+            return False
+        result.relay_pair = RelayPair(first=relay_a, second=relay_b)
+        return True
+
+    def _query_hop(
+        self,
+        hop_id: int,
+        requester: int,
+        now: float,
+        result: RandomWalkResult,
+        count_hop: bool = True,
+    ) -> Optional[RoutingTableSnapshot]:
+        node = self.ring.get(hop_id)
+        if node is None or not node.alive:
+            return None
+        table = node.respond_routing_table(requester, purpose="random-walk", now=now)
+        if count_hop:
+            result.hops.append(hop_id)
+            if node.malicious:
+                result.malicious_hops.append(hop_id)
+        if self.verify_signatures and table.signature is not None:
+            if not verify_signature(node.keypair.public_key, table.payload(), table.signature):
+                result.signature_failures += 1
+                return None
+        check = self.bound_checker.check(table)
+        if not check.passed:
+            result.bound_check_failures += 1
+            return None
+        return table

@@ -1,0 +1,131 @@
+"""Secure finger update (Section 4.5).
+
+Like Chord, Octopus refreshes its fingers by periodically looking up each
+ideal finger identifier.  Those lookups are non-anonymous and therefore a
+target for the *fingertable pollution attack*: malicious intermediate nodes
+bias the result so that honest nodes adopt colluding nodes as fingers.
+
+The defense reuses the secret-finger-surveillance consistency check: before
+adopting a lookup result F', the node asks F' for its predecessor list,
+anonymously queries a random claimed predecessor, and only installs F' if no
+node in that predecessor's successor list is closer to the ideal identifier.
+A failed check additionally produces a report that the CA investigates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..chord.lookup import iterative_lookup
+from ..chord.ring import ChordRing
+from .attacker_identification import AttackerIdentificationService
+from .config import OctopusConfig
+from .surveillance import SecretFingerSurveillance
+
+
+@dataclass
+class FingerUpdateOutcome:
+    """Result of refreshing one finger."""
+
+    node_id: int
+    finger_index: int
+    ideal_id: int
+    candidate: Optional[int]
+    adopted: bool
+    check_failed: bool
+    lookup_was_biased: bool
+
+
+class SecureFingerUpdate:
+    """Performs checked finger refreshes for honest nodes."""
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        config: OctopusConfig,
+        rng,
+        identification: AttackerIdentificationService,
+        finger_surveillance: Optional[SecretFingerSurveillance] = None,
+    ) -> None:
+        self.ring = ring
+        self.config = config
+        self.rng = rng
+        self.identification = identification
+        self.finger_surveillance = finger_surveillance or SecretFingerSurveillance(
+            ring, config, rng, identification
+        )
+        self.outcomes: List[FingerUpdateOutcome] = []
+
+    def update_finger(self, node_id: int, finger_index: int, now: float = 0.0) -> FingerUpdateOutcome:
+        """Refresh one finger of ``node_id`` with the security check applied."""
+        node = self.ring.get(node_id)
+        space = self.ring.space
+        ideal_id = node.finger_table.ideal_id(finger_index)
+
+        lookup = iterative_lookup(
+            self.ring,
+            node_id,
+            ideal_id,
+            now=now,
+            purpose="finger-update",
+        )
+        candidate = lookup.result
+        outcome = FingerUpdateOutcome(
+            node_id=node_id,
+            finger_index=finger_index,
+            ideal_id=ideal_id,
+            candidate=candidate,
+            adopted=False,
+            check_failed=False,
+            lookup_was_biased=lookup.biased,
+        )
+        if candidate is None or candidate == node_id:
+            self.outcomes.append(outcome)
+            return outcome
+
+        candidate_node = self.ring.get(candidate)
+        if candidate_node is None or not candidate_node.alive:
+            self.outcomes.append(outcome)
+            return outcome
+
+        # Consistency check before adoption (same procedure as secret finger
+        # surveillance).  The "table owner" reported on failure is the last
+        # malicious-looking hop of the lookup — in a pollution attack that is
+        # the node that substituted the result.
+        suspect_owner = lookup.path[-1] if lookup.path else candidate
+        judgement, detected, _ = self.finger_surveillance.verify_finger(
+            checker_id=node_id,
+            owner_id=suspect_owner,
+            ideal_id=ideal_id,
+            finger_id=candidate,
+            now=now,
+        )
+        if detected:
+            outcome.check_failed = True
+            self.outcomes.append(outcome)
+            return outcome
+
+        node.finger_table.set(finger_index, candidate)
+        outcome.adopted = True
+        self.outcomes.append(outcome)
+        return outcome
+
+    def update_random_finger(self, node_id: int, now: float = 0.0) -> FingerUpdateOutcome:
+        """Refresh one uniformly random finger (the 30-second periodic task)."""
+        node = self.ring.get(node_id)
+        index = self.rng.stream("finger-update").randrange(node.finger_table.size)
+        return self.update_finger(node_id, index, now=now)
+
+    # --------------------------------------------------------------- metrics
+    def pollution_rate(self) -> float:
+        """Fraction of refreshes that adopted a wrong (non-ground-truth) finger."""
+        adopted = [o for o in self.outcomes if o.adopted]
+        if not adopted:
+            return 0.0
+        wrong = 0
+        for o in adopted:
+            true_finger = self.ring.true_successor(o.ideal_id)
+            if true_finger is not None and o.candidate != true_finger:
+                wrong += 1
+        return wrong / len(adopted)

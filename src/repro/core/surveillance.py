@@ -1,0 +1,259 @@
+"""Secret neighbor surveillance and secret finger surveillance.
+
+These are Octopus's replacements for redundant lookups (Sections 4.3 and
+4.4).  Both are performed *independently from lookups*, through anonymous
+paths, so they leak nothing about real lookup initiators or targets, and the
+checked node cannot distinguish a surveillance probe from a genuine query.
+
+* **Secret neighbor surveillance** — each node X periodically sends an
+  anonymous query to a random predecessor and checks whether X itself appears
+  in the returned (signed) successor list.  A predecessor that drops honest
+  nodes from its successor list to bias lookups is detected and reported.
+* **Secret finger surveillance** — each node X buffers fingertables it sees
+  (random walks, lookups, checks), periodically picks a random finger F' from
+  one of them, fetches F''s predecessor list, then anonymously queries one of
+  those predecessors and checks whether any node in that predecessor's
+  successor list is closer to the ideal finger identifier than F'.  A
+  manipulated finger forces the adversary to sacrifice either F'/the table
+  owner or the checked predecessor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..chord.ring import ChordRing
+from ..chord.routing_table import RoutingTableSnapshot
+from .anonymous_path import AnonymousPath
+from .attacker_identification import (
+    AttackerIdentificationService,
+    FingerReport,
+    NeighborReport,
+)
+from .config import OctopusConfig
+from .random_walk import RandomWalkProtocol, RelayPair
+
+
+@dataclass
+class SurveillanceOutcome:
+    """Result of one surveillance check (used by tests and experiments)."""
+
+    checker: int
+    checked: Optional[int]
+    kind: str
+    detected: bool
+    reported: bool
+    report_judgement: Optional[object] = None
+    #: ground-truth: was the checked behaviour actually manipulated?
+    actually_manipulated: Optional[bool] = None
+
+
+class SecretNeighborSurveillance:
+    """Periodic anonymous checks of predecessors' successor lists."""
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        config: OctopusConfig,
+        rng,
+        identification: AttackerIdentificationService,
+        random_walker: Optional[RandomWalkProtocol] = None,
+    ) -> None:
+        self.ring = ring
+        self.config = config
+        self.rng = rng
+        self.identification = identification
+        self.random_walker = random_walker or RandomWalkProtocol(ring, config, rng)
+        self.outcomes: List[SurveillanceOutcome] = []
+        #: a node that (re)joined less than this many seconds ago does not file
+        #: reports yet: its neighbors' lists may legitimately not include it
+        #: until a couple of stabilization rounds have run.
+        self.min_uptime_before_reporting = 10.0 * config.stabilize_interval
+
+    def check(self, checker_id: int, now: float = 0.0, relay_pair: Optional[RelayPair] = None) -> SurveillanceOutcome:
+        """Run one secret-neighbor-surveillance check for ``checker_id``."""
+        checker = self.ring.get(checker_id)
+        stream = self.rng.stream("neighbor-surveillance")
+        outcome = SurveillanceOutcome(checker=checker_id, checked=None, kind="neighbor", detected=False, reported=False)
+        if checker is None or not checker.alive or not checker.predecessor_list.nodes:
+            self.outcomes.append(outcome)
+            return outcome
+
+        predecessor_id = stream.choice(checker.predecessor_list.nodes)
+        predecessor = self.ring.get(predecessor_id)
+        outcome.checked = predecessor_id
+        if predecessor is None or not predecessor.alive:
+            self.outcomes.append(outcome)
+            return outcome
+        checker.stats.surveillance_checks += 1
+
+        # The query travels through an anonymous path so the predecessor
+        # cannot tell it is being tested; what matters here is that the
+        # predecessor answers via its (possibly malicious) behaviour while
+        # seeing only the exit relay as the requester.
+        exit_relay = self._anonymous_requester(checker_id, relay_pair, now)
+        reply = predecessor.respond_successor_list(exit_relay, purpose="anonymous-lookup", now=now)
+
+        space = self.ring.space
+        excluded = checker_id not in reply.nodes
+        # Only treat the omission as manipulation if the returned list's span
+        # reaches past the checker (otherwise the checker legitimately may not
+        # be among the capacity nearest successors yet, e.g. right after churn).
+        span_reaches_checker = bool(reply.nodes) and space.distance(
+            predecessor_id, checker_id
+        ) <= space.distance(predecessor_id, reply.nodes[-1])
+        manipulated_ground_truth = predecessor.malicious and excluded
+        outcome.actually_manipulated = manipulated_ground_truth
+        if predecessor.malicious:
+            self.identification.stats.checks_on_malicious += 1
+
+        recently_joined = (now - checker.last_join_time) < self.min_uptime_before_reporting and checker.last_join_time > 0.0
+        if excluded and span_reaches_checker and not recently_joined:
+            outcome.detected = True
+            report = NeighborReport(reporter=checker_id, accused=predecessor_id, evidence=reply, time=now)
+            checker.stats.reports_sent += 1
+            outcome.reported = True
+            outcome.report_judgement = self.identification.process_neighbor_report(report, now)
+        elif predecessor.malicious and manipulated_ground_truth:
+            self.identification.stats.missed_malicious += 1
+        self.outcomes.append(outcome)
+        return outcome
+
+    def _anonymous_requester(self, checker_id: int, relay_pair: Optional[RelayPair], now: float) -> Optional[int]:
+        """The identity the checked node perceives (the exit relay)."""
+        if relay_pair is not None:
+            return relay_pair.second
+        walk = self.random_walker.perform(checker_id, now=now, max_restarts=1)
+        if walk.succeeded and walk.relay_pair is not None:
+            return walk.relay_pair.second
+        return None
+
+
+class SecretFingerSurveillance:
+    """Periodic anonymous consistency checks of buffered fingertables."""
+
+    def __init__(
+        self,
+        ring: ChordRing,
+        config: OctopusConfig,
+        rng,
+        identification: AttackerIdentificationService,
+    ) -> None:
+        self.ring = ring
+        self.config = config
+        self.rng = rng
+        self.identification = identification
+        self.outcomes: List[SurveillanceOutcome] = []
+
+    # ------------------------------------------------------------------ check
+    def check(self, checker_id: int, now: float = 0.0) -> SurveillanceOutcome:
+        """Run one secret-finger-surveillance check for ``checker_id``."""
+        checker = self.ring.get(checker_id)
+        stream = self.rng.stream("finger-surveillance")
+        outcome = SurveillanceOutcome(checker=checker_id, checked=None, kind="finger", detected=False, reported=False)
+        if checker is None or not checker.alive or not checker.buffered_fingertables:
+            self.outcomes.append(outcome)
+            return outcome
+        # Only check reasonably fresh snapshots: under churn, an old table of an
+        # honest node may legitimately disagree with the current neighborhood.
+        freshness_window = 2.0 * self.config.finger_update_interval
+        fresh_tables = [t for t in checker.buffered_fingertables if now - t.timestamp <= freshness_window]
+        if not fresh_tables:
+            self.outcomes.append(outcome)
+            return outcome
+        table = stream.choice(fresh_tables)
+        filled = [(ideal, node) for ideal, node in table.fingers if node is not None]
+        if not filled:
+            self.outcomes.append(outcome)
+            return outcome
+        ideal_id, suspect_finger = stream.choice(filled)
+        outcome.checked = table.owner_id
+        checker.stats.surveillance_checks += 1
+
+        judgement, detected, manipulated = self.verify_finger(
+            checker_id=checker_id,
+            owner_id=table.owner_id,
+            ideal_id=ideal_id,
+            finger_id=suspect_finger,
+            now=now,
+        )
+        outcome.detected = detected
+        outcome.reported = judgement is not None
+        outcome.report_judgement = judgement
+        outcome.actually_manipulated = manipulated
+        self.outcomes.append(outcome)
+        return outcome
+
+    # ----------------------------------------------------------- verification
+    def verify_finger(
+        self,
+        checker_id: int,
+        owner_id: int,
+        ideal_id: int,
+        finger_id: int,
+        now: float,
+        report: bool = True,
+    ) -> Tuple[Optional[object], bool, Optional[bool]]:
+        """Check whether ``finger_id`` is plausibly the true finger for ``ideal_id``.
+
+        Returns ``(judgement, detected, actually_manipulated)``.  This routine
+        is shared by secret finger surveillance and by secure finger updates
+        (Section 4.5), which differ only in where the candidate finger comes
+        from and in whether the caller adopts it afterwards.
+        """
+        stream = self.rng.stream("finger-surveillance")
+        space = self.ring.space
+        finger_node = self.ring.get(finger_id)
+        if finger_node is None or not finger_node.alive:
+            return None, False, None
+
+        # Ground truth (for accuracy accounting only): is the finger actually
+        # wrong, i.e. does some alive node sit strictly between the ideal id
+        # and the claimed finger?
+        true_finger = self.ring.true_successor(ideal_id)
+        actually_manipulated = true_finger is not None and space.distance(ideal_id, true_finger) < space.distance(
+            ideal_id, finger_id
+        )
+        if actually_manipulated:
+            self.identification.stats.checks_on_malicious += 1
+
+        # 1. Ask the suspect finger for its predecessor list (it may lie).
+        pred_list = finger_node.respond_predecessor_list(checker_id, purpose="finger-check", now=now)
+        candidates = [p for p in pred_list if self.ring.get(p) is not None and self.ring.get(p).alive]
+        if not candidates:
+            if actually_manipulated:
+                self.identification.stats.missed_malicious += 1
+            return None, False, actually_manipulated
+
+        # 2. Anonymously query a random claimed predecessor for its successor
+        #    list (it cannot tell this is a check).
+        checked_pred_id = stream.choice(candidates)
+        checked_pred = self.ring.get(checked_pred_id)
+        succ_list = checked_pred.respond_successor_list(None, purpose="anonymous-lookup", now=now)
+
+        # 3. Detection condition: some node in that successor list is closer
+        #    to the ideal finger id than the suspect finger.
+        suspect_distance = space.distance(ideal_id, finger_id)
+        closer = [n for n in succ_list.nodes if space.distance(ideal_id, n) < suspect_distance]
+        detected = bool(closer)
+
+        judgement = None
+        if detected and report:
+            checker = self.ring.get(checker_id)
+            if checker is not None:
+                checker.stats.reports_sent += 1
+            finger_report = FingerReport(
+                reporter=checker_id,
+                table_owner=owner_id,
+                suspect_finger=finger_id,
+                ideal_finger_id=ideal_id,
+                finger_predecessor_list=tuple(pred_list),
+                checked_predecessor=checked_pred_id,
+                predecessor_successor_list=succ_list,
+                time=now,
+            )
+            judgement = self.identification.process_finger_report(finger_report, now)
+        elif actually_manipulated and not detected:
+            self.identification.stats.missed_malicious += 1
+        return judgement, detected, actually_manipulated

@@ -1,0 +1,45 @@
+"""Cryptographic substrate: keys, signatures, certificates, CA, onion layers.
+
+Self-contained implementations (no external crypto dependencies are available
+offline): Schnorr-style signatures over a MODP group, an HMAC-based fast
+simulation mode preserving the same interface, X.509-like certificates with
+CRL + Merkle-tree revocation, and layered onion encryption for the anonymous
+paths.
+"""
+
+from .ca import CAWorkloadSample, CertificateAuthority
+from .certificates import Certificate, CertificateStore, certificate_payload
+from .keys import FAST, SCHNORR, KeyPair, PublicKey, Signature, verify
+from .onion import (
+    OnionError,
+    OnionLayer,
+    OnionPacket,
+    ReplyOnion,
+    derive_layer_key,
+    symmetric_decrypt,
+    symmetric_encrypt,
+)
+from .revocation import MerkleRevocationTree, RevocationList
+
+__all__ = [
+    "CAWorkloadSample",
+    "CertificateAuthority",
+    "Certificate",
+    "CertificateStore",
+    "certificate_payload",
+    "FAST",
+    "SCHNORR",
+    "KeyPair",
+    "PublicKey",
+    "Signature",
+    "verify",
+    "OnionError",
+    "OnionLayer",
+    "OnionPacket",
+    "ReplyOnion",
+    "derive_layer_key",
+    "symmetric_decrypt",
+    "symmetric_encrypt",
+    "MerkleRevocationTree",
+    "RevocationList",
+]

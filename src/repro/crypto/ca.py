@@ -1,0 +1,127 @@
+"""The certificate authority (CA).
+
+Octopus assumes a lightweight CA (Section 3.2, 4.6) that
+
+* issues identity certificates to joining nodes (the Sybil defense), and
+* processes attack reports, requests proofs from implicated nodes and revokes
+  the certificates of nodes judged malicious.
+
+The report-investigation logic itself lives in
+:mod:`repro.core.attacker_identification`; this module provides the
+certificate issuance/revocation machinery and workload accounting used by the
+Figure 7(b) experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from .certificates import Certificate, certificate_payload
+from .keys import FAST, KeyPair, PublicKey
+from .revocation import MerkleRevocationTree, RevocationList
+
+
+@dataclass
+class CAWorkloadSample:
+    """One message processed by the CA (for Figure 7(b) style plots)."""
+
+    time: float
+    kind: str
+    reporter: Optional[int] = None
+    subject: Optional[int] = None
+
+
+class CertificateAuthority:
+    """Issues, tracks and revokes identity certificates.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the CA key pair.
+    key_mode:
+        ``"schnorr"`` for real signatures, ``"fast"`` for large simulations.
+    certificate_lifetime:
+        Validity period for issued certificates, in simulated seconds.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        key_mode: str = FAST,
+        certificate_lifetime: float = 30 * 24 * 3600.0,
+    ) -> None:
+        self.keypair = KeyPair(seed=seed, mode=key_mode)
+        self.key_mode = key_mode
+        self.certificate_lifetime = certificate_lifetime
+        self.certificates: Dict[int, Certificate] = {}
+        self.revocation_list = RevocationList()
+        self.merkle_tree = MerkleRevocationTree()
+        self.revoked_nodes: Set[int] = set()
+        self.workload: List[CAWorkloadSample] = []
+        self._next_serial = 1
+
+    # ------------------------------------------------------------------ keys
+    @property
+    def public_key(self) -> PublicKey:
+        return self.keypair.public_key
+
+    # -------------------------------------------------------------- issuance
+    def issue_certificate(
+        self, node_id: int, ip_address: str, public_key: PublicKey, now: float = 0.0
+    ) -> Certificate:
+        """Issue (or re-issue) a certificate for ``node_id``."""
+        expires_at = now + self.certificate_lifetime
+        payload = certificate_payload(node_id, ip_address, public_key, expires_at)
+        cert = Certificate(
+            node_id=node_id,
+            ip_address=ip_address,
+            public_key=public_key,
+            expires_at=expires_at,
+            ca_signature=self.keypair.sign(payload),
+            serial=self._next_serial,
+        )
+        self._next_serial += 1
+        self.certificates[node_id] = cert
+        return cert
+
+    def certificate_of(self, node_id: int) -> Optional[Certificate]:
+        return self.certificates.get(node_id)
+
+    # ------------------------------------------------------------- revocation
+    def revoke(self, node_id: int, now: float = 0.0, reason: str = "") -> bool:
+        """Revoke the certificate of ``node_id``; returns whether it existed."""
+        cert = self.certificates.get(node_id)
+        if cert is None or node_id in self.revoked_nodes:
+            return False
+        self.revocation_list.revoke(cert.serial, self.keypair)
+        self.merkle_tree.add(cert.serial)
+        self.revoked_nodes.add(node_id)
+        self.record_message(now, kind=f"revoke:{reason}" if reason else "revoke", subject=node_id)
+        return True
+
+    def is_revoked(self, node_id: int) -> bool:
+        return node_id in self.revoked_nodes
+
+    # -------------------------------------------------------------- workload
+    def record_message(
+        self, time: float, kind: str, reporter: Optional[int] = None, subject: Optional[int] = None
+    ) -> None:
+        """Record a message processed by the CA (reports, proofs, revocations)."""
+        self.workload.append(CAWorkloadSample(time=time, kind=kind, reporter=reporter, subject=subject))
+
+    def messages_in_window(self, start: float, end: float) -> int:
+        """Number of messages the CA processed in ``[start, end)``."""
+        return sum(1 for s in self.workload if start <= s.time < end)
+
+    def workload_buckets(self, bucket_seconds: float, horizon: float) -> List[tuple]:
+        """``(bucket_start, message_count)`` pairs covering ``[0, horizon)``."""
+        if bucket_seconds <= 0:
+            raise ValueError("bucket width must be positive")
+        n_buckets = int(horizon // bucket_seconds) + 1
+        counts = [0] * n_buckets
+        for sample in self.workload:
+            idx = int(sample.time // bucket_seconds)
+            if 0 <= idx < n_buckets:
+                counts[idx] += 1
+        return [(i * bucket_seconds, counts[i]) for i in range(n_buckets)]

@@ -1,0 +1,88 @@
+"""Identity certificates.
+
+Octopus relies on a certificate authority (CA) that issues identity
+certificates binding a node identifier and IP address to a public key
+(Section 3.2 and 4.6).  Certificates are deliberately simple — they carry no
+routing state, which is what makes the Octopus CA far cheaper than the one
+Myrmic/Torsk require.  The on-wire size model (50 bytes per certificate)
+lives in :mod:`repro.sim.bandwidth`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .keys import PublicKey, Signature, verify
+
+
+def certificate_payload(node_id: int, ip_address: str, public_key: PublicKey, expires_at: float) -> bytes:
+    """Canonical byte encoding of the signed portion of a certificate."""
+    return f"cert|{node_id}|{ip_address}|{public_key.fingerprint()}|{expires_at:.3f}".encode()
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """A CA-issued identity certificate.
+
+    Attributes
+    ----------
+    node_id:
+        The DHT identifier of the subject node.
+    ip_address:
+        The subject's network address (a synthetic dotted quad here).
+    public_key:
+        The subject's public key.
+    expires_at:
+        Expiry time (simulated seconds).
+    ca_signature:
+        The CA's signature over :func:`certificate_payload`.
+    serial:
+        Monotonic serial number assigned by the CA; used for revocation.
+    """
+
+    node_id: int
+    ip_address: str
+    public_key: PublicKey
+    expires_at: float
+    ca_signature: Signature
+    serial: int = 0
+
+    def payload(self) -> bytes:
+        return certificate_payload(self.node_id, self.ip_address, self.public_key, self.expires_at)
+
+    def is_expired(self, now: float) -> bool:
+        return now > self.expires_at
+
+    def verify(self, ca_public_key: PublicKey, now: Optional[float] = None) -> bool:
+        """Check the CA signature and (optionally) expiry."""
+        if now is not None and self.is_expired(now):
+            return False
+        return verify(ca_public_key, self.payload(), self.ca_signature)
+
+
+@dataclass
+class CertificateStore:
+    """A node-local cache of peer certificates keyed by node id."""
+
+    ca_public_key: PublicKey
+    _certs: dict = field(default_factory=dict)
+
+    def add(self, cert: Certificate, now: float = 0.0) -> bool:
+        """Validate and cache ``cert``; returns whether it was accepted."""
+        if not cert.verify(self.ca_public_key, now=now):
+            return False
+        self._certs[cert.node_id] = cert
+        return True
+
+    def get(self, node_id: int) -> Optional[Certificate]:
+        return self._certs.get(node_id)
+
+    def remove(self, node_id: int) -> None:
+        self._certs.pop(node_id, None)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._certs
+
+    def __len__(self) -> int:
+        return len(self._certs)

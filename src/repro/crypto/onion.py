@@ -1,0 +1,175 @@
+"""Onion encryption for anonymous paths.
+
+Octopus forwards lookup queries through anonymous paths using onion routing
+(Section 4.1, citing Syverson et al.).  Each relay peels one layer: it learns
+only the previous and next hop, never both endpoints.  The paper's prototype
+uses AES-128 for the layers; this reproduction implements a self-contained
+SHA-256 counter-mode stream cipher (no external crypto packages are available
+offline) which provides the same interface: symmetric, key-dependent,
+length-preserving encryption with integrity tags.
+
+The classes here operate on structured payloads (dictionaries), because the
+simulator never serialises real packets; the bandwidth model in
+:mod:`repro.sim.bandwidth` accounts for on-wire sizes separately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class OnionError(Exception):
+    """Raised when an onion layer fails to decrypt or authenticate."""
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """SHA-256 counter-mode keystream of ``length`` bytes."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(key + nonce + counter.to_bytes(8, "big")).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def symmetric_encrypt(key: bytes, plaintext: bytes, nonce: bytes = b"") -> bytes:
+    """Encrypt-then-MAC with the stream cipher; returns ``nonce is external``."""
+    stream = _keystream(key, nonce, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac.new(key, nonce + ciphertext, hashlib.sha256).digest()[:16]
+    return ciphertext + tag
+
+
+def symmetric_decrypt(key: bytes, blob: bytes, nonce: bytes = b"") -> bytes:
+    """Inverse of :func:`symmetric_encrypt`; raises :class:`OnionError` on bad tags."""
+    if len(blob) < 16:
+        raise OnionError("ciphertext too short")
+    ciphertext, tag = blob[:-16], blob[-16:]
+    expected = hmac.new(key, nonce + ciphertext, hashlib.sha256).digest()[:16]
+    if not hmac.compare_digest(tag, expected):
+        raise OnionError("integrity check failed")
+    stream = _keystream(key, nonce, len(ciphertext))
+    return bytes(c ^ s for c, s in zip(ciphertext, stream))
+
+
+def derive_layer_key(shared_secret: int, hop_index: int) -> bytes:
+    """Derive the per-hop layer key from a shared secret and the hop index."""
+    return hashlib.sha256(f"layer|{shared_secret}|{hop_index}".encode()).digest()
+
+
+@dataclass
+class OnionLayer:
+    """One decrypted onion layer.
+
+    Attributes
+    ----------
+    next_hop:
+        Node id the current relay should forward the remaining onion to, or
+        ``None`` if this relay is the exit (the payload is for it).
+    payload:
+        The inner onion (bytes) or, at the exit, the application payload.
+    """
+
+    next_hop: Optional[int]
+    payload: Any
+
+
+class OnionPacket:
+    """A layered onion built for a fixed sequence of relays.
+
+    The builder (the lookup initiator) knows every relay and a per-hop key;
+    each relay can peel exactly one layer with its own key.
+    """
+
+    def __init__(self, blob: bytes) -> None:
+        self.blob = blob
+
+    @staticmethod
+    def _encode(obj: Dict[str, Any]) -> bytes:
+        return json.dumps(obj, sort_keys=True, default=str).encode()
+
+    @staticmethod
+    def _decode(raw: bytes) -> Dict[str, Any]:
+        return json.loads(raw.decode())
+
+    @classmethod
+    def build(
+        cls,
+        relay_ids: Sequence[int],
+        layer_keys: Sequence[bytes],
+        payload: Dict[str, Any],
+    ) -> "OnionPacket":
+        """Wrap ``payload`` so that ``relay_ids[0]`` peels the outermost layer.
+
+        ``relay_ids[i]`` learns only ``relay_ids[i+1]`` (its next hop); the
+        final relay obtains the payload and a ``None`` next hop.
+        """
+        if len(relay_ids) != len(layer_keys):
+            raise ValueError("need one key per relay")
+        if not relay_ids:
+            raise ValueError("at least one relay is required")
+        # Innermost layer first.
+        inner: Dict[str, Any] = {"next_hop": None, "payload": payload}
+        blob = symmetric_encrypt(layer_keys[-1], cls._encode(inner))
+        for idx in range(len(relay_ids) - 2, -1, -1):
+            wrapper = {
+                "next_hop": relay_ids[idx + 1],
+                "payload": blob.hex(),
+            }
+            blob = symmetric_encrypt(layer_keys[idx], cls._encode(wrapper))
+        return cls(blob)
+
+    def peel(self, layer_key: bytes) -> OnionLayer:
+        """Peel one layer with ``layer_key``.
+
+        Returns an :class:`OnionLayer`; intermediate relays receive the inner
+        onion bytes as payload, the exit relay receives the structured
+        application payload.
+        """
+        raw = symmetric_decrypt(layer_key, self.blob)
+        try:
+            obj = self._decode(raw)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise OnionError("malformed onion layer") from exc
+        next_hop = obj.get("next_hop")
+        payload = obj.get("payload")
+        if next_hop is None:
+            return OnionLayer(next_hop=None, payload=payload)
+        return OnionLayer(next_hop=int(next_hop), payload=OnionPacket(bytes.fromhex(payload)))
+
+
+@dataclass
+class ReplyOnion:
+    """Layered encryption for the reply direction.
+
+    The exit relay encrypts the reply under its key; every relay on the way
+    back adds its own layer; the initiator, who knows all keys, strips them
+    all.  (In real onion routing the layers are removed on the way back; the
+    add-then-strip-all formulation is equivalent for our single-message use
+    and keeps relay state minimal.)
+    """
+
+    layers: List[Tuple[int, bytes]] = field(default_factory=list)
+    blob: bytes = b""
+
+    @classmethod
+    def seal(cls, payload: Dict[str, Any], relay_id: int, key: bytes) -> "ReplyOnion":
+        blob = symmetric_encrypt(key, OnionPacket._encode(payload))
+        return cls(layers=[(relay_id, b"")], blob=blob)
+
+    def add_layer(self, relay_id: int, key: bytes) -> None:
+        """A relay on the return path wraps the reply in its own layer."""
+        self.blob = symmetric_encrypt(key, self.blob)
+        self.layers.append((relay_id, b""))
+
+    def open(self, keys_outer_to_inner: Sequence[bytes]) -> Dict[str, Any]:
+        """The initiator strips every layer (outermost first) and decodes."""
+        blob = self.blob
+        for key in keys_outer_to_inner:
+            blob = symmetric_decrypt(key, blob)
+        return OnionPacket._decode(blob)

@@ -1,0 +1,134 @@
+"""Certificate revocation.
+
+Octopus removes identified malicious nodes from the network by revoking their
+certificates (Section 4.6).  The paper points at standard PKI revocation
+machinery — CRLs distributed over the P2P network and Merkle-hash-tree based
+revocation proofs — so this module provides both:
+
+* :class:`RevocationList` — a signed, monotonically growing CRL.
+* :class:`MerkleRevocationTree` — a Merkle tree over revoked serials that can
+  produce compact membership proofs, so a node can convince a peer that a
+  certificate is revoked without shipping the whole list.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .keys import KeyPair, PublicKey, Signature, verify
+
+
+def _leaf_hash(serial: int) -> bytes:
+    return hashlib.sha256(b"leaf|" + str(serial).encode()).digest()
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(b"node|" + left + right).digest()
+
+
+@dataclass
+class RevocationList:
+    """A CA-signed certificate revocation list."""
+
+    revoked_serials: Set[int] = field(default_factory=set)
+    version: int = 0
+    signature: Optional[Signature] = None
+
+    def payload(self) -> bytes:
+        serials = ",".join(str(s) for s in sorted(self.revoked_serials))
+        return f"crl|v{self.version}|{serials}".encode()
+
+    def revoke(self, serial: int, ca_keypair: KeyPair) -> None:
+        """Add ``serial`` and re-sign the list."""
+        self.revoked_serials.add(serial)
+        self.version += 1
+        self.signature = ca_keypair.sign(self.payload())
+
+    def is_revoked(self, serial: int) -> bool:
+        return serial in self.revoked_serials
+
+    def verify(self, ca_public_key: PublicKey) -> bool:
+        if self.signature is None:
+            return self.version == 0 and not self.revoked_serials
+        return verify(ca_public_key, self.payload(), self.signature)
+
+
+class MerkleRevocationTree:
+    """Merkle hash tree over revoked certificate serials.
+
+    The tree is rebuilt on demand (revocations are rare relative to proof
+    queries) and produces logarithmic-size membership proofs.
+    """
+
+    def __init__(self, serials: Optional[Sequence[int]] = None) -> None:
+        self._serials: List[int] = sorted(set(serials or []))
+        self._levels: List[List[bytes]] = []
+        self._dirty = True
+
+    def add(self, serial: int) -> None:
+        if serial not in self._serials:
+            self._serials.append(serial)
+            self._serials.sort()
+            self._dirty = True
+
+    @property
+    def serials(self) -> List[int]:
+        return list(self._serials)
+
+    def _build(self) -> None:
+        if not self._dirty:
+            return
+        if not self._serials:
+            self._levels = [[hashlib.sha256(b"empty").digest()]]
+            self._dirty = False
+            return
+        level = [_leaf_hash(s) for s in self._serials]
+        levels = [level]
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level), 2):
+                left = level[i]
+                right = level[i + 1] if i + 1 < len(level) else level[i]
+                nxt.append(_node_hash(left, right))
+            level = nxt
+            levels.append(level)
+        self._levels = levels
+        self._dirty = False
+
+    def root(self) -> bytes:
+        """Current Merkle root (changes whenever a serial is added)."""
+        self._build()
+        return self._levels[-1][0]
+
+    def prove(self, serial: int) -> Optional[List[Tuple[str, bytes]]]:
+        """Return an audit path for ``serial`` or ``None`` if not revoked.
+
+        The path is a list of ``(side, sibling_hash)`` pairs where ``side`` is
+        ``"L"`` or ``"R"`` indicating on which side the sibling sits.
+        """
+        self._build()
+        if serial not in self._serials:
+            return None
+        idx = self._serials.index(serial)
+        path: List[Tuple[str, bytes]] = []
+        for level in self._levels[:-1]:
+            sibling_idx = idx ^ 1
+            if sibling_idx >= len(level):
+                sibling_idx = idx
+            side = "R" if sibling_idx > idx else ("L" if sibling_idx < idx else "R")
+            path.append((side, level[sibling_idx]))
+            idx //= 2
+        return path
+
+    @staticmethod
+    def verify_proof(serial: int, path: List[Tuple[str, bytes]], root: bytes) -> bool:
+        """Verify an audit path against a known root."""
+        current = _leaf_hash(serial)
+        for side, sibling in path:
+            if side == "R":
+                current = _node_hash(current, sibling)
+            else:
+                current = _node_hash(sibling, current)
+        return current == root

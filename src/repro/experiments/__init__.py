@@ -1,0 +1,49 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+* :mod:`repro.experiments.security` — Figures 3(a)-(c), 4, 9, 7(b), Table 2.
+* :mod:`repro.experiments.anonymity` — Figures 5(a)-(c), 6.
+* :mod:`repro.experiments.efficiency` — Table 3, Figure 7(a).
+* :mod:`repro.experiments.timing` — Table 1.
+"""
+
+from .anonymity import (
+    AnonymityExperiment,
+    AnonymityExperimentConfig,
+    AnonymityExperimentResult,
+    AnonymityPoint,
+)
+from .efficiency import (
+    EfficiencyExperiment,
+    EfficiencyExperimentConfig,
+    EfficiencyExperimentResult,
+    SchemeEfficiency,
+)
+from .results import ExperimentRecord, format_series, format_table
+from .security import (
+    SecurityExperiment,
+    SecurityExperimentConfig,
+    SecurityExperimentResult,
+    run_attack_sweep,
+)
+from .timing import TimingExperiment, TimingExperimentConfig, TimingExperimentResult
+
+__all__ = [
+    "AnonymityExperiment",
+    "AnonymityExperimentConfig",
+    "AnonymityExperimentResult",
+    "AnonymityPoint",
+    "EfficiencyExperiment",
+    "EfficiencyExperimentConfig",
+    "EfficiencyExperimentResult",
+    "SchemeEfficiency",
+    "ExperimentRecord",
+    "format_series",
+    "format_table",
+    "SecurityExperiment",
+    "SecurityExperimentConfig",
+    "SecurityExperimentResult",
+    "run_attack_sweep",
+    "TimingExperiment",
+    "TimingExperimentConfig",
+    "TimingExperimentResult",
+]

@@ -1,0 +1,73 @@
+"""Result containers and paper-style table formatting.
+
+Every experiment harness returns a structured result object; the helpers here
+render them as the rows/series the paper reports, so benchmark output can be
+compared against the published tables and figures at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Render a simple fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(name: str, pairs: Iterable[Tuple[float, float]], x_label: str = "time", y_label: str = "value") -> str:
+    """Render a time series as two columns (the shape of the paper's figures)."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in pairs:
+        lines.append(f"  {x:10.1f}  {y:10.4f}")
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentRecord:
+    """A generic named result bundle written by benchmark harnesses."""
+
+    name: str
+    parameters: Dict[str, object] = field(default_factory=dict)
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(dict(values))
+
+    def add_series(self, name: str, pairs: Sequence[Tuple[float, float]]) -> None:
+        self.series[name] = list(pairs)
+
+    def to_text(self) -> str:
+        """Render the record: parameters, rows as a table, series as columns."""
+        chunks: List[str] = [f"=== {self.name} ==="]
+        if self.parameters:
+            chunks.append("parameters: " + ", ".join(f"{k}={v}" for k, v in sorted(self.parameters.items())))
+        if self.rows:
+            headers = list(self.rows[0].keys())
+            chunks.append(format_table(headers, [[row.get(h, "") for h in headers] for row in self.rows]))
+        for name, pairs in self.series.items():
+            chunks.append(format_series(name, pairs))
+        for note in self.notes:
+            chunks.append(f"note: {note}")
+        return "\n".join(chunks)

@@ -1,0 +1,246 @@
+"""Security experiments: malicious-node identification under active attacks.
+
+Reproduces Section 5 of the paper:
+
+* Figure 3(a): remaining malicious-node fraction under the lookup bias attack
+  (attack rates 100% and 50%).
+* Figure 3(b): cumulative number of lookups and of biased lookups.
+* Figure 3(c): remaining malicious fraction under fingertable manipulation.
+* Figure 4: remaining malicious fraction under fingertable pollution.
+* Figure 9: remaining malicious fraction under selective DoS.
+* Table 2: false positive / false negative / false alarm rates under churn.
+* Figure 7(b): the CA's workload over time.
+
+The experiment wires an :class:`~repro.core.octopus_node.OctopusNetwork`,
+installs the requested attack behaviour on the adversary's nodes, schedules
+the paper's periodic per-node tasks on the discrete-event engine, runs churn,
+and samples the metrics over simulated time.  Paper-scale parameters
+(N=1000, 1000 s) are the defaults; benchmarks pass scaled-down values that
+preserve the qualitative behaviour, as documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..attacks.adversary import Adversary
+from ..attacks.fingertable_manipulation import FingertableManipulationBehavior
+from ..attacks.fingertable_pollution import FingertablePollutionBehavior
+from ..attacks.lookup_bias import LookupBiasBehavior
+from ..attacks.selective_dos import SelectiveDosBehavior
+from ..core.config import OctopusConfig
+from ..core.octopus_node import OctopusNetwork
+from ..sim.churn import ChurnConfig, ChurnProcess
+from ..sim.engine import SimulationEngine
+from ..sim.metrics import MetricsRegistry
+from ..sim.rng import RandomSource
+
+#: attack name -> behaviour factory
+ATTACKS = {
+    "lookup-bias": lambda adv, node, cfg: LookupBiasBehavior(adv, node),
+    "fingertable-manipulation": lambda adv, node, cfg: FingertableManipulationBehavior(
+        adv, node, collusion_consistency=cfg.collusion_consistency
+    ),
+    "fingertable-pollution": lambda adv, node, cfg: FingertablePollutionBehavior(
+        adv, node, collusion_consistency=cfg.collusion_consistency
+    ),
+    "selective-dos": lambda adv, node, cfg: SelectiveDosBehavior(adv, node),
+    "none": None,
+}
+
+
+@dataclass
+class SecurityExperimentConfig:
+    """Parameters of one security-simulation run (defaults = Section 5.1)."""
+
+    n_nodes: int = 1000
+    fraction_malicious: float = 0.2
+    duration: float = 1000.0
+    attack: str = "lookup-bias"
+    attack_rate: float = 1.0
+    collusion_consistency: float = 0.5
+    churn_lifetime_minutes: Optional[float] = 60.0
+    seed: int = 0
+    sample_interval: float = 50.0
+    include_lookups: bool = True
+    octopus: OctopusConfig = field(default_factory=OctopusConfig)
+
+    def validate(self) -> None:
+        if self.attack not in ATTACKS:
+            raise ValueError(f"unknown attack {self.attack!r}; choose from {sorted(ATTACKS)}")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+
+@dataclass
+class SecurityExperimentResult:
+    """Everything the security figures and Table 2 need."""
+
+    config: SecurityExperimentConfig
+    #: (time, remaining malicious fraction) samples — Figures 3(a)/3(c)/4/9
+    malicious_fraction_series: List[Tuple[float, float]] = field(default_factory=list)
+    #: (time, cumulative lookups) and (time, cumulative biased lookups) — Figure 3(b)
+    lookups_series: List[Tuple[float, float]] = field(default_factory=list)
+    biased_lookups_series: List[Tuple[float, float]] = field(default_factory=list)
+    #: (bucket start, CA messages) — Figure 7(b)
+    ca_workload_series: List[Tuple[float, float]] = field(default_factory=list)
+    #: Table 2 accuracy metrics
+    false_positive_rate: float = 0.0
+    false_negative_rate: float = 0.0
+    false_alarm_rate: float = 0.0
+    identified_malicious: int = 0
+    identified_honest: int = 0
+    total_lookups: int = 0
+    total_biased_lookups: int = 0
+    final_malicious_fraction: float = 0.0
+    initial_malicious_fraction: float = 0.0
+
+
+class SecurityExperiment:
+    """Runs one security-simulation configuration end to end."""
+
+    def __init__(self, config: Optional[SecurityExperimentConfig] = None) -> None:
+        self.config = config or SecurityExperimentConfig()
+        self.config.validate()
+
+    # -------------------------------------------------------------------- run
+    def run(self) -> SecurityExperimentResult:
+        cfg = self.config
+        octopus_cfg = cfg.octopus.scaled_for(cfg.n_nodes)
+        network = OctopusNetwork.create(
+            n_nodes=cfg.n_nodes,
+            fraction_malicious=cfg.fraction_malicious,
+            seed=cfg.seed,
+            config=octopus_cfg,
+        )
+        engine = SimulationEngine()
+        rng = RandomSource(cfg.seed + 1)
+        metrics = MetricsRegistry()
+        result = SecurityExperimentResult(config=cfg)
+        result.initial_malicious_fraction = network.remaining_malicious_fraction()
+
+        adversary = Adversary(network.ring, rng, attack_rate=cfg.attack_rate)
+        factory = ATTACKS[cfg.attack]
+        if factory is not None:
+            adversary.install_behavior(lambda adv, node: factory(adv, node, cfg))
+
+        # ----------------------------------------------------------- lookups
+        lookups_counter = metrics.counter("lookups")
+        biased_counter = metrics.counter("biased-lookups")
+
+        def perform_lookup(node_id: int) -> None:
+            node = network.ring.get(node_id)
+            if node is None or not node.alive:
+                return
+            key = network.ring.random_key(rng.stream("workload"))
+            outcome = network.lookup(node_id, key, now=engine.now)
+            lookups_counter.increment()
+            if outcome.biased:
+                biased_counter.increment()
+            # Selective-DoS defense: investigate any drop the lookup suffered.
+            if outcome.drop_culprits:
+                self._investigate_drops(network, node_id, outcome)
+
+        # ------------------------------------------------------ periodic tasks
+        honest_ids = network.ring.honest_ids(alive_only=True)
+        network.schedule_protocols(engine, node_ids=honest_ids, include_lookups=False)
+        if cfg.include_lookups:
+            jitter = rng.stream("lookup-jitter")
+            for node_id in honest_ids:
+                engine.schedule_periodic(
+                    octopus_cfg.lookup_interval,
+                    lambda nid=node_id: perform_lookup(nid),
+                    start=jitter.uniform(0.0, octopus_cfg.lookup_interval),
+                )
+
+        # --------------------------------------------------------------- churn
+        churn_config = ChurnConfig.from_minutes(cfg.churn_lifetime_minutes)
+        if churn_config.enabled:
+            def rejoin(nid: int) -> None:
+                # Revoked nodes never rejoin; everyone else comes back with a
+                # freshly rebuilt routing state and a recorded join time.
+                if nid in network.ring.removed_ids:
+                    return
+                network.ring.mark_alive(nid, now=engine.now)
+
+            churn = ChurnProcess(
+                engine,
+                churn_config,
+                rng.spawn("churn"),
+                on_leave=network.ring.mark_dead,
+                on_join=rejoin,
+            )
+            churn.start(list(network.ring.nodes))
+
+        # ------------------------------------------------------------ sampling
+        def sample() -> None:
+            t = engine.now
+            result.malicious_fraction_series.append((t, network.remaining_malicious_fraction()))
+            result.lookups_series.append((t, lookups_counter.value))
+            result.biased_lookups_series.append((t, biased_counter.value))
+
+        engine.schedule_periodic(cfg.sample_interval, sample, start=0.0)
+
+        engine.run(until=cfg.duration)
+        sample()
+
+        # --------------------------------------------------------- aggregation
+        stats = network.identification.stats
+        result.false_positive_rate = stats.false_positive_rate
+        result.false_negative_rate = stats.false_negative_rate
+        result.false_alarm_rate = stats.false_alarm_rate
+        result.identified_malicious = stats.identified_malicious
+        result.identified_honest = stats.identified_honest
+        result.total_lookups = int(lookups_counter.value)
+        result.total_biased_lookups = int(biased_counter.value)
+        result.final_malicious_fraction = network.remaining_malicious_fraction()
+        result.ca_workload_series = [
+            (t, float(count))
+            for t, count in network.ca.workload_buckets(bucket_seconds=cfg.sample_interval, horizon=cfg.duration)
+        ]
+        return result
+
+    # ----------------------------------------------------------------- helpers
+    def _investigate_drops(self, network: OctopusNetwork, initiator_id: int, outcome) -> None:
+        """File drop reports for every culprit recorded on a lookup."""
+        pairs = list(outcome.query_pairs)
+        if outcome.first_pair is not None:
+            pairs.append(outcome.first_pair)
+        for culprit in outcome.drop_culprits:
+            containing = next(
+                (p for p in pairs if culprit in (p.first, p.second)),
+                outcome.first_pair,
+            )
+            if containing is None or outcome.first_pair is None:
+                continue
+            relays = [outcome.first_pair.first, outcome.first_pair.second]
+            if containing is not outcome.first_pair:
+                relays.extend([containing.first, containing.second])
+            network.dos_defense.investigate_drop(initiator_id, relays, culprit, now=0.0)
+
+
+def run_attack_sweep(
+    attack: str,
+    attack_rates: Tuple[float, ...] = (1.0, 0.5),
+    base_config: Optional[SecurityExperimentConfig] = None,
+) -> Dict[float, SecurityExperimentResult]:
+    """Run one attack at several attack rates (the two curves of each figure)."""
+    results: Dict[float, SecurityExperimentResult] = {}
+    for rate in attack_rates:
+        config = base_config or SecurityExperimentConfig()
+        config = SecurityExperimentConfig(
+            n_nodes=config.n_nodes,
+            fraction_malicious=config.fraction_malicious,
+            duration=config.duration,
+            attack=attack,
+            attack_rate=rate,
+            collusion_consistency=config.collusion_consistency,
+            churn_lifetime_minutes=config.churn_lifetime_minutes,
+            seed=config.seed,
+            sample_interval=config.sample_interval,
+            include_lookups=config.include_lookups,
+            octopus=config.octopus,
+        )
+        results[rate] = SecurityExperiment(config).run()
+    return results

@@ -1,0 +1,79 @@
+"""Timing-analysis experiment: Table 1.
+
+Thin harness around :class:`~repro.attacks.timing_analysis.TimingAnalysisAttack`
+that evaluates every (maximum relay delay, concurrent lookup rate) cell the
+paper reports and renders the same rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..attacks.timing_analysis import TimingAnalysisAttack, TimingAnalysisResult
+from ..sim.latency import KingLatencyModel
+from ..sim.rng import RandomSource
+
+
+@dataclass
+class TimingExperimentConfig:
+    """Parameters of the Table 1 reproduction."""
+
+    n_nodes: int = 1_000_000
+    fraction_malicious: float = 0.2
+    max_delays: Tuple[float, ...] = (0.100, 0.200)
+    concurrent_lookup_rates: Tuple[float, ...] = (0.005, 0.01, 0.05)
+    max_candidate_flows: int = 2000
+    seed: int = 0
+
+
+@dataclass
+class TimingExperimentResult:
+    """Every cell of Table 1."""
+
+    config: TimingExperimentConfig
+    cells: List[TimingAnalysisResult] = field(default_factory=list)
+
+    def table1_rows(self) -> List[Dict[str, object]]:
+        """Rows shaped like Table 1: one row per max delay, one column per alpha."""
+        rows: List[Dict[str, object]] = []
+        for delay in self.config.max_delays:
+            row: Dict[str, object] = {"max_delay_ms": int(round(delay * 1000))}
+            for cell in self.cells:
+                if abs(cell.max_delay - delay) < 1e-12:
+                    row[f"alpha_{cell.concurrent_lookup_rate * 100:.1f}pct"] = f"{cell.error_rate * 100:.2f}%"
+            rows.append(row)
+        return rows
+
+    def min_error_rate(self) -> float:
+        return min(cell.error_rate for cell in self.cells) if self.cells else 0.0
+
+    def max_information_leak(self) -> float:
+        return max(cell.information_leak_bits for cell in self.cells) if self.cells else 0.0
+
+
+class TimingExperiment:
+    """Runs the full Table 1 grid."""
+
+    def __init__(self, config: Optional[TimingExperimentConfig] = None) -> None:
+        self.config = config or TimingExperimentConfig()
+
+    def run(self) -> TimingExperimentResult:
+        cfg = self.config
+        attack = TimingAnalysisAttack(
+            latency_model=KingLatencyModel(seed=cfg.seed),
+            rng=RandomSource(cfg.seed),
+        )
+        result = TimingExperimentResult(config=cfg)
+        for delay in cfg.max_delays:
+            for alpha in cfg.concurrent_lookup_rates:
+                result.cells.append(
+                    attack.run(
+                        n_nodes=cfg.n_nodes,
+                        fraction_malicious=cfg.fraction_malicious,
+                        concurrent_lookup_rate=alpha,
+                        max_delay=delay,
+                        max_candidate_flows=cfg.max_candidate_flows,
+                    )
+                )
+        return result

@@ -1,0 +1,142 @@
+"""Node churn model.
+
+The paper models node lifetimes with an exponential distribution with mean
+``lambda`` minutes (Section 5.1) and evaluates identification accuracy under
+mean lifetimes of 60 minutes and 10 minutes (Table 2).  :class:`ChurnProcess`
+drives that model on top of the event engine: each node's session length is
+drawn from an exponential distribution, and when a node departs a replacement
+joins after an exponentially distributed downtime so the network size remains
+roughly constant (the standard "churned node rejoins with a fresh state"
+assumption used by the paper's simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .engine import SimulationEngine
+from .rng import RandomSource
+
+
+@dataclass
+class ChurnConfig:
+    """Configuration for the churn process.
+
+    Attributes
+    ----------
+    mean_lifetime_seconds:
+        Mean session length (the paper's ``lambda``, converted to seconds).
+        ``None`` or ``0`` disables churn entirely.
+    mean_downtime_seconds:
+        Mean time a departed node stays offline before rejoining.
+    """
+
+    mean_lifetime_seconds: Optional[float] = 3600.0
+    mean_downtime_seconds: float = 30.0
+
+    @classmethod
+    def from_minutes(cls, lifetime_minutes: Optional[float], downtime_seconds: float = 30.0) -> "ChurnConfig":
+        """Build a config from the paper's ``lambda`` in minutes."""
+        if lifetime_minutes is None:
+            return cls(mean_lifetime_seconds=None, mean_downtime_seconds=downtime_seconds)
+        return cls(
+            mean_lifetime_seconds=float(lifetime_minutes) * 60.0,
+            mean_downtime_seconds=downtime_seconds,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.mean_lifetime_seconds)
+
+
+@dataclass
+class ChurnEventLog:
+    """Record of departures and rejoins, useful for tests and the CA logic."""
+
+    departures: List[tuple] = field(default_factory=list)
+    rejoins: List[tuple] = field(default_factory=list)
+
+    def departures_of(self, node_id: int) -> int:
+        return sum(1 for (_, nid) in self.departures if nid == node_id)
+
+
+class ChurnProcess:
+    """Drives exponential churn for a set of nodes.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine used for scheduling.
+    config:
+        Lifetime/downtime configuration.
+    rng:
+        Random source (stream ``"churn"``).
+    on_leave / on_join:
+        Callbacks invoked with the node id when a node departs or rejoins.
+        These are wired to the DHT layer (remove from ring / re-run join).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        config: ChurnConfig,
+        rng: RandomSource,
+        on_leave: Callable[[int], None],
+        on_join: Callable[[int], None],
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.rng = rng
+        self.on_leave = on_leave
+        self.on_join = on_join
+        self.log = ChurnEventLog()
+        self._online: Dict[int, bool] = {}
+        self._stopped = False
+
+    # ---------------------------------------------------------------- control
+    def start(self, node_ids: List[int]) -> None:
+        """Begin the churn process for ``node_ids`` (no-op if churn disabled)."""
+        if not self.config.enabled:
+            return
+        for node_id in node_ids:
+            self._online[node_id] = True
+            self._schedule_departure(node_id)
+
+    def stop(self) -> None:
+        """Stop scheduling further churn events."""
+        self._stopped = True
+
+    def is_online(self, node_id: int) -> bool:
+        """Whether churn currently considers the node online."""
+        return self._online.get(node_id, True)
+
+    # --------------------------------------------------------------- internal
+    def _lifetime(self) -> float:
+        return self.rng.stream("churn").expovariate(1.0 / self.config.mean_lifetime_seconds)
+
+    def _downtime(self) -> float:
+        mean = max(self.config.mean_downtime_seconds, 1e-6)
+        return self.rng.stream("churn").expovariate(1.0 / mean)
+
+    def _schedule_departure(self, node_id: int) -> None:
+        self.engine.schedule(self._lifetime(), lambda: self._depart(node_id), name="churn-depart")
+
+    def _schedule_rejoin(self, node_id: int) -> None:
+        self.engine.schedule(self._downtime(), lambda: self._rejoin(node_id), name="churn-rejoin")
+
+    def _depart(self, node_id: int) -> None:
+        if self._stopped or not self._online.get(node_id, False):
+            return
+        self._online[node_id] = False
+        self.log.departures.append((self.engine.now, node_id))
+        self.on_leave(node_id)
+        self._schedule_rejoin(node_id)
+
+    def _rejoin(self, node_id: int) -> None:
+        if self._stopped:
+            return
+        self._online[node_id] = True
+        self.log.rejoins.append((self.engine.now, node_id))
+        self.on_join(node_id)
+        self._schedule_departure(node_id)

@@ -1,0 +1,39 @@
+"""Simulated wall clock.
+
+The clock is owned by the event engine; protocol code only ever reads it.
+Times are floating-point seconds since the start of the simulation.
+"""
+
+from __future__ import annotations
+
+
+class SimulationClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t``.
+
+        Raises
+        ------
+        ValueError
+            If ``t`` is earlier than the current time (time never flows
+            backwards in a discrete-event simulation).
+        """
+        if t < self._now:
+            raise ValueError(f"clock cannot move backwards: {t} < {self._now}")
+        self._now = float(t)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock (used when an engine is reused across runs)."""
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SimulationClock(now={self._now:.6f})"

@@ -1,0 +1,57 @@
+"""Event objects used by the discrete-event engine.
+
+An event couples a firing time with a callback.  Events are ordered by
+``(time, priority, sequence)`` so that ties are broken deterministically and
+insertion order is preserved among simultaneous events of equal priority.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+_sequence_counter = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulated time (seconds) at which the event fires.
+    priority:
+        Lower values fire first among events scheduled for the same time.
+    seq:
+        Monotonic tie-breaker preserving scheduling order.
+    callback:
+        Zero-argument callable invoked when the event fires (bound arguments
+        are captured with ``functools.partial`` or closures by the caller).
+    name:
+        Human-readable label used in traces.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    priority: int = 0
+    seq: int = field(default_factory=lambda: next(_sequence_counter))
+    callback: Optional[Callable[[], Any]] = field(default=None, compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped by the engine."""
+        self.cancelled = True
+
+    def fire(self) -> Any:
+        """Invoke the callback (no-op for cancelled or callback-less events)."""
+        if self.cancelled or self.callback is None:
+            return None
+        return self.callback()
+
+    def key(self) -> Tuple[float, int, int]:
+        """The full ordering key, exposed for tests."""
+        return (self.time, self.priority, self.seq)

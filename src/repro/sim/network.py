@@ -1,0 +1,140 @@
+"""Message-level network model.
+
+:class:`SimulatedNetwork` delivers messages between registered endpoints using
+a :class:`~repro.sim.latency.LatencyModel` for delays and a
+:class:`~repro.sim.bandwidth.BandwidthAccountant` for byte accounting.
+Messages destined for dead (churned-out) endpoints are dropped, mirroring a
+UDP transport; protocol code that needs reliability implements its own
+timeouts on top, as the paper's prototype does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from .bandwidth import BandwidthAccountant
+from .engine import SimulationEngine
+from .latency import ConstantLatencyModel, LatencyModel
+from .rng import RandomSource
+
+
+@dataclass
+class Message:
+    """A protocol message in flight.
+
+    Attributes
+    ----------
+    src, dst:
+        Endpoint identifiers (node ids in this reproduction).
+    msg_type:
+        Short string naming the protocol message (e.g. ``"get_routing_table"``).
+    payload:
+        Arbitrary structured content; never serialised, sizes are accounted
+        separately through the message-size model.
+    size_bytes:
+        Wire size used for bandwidth accounting.
+    send_time:
+        Simulated time at which the message was sent.
+    """
+
+    src: int
+    dst: int
+    msg_type: str
+    payload: Any = None
+    size_bytes: int = 0
+    send_time: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class SimulatedNetwork:
+    """Delivers :class:`Message` objects between registered endpoints."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        latency_model: Optional[LatencyModel] = None,
+        rng: Optional[RandomSource] = None,
+        accountant: Optional[BandwidthAccountant] = None,
+        drop_probability: float = 0.0,
+    ) -> None:
+        self.engine = engine
+        self.latency_model = latency_model or ConstantLatencyModel()
+        self.rng = rng or RandomSource(0)
+        self.accountant = accountant or BandwidthAccountant()
+        self.drop_probability = float(drop_probability)
+        self._handlers: Dict[int, Callable[[Message], None]] = {}
+        self._alive: Dict[int, bool] = {}
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -------------------------------------------------------------- endpoints
+    def register(self, endpoint: int, handler: Callable[[Message], None]) -> None:
+        """Register ``handler`` to receive messages addressed to ``endpoint``."""
+        self._handlers[endpoint] = handler
+        self._alive[endpoint] = True
+
+    def unregister(self, endpoint: int) -> None:
+        """Remove an endpoint entirely (e.g. permanent removal by the CA)."""
+        self._handlers.pop(endpoint, None)
+        self._alive.pop(endpoint, None)
+
+    def set_alive(self, endpoint: int, alive: bool) -> None:
+        """Mark an endpoint as alive or churned-out without unregistering it."""
+        if endpoint in self._handlers:
+            self._alive[endpoint] = alive
+
+    def is_alive(self, endpoint: int) -> bool:
+        """Whether the endpoint is currently reachable."""
+        return self._alive.get(endpoint, False)
+
+    # ----------------------------------------------------------------- sending
+    def send(
+        self,
+        src: int,
+        dst: int,
+        msg_type: str,
+        payload: Any = None,
+        size_bytes: int = 0,
+        extra_delay: float = 0.0,
+    ) -> Message:
+        """Send a message; delivery is scheduled on the engine.
+
+        The message is accounted for bandwidth purposes even if it is later
+        dropped (the bytes were still transmitted by the sender).
+        """
+        message = Message(
+            src=src,
+            dst=dst,
+            msg_type=msg_type,
+            payload=payload,
+            size_bytes=size_bytes,
+            send_time=self.engine.now,
+        )
+        self.messages_sent += 1
+        self.accountant.record(src, dst, size_bytes)
+
+        jitter_rng = self.rng.stream("network-jitter")
+        delay = self.latency_model.sample_delay(src, dst, jitter_rng) + max(extra_delay, 0.0)
+
+        drop_rng = self.rng.stream("network-drop")
+        dropped = self.drop_probability > 0 and drop_rng.random() < self.drop_probability
+
+        def _deliver() -> None:
+            handler = self._handlers.get(dst)
+            if handler is None or not self._alive.get(dst, False) or dropped:
+                self.messages_dropped += 1
+                return
+            self.messages_delivered += 1
+            handler(message)
+
+        self.engine.schedule(delay, _deliver, name=f"deliver:{msg_type}")
+        return message
+
+    # ------------------------------------------------------------- statistics
+    def delivery_ratio(self) -> float:
+        """Fraction of sent messages that were delivered so far."""
+        if self.messages_sent == 0:
+            return 1.0
+        return self.messages_delivered / self.messages_sent

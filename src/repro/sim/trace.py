@@ -1,0 +1,83 @@
+"""Structured event tracing.
+
+A :class:`TraceLog` collects structured records of what happened during a
+simulation run (lookups issued, attacks detected, reports sent to the CA,
+messages dropped, ...).  Traces power both debugging and the adversary's
+"observation log": the paper assumes malicious nodes log every message they
+see and share them over a fast channel, which we model by letting the
+adversary read its own filtered view of the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class TraceRecord:
+    """One structured trace entry."""
+
+    time: float
+    category: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+
+class TraceLog:
+    """Append-only structured log with simple filtering helpers."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._records: List[TraceRecord] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def record(self, time: float, category: str, **data: Any) -> TraceRecord:
+        """Append a record; returns it for chaining."""
+        entry = TraceRecord(time=time, category=category, data=dict(data))
+        if self.capacity is not None and len(self._records) >= self.capacity:
+            self.dropped += 1
+            return entry
+        self._records.append(entry)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> List[TraceRecord]:
+        """Return records matching the given constraints."""
+        out = []
+        for rec in self._records:
+            if category is not None and rec.category != category:
+                continue
+            if since is not None and rec.time < since:
+                continue
+            if until is not None and rec.time > until:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, category: str) -> int:
+        """Number of records in a category."""
+        return sum(1 for rec in self._records if rec.category == category)
+
+    def categories(self) -> List[str]:
+        """Sorted list of distinct categories seen so far."""
+        return sorted({rec.category for rec in self._records})
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0

@@ -1,0 +1,259 @@
+"""Tests for entropy metrics, the lightweight ring, observation sampling and
+the anonymity estimators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anonymity.comparison import ComparisonAnonymityModel
+from repro.anonymity.entropy import (
+    combine_conditional,
+    degree_of_anonymity,
+    entropy,
+    entropy_of_counts,
+    information_leak,
+    max_entropy,
+)
+from repro.anonymity.initiator import InitiatorAnonymityEstimator
+from repro.anonymity.observations import AnonymityConfig, LookupSampler
+from repro.anonymity.presimulation import PresimulationBuilder
+from repro.anonymity.ring_model import LightweightRing
+from repro.anonymity.target import TargetAnonymityEstimator
+from repro.sim.rng import RandomSource
+
+
+class TestEntropy:
+    def test_uniform_distribution_maximal(self):
+        assert entropy([0.25] * 4) == pytest.approx(2.0)
+
+    def test_degenerate_distribution_zero(self):
+        assert entropy([1.0]) == 0.0
+
+    def test_bad_normalisation_rejected(self):
+        with pytest.raises(ValueError):
+            entropy([0.2, 0.2])
+
+    def test_entropy_of_counts(self):
+        assert entropy_of_counts([1, 1, 1, 1]) == pytest.approx(2.0)
+        assert entropy_of_counts([5, 0, 0]) == 0.0
+        assert entropy_of_counts([]) == 0.0
+
+    def test_max_entropy(self):
+        assert max_entropy(1024) == pytest.approx(10.0)
+        assert max_entropy(1) == 0.0
+
+    def test_information_leak_non_negative(self):
+        assert information_leak(10.0, 12.0) == pytest.approx(2.0)
+        assert information_leak(13.0, 12.0) == 0.0
+
+    def test_combine_conditional(self):
+        combined = combine_conditional([(0.5, 10.0), (0.5, 6.0)])
+        assert combined == pytest.approx(8.0)
+        with pytest.raises(ValueError):
+            combine_conditional([(0.2, 1.0)])
+
+    def test_degree_of_anonymity_bounds(self):
+        assert degree_of_anonymity(5.0, 10.0) == pytest.approx(0.5)
+        assert degree_of_anonymity(11.0, 10.0) == 1.0
+        assert degree_of_anonymity(1.0, 0.0) == 1.0
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=100.0), min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_entropy_of_counts_bounded_by_log_n(self, counts):
+        h = entropy_of_counts(counts)
+        assert 0.0 <= h <= math.log2(len(counts)) + 1e-9
+
+
+class TestLightweightRing:
+    def test_malicious_fraction_respected(self):
+        ring = LightweightRing(n_nodes=1000, fraction_malicious=0.2, seed=1)
+        assert sum(ring.malicious) == 200
+        assert ring.honest_count() == 800
+
+    def test_hop_distance_wraps(self):
+        ring = LightweightRing(n_nodes=100, seed=2)
+        assert ring.hop_distance(95, 5) == 10
+        assert ring.hop_distance(5, 95) == 90
+        assert ring.hop_distance(7, 7) == 0
+
+    def test_position_of_id_is_successor(self):
+        ring = LightweightRing(n_nodes=100, seed=3)
+        ident = ring.id_of(10) - 1
+        assert ring.position_of_id(ident) == 10
+
+    def test_query_path_terminates_near_target(self):
+        ring = LightweightRing(n_nodes=2000, seed=4)
+        rng = RandomSource(5).stream("t")
+        for _ in range(20):
+            initiator = rng.randrange(ring.n_nodes)
+            target = rng.randrange(ring.n_nodes)
+            path = ring.query_path_positions(initiator, target)
+            if path:
+                last = path[-1]
+                assert ring.hop_distance(last, target) <= 2
+
+    def test_query_path_logarithmic_length(self):
+        ring = LightweightRing(n_nodes=5000, seed=6)
+        rng = RandomSource(7).stream("t")
+        lengths = []
+        for _ in range(30):
+            initiator = rng.randrange(ring.n_nodes)
+            target = rng.randrange(ring.n_nodes)
+            lengths.append(len(ring.query_path_positions(initiator, target)))
+        assert max(lengths) < 40
+        assert sum(lengths) / len(lengths) < 20
+
+    def test_query_density_increases_near_target(self):
+        ring = LightweightRing(n_nodes=5000, seed=8)
+        rng = RandomSource(9).stream("t")
+        near, far = 0, 0
+        for _ in range(50):
+            initiator = rng.randrange(ring.n_nodes)
+            target = rng.randrange(ring.n_nodes)
+            for pos in ring.query_path_positions(initiator, target):
+                if ring.hop_distance(pos, target) <= 16:
+                    near += 1
+                else:
+                    far += 1
+        assert near > 0
+        # Queries concentrate close to the target (range-estimation premise).
+        assert near >= far * 0.5
+
+    def test_too_small_ring_rejected(self):
+        with pytest.raises(ValueError):
+            LightweightRing(n_nodes=4)
+
+
+class TestLookupSampler:
+    def _sampler(self, f=0.2, dummies=4):
+        ring = LightweightRing(n_nodes=2000, fraction_malicious=f, seed=10)
+        config = AnonymityConfig(concurrent_lookup_rate=0.01, dummy_queries=dummies)
+        return LookupSampler(ring, config, rng=RandomSource(11))
+
+    def test_lookup_has_real_and_dummy_queries(self):
+        sampler = self._sampler()
+        lookup = sampler.sample_lookup(stream_name="t1")
+        dummies = [q for q in lookup.queries if q.is_dummy]
+        reals = [q for q in lookup.queries if not q.is_dummy]
+        assert len(dummies) == 4
+        assert len(reals) >= 1
+
+    def test_no_observations_with_no_malicious_nodes(self):
+        sampler = self._sampler(f=0.0)
+        for i in range(10):
+            lookup = sampler.sample_lookup(stream_name=f"t{i}")
+            assert not lookup.target_observed
+            assert not any(q.observed for q in lookup.queries)
+            assert not lookup.initiator_observed
+
+    def test_linkable_implies_observed(self):
+        sampler = self._sampler(f=0.3)
+        for i in range(30):
+            lookup = sampler.sample_lookup(stream_name=f"t{i}")
+            for q in lookup.queries:
+                if q.linkable_to_initiator:
+                    assert q.observed
+
+    def test_b_linkability_closure(self):
+        sampler = self._sampler(f=0.4)
+        for i in range(40):
+            lookup = sampler.sample_lookup(stream_name=f"t{i}")
+            if any(q.linkable_to_initiator and q.linkable_to_b for q in lookup.queries):
+                for q in lookup.queries:
+                    if q.linkable_to_b:
+                        assert q.linkable_to_initiator
+
+    def test_expected_concurrent(self):
+        sampler = self._sampler()
+        assert sampler.expected_concurrent() == 20
+
+
+class TestPresimulation:
+    def test_distributions_are_normalised_enough(self):
+        ring = LightweightRing(n_nodes=2000, fraction_malicious=0.2, seed=12)
+        dist = PresimulationBuilder(ring).build(n_samples=500)
+        assert dist.xi_total > 0
+        assert dist.chi_total > 0
+        # xi should put more mass on small distances than on huge ones.
+        assert dist.xi(1) > dist.xi(ring.n_nodes // 2)
+
+    def test_gamma_favours_positions_close_to_lower_bound(self):
+        ring = LightweightRing(n_nodes=2000, fraction_malicious=0.2, seed=13)
+        dist = PresimulationBuilder(ring).build(n_samples=800)
+        assert dist.gamma(1, 64) >= dist.gamma(60, 64)
+
+
+class TestAnonymityEstimators:
+    def _ring(self, f=0.2, n=3000, seed=14):
+        return LightweightRing(n_nodes=n, fraction_malicious=f, seed=seed)
+
+    def test_perfect_anonymity_with_no_adversary(self):
+        ring = self._ring(f=0.0)
+        init = InitiatorAnonymityEstimator(ring, AnonymityConfig(dummy_queries=4), presim_samples=300)
+        res = init.estimate(n_worlds=60)
+        assert res.information_leak_bits == pytest.approx(0.0, abs=1e-6)
+        tgt = TargetAnonymityEstimator(ring, AnonymityConfig(dummy_queries=4), presim_samples=300)
+        rest = tgt.estimate(n_worlds=60)
+        assert rest.information_leak_bits == pytest.approx(0.0, abs=1e-6)
+
+    def test_leak_increases_with_malicious_fraction(self):
+        low = InitiatorAnonymityEstimator(self._ring(f=0.05), presim_samples=300).estimate(n_worlds=80)
+        high = InitiatorAnonymityEstimator(self._ring(f=0.25), presim_samples=300).estimate(n_worlds=80)
+        assert high.information_leak_bits > low.information_leak_bits
+
+    def test_octopus_leak_small_at_paper_operating_point(self):
+        ring = self._ring(f=0.2, n=5000)
+        config = AnonymityConfig(concurrent_lookup_rate=0.01, dummy_queries=6)
+        init = InitiatorAnonymityEstimator(ring, config, presim_samples=400).estimate(n_worlds=120)
+        tgt = TargetAnonymityEstimator(ring, config, presim_samples=400).estimate(n_worlds=120)
+        # Headline claim shape: only a fraction of a bit to ~1 bit leaked.
+        assert init.information_leak_bits < 1.5
+        assert tgt.information_leak_bits < 1.5
+
+    def test_entropy_never_exceeds_ideal(self):
+        ring = self._ring(f=0.2)
+        res = TargetAnonymityEstimator(ring, presim_samples=300).estimate(n_worlds=60)
+        assert res.entropy_bits <= res.ideal_entropy_bits + 1e-9
+
+
+class TestComparisonModels:
+    def test_octopus_beats_prior_schemes(self):
+        ring = LightweightRing(n_nodes=5000, fraction_malicious=0.2, seed=15)
+        config = AnonymityConfig(concurrent_lookup_rate=0.01, dummy_queries=6)
+        octopus_init = InitiatorAnonymityEstimator(ring, config, presim_samples=400).estimate(n_worlds=120)
+        octopus_tgt = TargetAnonymityEstimator(ring, config, presim_samples=400).estimate(n_worlds=120)
+        comparison = ComparisonAnonymityModel(ring, concurrent_lookup_rate=0.01)
+        schemes = comparison.all_schemes()
+        for name, scheme in schemes.items():
+            assert octopus_init.information_leak_bits < scheme.initiator.information_leak_bits, name
+            assert octopus_tgt.information_leak_bits < scheme.target.information_leak_bits, name
+
+    def test_nisan_and_chord_leak_target_badly(self):
+        ring = LightweightRing(n_nodes=5000, fraction_malicious=0.2, seed=16)
+        comparison = ComparisonAnonymityModel(ring, concurrent_lookup_rate=0.01)
+        schemes = comparison.all_schemes()
+        # Key-revealing / range-estimation-vulnerable schemes leak far more
+        # about the target than about the initiator.
+        assert schemes["nisan"].target.information_leak_bits > 3.0
+        assert schemes["chord"].target.information_leak_bits > 3.0
+
+    def test_torsk_protects_initiator_better_than_chord(self):
+        ring = LightweightRing(n_nodes=5000, fraction_malicious=0.2, seed=17)
+        comparison = ComparisonAnonymityModel(ring, concurrent_lookup_rate=0.01)
+        schemes = comparison.all_schemes()
+        assert (
+            schemes["torsk"].target.information_leak_bits
+            > schemes["torsk"].initiator.information_leak_bits - 5.0
+        )
+
+    def test_leak_grows_with_f_for_all_schemes(self):
+        low_ring = LightweightRing(n_nodes=3000, fraction_malicious=0.05, seed=18)
+        high_ring = LightweightRing(n_nodes=3000, fraction_malicious=0.25, seed=18)
+        low = ComparisonAnonymityModel(low_ring, 0.01).all_schemes()
+        high = ComparisonAnonymityModel(high_ring, 0.01).all_schemes()
+        for name in ("chord", "nisan", "torsk"):
+            assert high[name].initiator.information_leak_bits >= low[name].initiator.information_leak_bits

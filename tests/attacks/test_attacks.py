@@ -1,0 +1,223 @@
+"""Tests for the adversary coordination and the active/passive attack models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.adversary import Adversary
+from repro.attacks.fingertable_manipulation import FingertableManipulationBehavior
+from repro.attacks.fingertable_pollution import FingertablePollutionBehavior
+from repro.attacks.lookup_bias import LookupBiasBehavior
+from repro.attacks.range_estimation import RangeEstimator
+from repro.attacks.selective_dos import SelectiveDosBehavior
+from repro.attacks.timing_analysis import TimingAnalysisAttack
+from repro.chord.lookup import iterative_lookup, oracle_query_path
+from repro.sim.rng import RandomSource
+
+
+class TestAdversary:
+    def test_controls_exactly_the_malicious_set(self, small_ring):
+        adversary = Adversary(small_ring, RandomSource(1))
+        assert set(adversary.controlled_ids(alive_only=False)) == small_ring.malicious_ids
+        for nid in small_ring.honest_ids():
+            assert not adversary.controls(nid)
+
+    def test_install_behavior_only_on_malicious(self, small_ring):
+        adversary = Adversary(small_ring, RandomSource(1))
+        count = adversary.install_behavior(lambda adv, node: LookupBiasBehavior(adv, node))
+        assert count == len(small_ring.malicious_ids)
+        for nid in small_ring.honest_ids():
+            assert not small_ring.node(nid).behavior.is_malicious
+
+    def test_reset_behaviors(self, small_ring):
+        adversary = Adversary(small_ring, RandomSource(1))
+        adversary.install_behavior(lambda adv, node: LookupBiasBehavior(adv, node))
+        adversary.reset_behaviors()
+        for nid in small_ring.malicious_ids:
+            assert not small_ring.node(nid).behavior.is_malicious
+
+    def test_attack_rate_bounds(self, small_ring):
+        with pytest.raises(ValueError):
+            Adversary(small_ring, RandomSource(1), attack_rate=1.5)
+        always = Adversary(small_ring, RandomSource(1), attack_rate=1.0)
+        never = Adversary(small_ring, RandomSource(1), attack_rate=0.0)
+        assert all(always.should_attack() for _ in range(10))
+        assert not any(never.should_attack() for _ in range(10))
+
+    def test_colluders_near_sorted_by_distance(self, small_ring):
+        adversary = Adversary(small_ring, RandomSource(1))
+        key = small_ring.space.size // 2
+        colluders = adversary.colluders_near(key, count=5)
+        dists = [small_ring.space.distance(key, c) for c in colluders]
+        assert dists == sorted(dists)
+        assert all(small_ring.is_malicious(c) for c in colluders)
+
+    def test_observation_log_shared(self, small_ring):
+        adversary = Adversary(small_ring, RandomSource(1))
+        adversary.observe(1.0, "query", node=5)
+        adversary.observe(2.0, "query", node=6)
+        assert adversary.observation_log.count("query") == 2
+        assert adversary.stats.queries_seen == 2
+
+
+class TestLookupBiasAttack:
+    def test_biases_lookup_results(self, small_ring):
+        adversary = Adversary(small_ring, RandomSource(2), attack_rate=1.0)
+        adversary.install_behavior(lambda adv, node: LookupBiasBehavior(adv, node))
+        rng = RandomSource(3).stream("keys")
+        biased = 0
+        for _ in range(40):
+            initiator = small_ring.random_alive_id(rng)
+            key = small_ring.random_key(rng)
+            result = iterative_lookup(small_ring, initiator, key, purpose="lookup")
+            if result.biased:
+                biased += 1
+                assert small_ring.is_malicious(result.result)
+        assert biased > 0
+
+    def test_does_not_attack_stabilization_by_default(self, small_ring):
+        adversary = Adversary(small_ring, RandomSource(2), attack_rate=1.0)
+        adversary.install_behavior(lambda adv, node: LookupBiasBehavior(adv, node))
+        malicious = small_ring.node(small_ring.malicious_alive_ids()[0])
+        reply = malicious.respond_successor_list(None, purpose="stabilize-successors", now=1.0)
+        assert tuple(reply.nodes) == tuple(malicious.successor_list.nodes)
+
+    def test_manipulated_list_contains_only_colluders(self, small_ring):
+        adversary = Adversary(small_ring, RandomSource(2), attack_rate=1.0)
+        adversary.install_behavior(lambda adv, node: LookupBiasBehavior(adv, node))
+        malicious = small_ring.node(small_ring.malicious_alive_ids()[0])
+        reply = malicious.respond_successor_list(None, purpose="anonymous-lookup", now=1.0)
+        assert all(small_ring.is_malicious(n) for n in reply.nodes)
+
+
+class TestFingertableAttacks:
+    def test_manipulated_fingers_point_to_colluders(self, small_ring):
+        adversary = Adversary(small_ring, RandomSource(4), attack_rate=1.0)
+        adversary.install_behavior(
+            lambda adv, node: FingertableManipulationBehavior(adv, node, fingers_to_manipulate=4)
+        )
+        malicious = small_ring.node(small_ring.malicious_alive_ids()[0])
+        table = malicious.respond_routing_table(None, purpose="random-walk", now=1.0)
+        manipulated = [n for _, n in table.fingers if n is not None and small_ring.is_malicious(n)]
+        assert len(manipulated) >= 1
+
+    def test_honest_contexts_not_manipulated(self, small_ring):
+        adversary = Adversary(small_ring, RandomSource(4), attack_rate=1.0)
+        adversary.install_behavior(lambda adv, node: FingertableManipulationBehavior(adv, node))
+        malicious = small_ring.node(small_ring.malicious_alive_ids()[0])
+        honest_table = malicious.snapshot(now=1.0)
+        audited = malicious.respond_routing_table(None, purpose="ca-audit", now=1.0)
+        assert audited.fingers == honest_table.fingers
+
+    def test_pollution_only_targets_finger_updates(self, small_ring):
+        adversary = Adversary(small_ring, RandomSource(5), attack_rate=1.0)
+        adversary.install_behavior(lambda adv, node: FingertablePollutionBehavior(adv, node))
+        malicious = small_ring.node(small_ring.malicious_alive_ids()[0])
+        normal = malicious.respond_routing_table(None, purpose="anonymous-lookup", now=1.0)
+        polluted = malicious.respond_routing_table(None, purpose="finger-update", now=1.0)
+        assert tuple(normal.successors) == tuple(malicious.successor_list.nodes)
+        assert all(small_ring.is_malicious(n) for n in polluted.successors)
+
+    def test_attack_rate_half_attacks_sometimes(self, small_ring):
+        adversary = Adversary(small_ring, RandomSource(6), attack_rate=0.5)
+        adversary.install_behavior(lambda adv, node: FingertablePollutionBehavior(adv, node))
+        malicious = small_ring.node(small_ring.malicious_alive_ids()[0])
+        outcomes = set()
+        for _ in range(30):
+            table = malicious.respond_routing_table(None, purpose="finger-update", now=1.0)
+            outcomes.add(all(small_ring.is_malicious(n) for n in table.successors))
+        assert outcomes == {True, False}
+
+
+class TestSelectiveDos:
+    def test_drops_only_when_first_relay_honest(self, small_ring):
+        adversary = Adversary(small_ring, RandomSource(7), attack_rate=1.0)
+        malicious_id = small_ring.malicious_alive_ids()[0]
+        adversary.install_behavior(lambda adv, node: SelectiveDosBehavior(adv, node), node_ids=[malicious_id])
+        node = small_ring.node(malicious_id)
+        honest_first = {"relays": [small_ring.honest_ids()[0]]}
+        malicious_first = {"relays": [small_ring.malicious_alive_ids()[1]]}
+        assert node.wants_to_drop("anonymous-lookup", honest_first, now=1.0)
+        assert not node.wants_to_drop("anonymous-lookup", malicious_first, now=1.0)
+
+    def test_does_not_drop_other_traffic(self, small_ring):
+        adversary = Adversary(small_ring, RandomSource(7), attack_rate=1.0)
+        malicious_id = small_ring.malicious_alive_ids()[0]
+        adversary.install_behavior(lambda adv, node: SelectiveDosBehavior(adv, node), node_ids=[malicious_id])
+        node = small_ring.node(malicious_id)
+        assert not node.wants_to_drop("stabilize-successors", {"relays": [small_ring.honest_ids()[0]]}, now=1.0)
+
+
+class TestRangeEstimation:
+    def test_range_contains_true_target(self, honest_ring):
+        estimator = RangeEstimator(honest_ring)
+        rng = RandomSource(8).stream("k")
+        hits = 0
+        trials = 0
+        for _ in range(20):
+            initiator = honest_ring.random_alive_id(rng)
+            key = honest_ring.random_key(rng)
+            target = honest_ring.true_successor(key)
+            path = oracle_query_path(honest_ring, initiator, key)
+            if len(path) < 2:
+                continue
+            trials += 1
+            estimate = estimator.estimate(path)
+            if estimate is not None and target in estimate.candidates:
+                hits += 1
+        assert trials > 0
+        assert hits / trials >= 0.8
+
+    def test_more_observations_narrow_the_range(self, honest_ring):
+        estimator = RangeEstimator(honest_ring)
+        rng = RandomSource(9).stream("k")
+        for _ in range(10):
+            initiator = honest_ring.random_alive_id(rng)
+            key = honest_ring.random_key(rng)
+            path = oracle_query_path(honest_ring, initiator, key)
+            if len(path) < 3:
+                continue
+            partial = estimator.estimate(path[:1])
+            full = estimator.estimate(path)
+            assert full.size <= partial.size
+
+    def test_filtering_test_accepts_real_subsets(self, honest_ring):
+        estimator = RangeEstimator(honest_ring)
+        rng = RandomSource(10).stream("k")
+        for _ in range(10):
+            initiator = honest_ring.random_alive_id(rng)
+            key = honest_ring.random_key(rng)
+            path = oracle_query_path(honest_ring, initiator, key)
+            assert estimator.passes_filtering_test(path)
+
+    def test_filtering_test_rejects_out_of_order_queries(self, honest_ring):
+        estimator = RangeEstimator(honest_ring)
+        rng = RandomSource(11).stream("k")
+        initiator = honest_ring.random_alive_id(rng)
+        key = honest_ring.random_key(rng)
+        path = oracle_query_path(honest_ring, initiator, key)
+        if len(path) >= 2:
+            reversed_path = list(reversed(path))
+            assert not estimator.passes_filtering_test(reversed_path)
+
+
+class TestTimingAnalysis:
+    def test_error_rate_high_with_relay_delay(self):
+        attack = TimingAnalysisAttack()
+        result = attack.run(n_nodes=100_000, concurrent_lookup_rate=0.01, max_delay=0.100, max_candidate_flows=400)
+        assert result.error_rate > 0.9
+        assert result.information_leak_bits < 2.0
+
+    def test_error_rate_lower_without_delay(self):
+        attack = TimingAnalysisAttack()
+        with_delay = attack.run(n_nodes=100_000, concurrent_lookup_rate=0.01, max_delay=0.100, max_candidate_flows=300)
+        without_delay = TimingAnalysisAttack().run(
+            n_nodes=100_000, concurrent_lookup_rate=0.01, max_delay=0.0, max_candidate_flows=300
+        )
+        assert without_delay.error_rate < with_delay.error_rate
+
+    def test_table1_grid_shape(self):
+        attack = TimingAnalysisAttack()
+        cells = attack.table1(n_nodes=50_000)
+        assert len(cells) == 6
+        assert {c.max_delay for c in cells} == {0.100, 0.200}

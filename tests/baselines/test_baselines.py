@@ -1,0 +1,143 @@
+"""Tests for the comparison lookups: Chord, Halo, NISAN and Torsk."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.chord_lookup import ChordLookupProtocol
+from repro.baselines.halo import HaloLookupProtocol
+from repro.baselines.nisan import NisanLookupProtocol
+from repro.baselines.torsk import TorskLookupProtocol
+from repro.sim.latency import ConstantLatencyModel
+from repro.sim.rng import RandomSource
+
+
+@pytest.fixture
+def latency():
+    return ConstantLatencyModel(0.010)
+
+
+def sample_workload(ring, n, seed=1):
+    rng = RandomSource(seed).stream("w")
+    return [(ring.random_alive_id(rng), ring.random_key(rng)) for _ in range(n)]
+
+
+class TestChordBaseline:
+    def test_correct_lookups_on_honest_ring(self, honest_ring, latency):
+        chord = ChordLookupProtocol(honest_ring, latency_model=latency)
+        for initiator, key in sample_workload(honest_ring, 20):
+            result = chord.lookup(initiator, key)
+            assert result.correct
+            assert result.latency > 0.0
+            assert result.bytes_sent > 0
+
+    def test_latency_proportional_to_hops(self, honest_ring, latency):
+        chord = ChordLookupProtocol(honest_ring, latency_model=latency)
+        for initiator, key in sample_workload(honest_ring, 10, seed=2):
+            result = chord.lookup(initiator, key)
+            assert result.latency == pytest.approx(result.lookup.hops * 2 * 0.010, rel=0.01)
+
+    def test_maintenance_bytes_positive(self, honest_ring):
+        chord = ChordLookupProtocol(honest_ring)
+        assert chord.maintenance_bytes_per_interval() > 0
+
+
+class TestHaloBaseline:
+    def test_correct_on_honest_ring(self, honest_ring, latency):
+        halo = HaloLookupProtocol(honest_ring, redundancy=4, sub_redundancy=2, latency_model=latency)
+        for initiator, key in sample_workload(honest_ring, 10, seed=3):
+            result = halo.lookup(initiator, key)
+            assert result.correct
+
+    def test_halo_slower_and_heavier_than_chord(self, honest_ring, latency):
+        chord = ChordLookupProtocol(honest_ring, latency_model=latency, rng=RandomSource(4))
+        halo = HaloLookupProtocol(honest_ring, latency_model=latency, rng=RandomSource(4))
+        chord_lat, halo_lat, chord_bytes, halo_bytes = 0.0, 0.0, 0, 0
+        for initiator, key in sample_workload(honest_ring, 10, seed=5):
+            c = chord.lookup(initiator, key)
+            h = halo.lookup(initiator, key)
+            chord_lat += c.latency
+            halo_lat += h.latency
+            chord_bytes += c.bytes_sent
+            halo_bytes += h.bytes_sent
+        assert halo_lat > chord_lat
+        assert halo_bytes > chord_bytes
+
+    def test_majority_tolerates_some_bias(self, small_ring, latency):
+        from repro.attacks.adversary import Adversary
+        from repro.attacks.lookup_bias import LookupBiasBehavior
+
+        adversary = Adversary(small_ring, RandomSource(6), attack_rate=1.0)
+        adversary.install_behavior(lambda adv, node: LookupBiasBehavior(adv, node))
+        halo = HaloLookupProtocol(small_ring, latency_model=latency, rng=RandomSource(7))
+        chord = ChordLookupProtocol(small_ring, latency_model=latency, rng=RandomSource(7))
+        halo_correct = chord_correct = 0
+        workload = sample_workload(small_ring, 25, seed=8)
+        for initiator, key in workload:
+            if small_ring.is_malicious(initiator):
+                continue
+            halo_correct += 1 if halo.lookup(initiator, key).correct else 0
+            chord_correct += 1 if chord.lookup(initiator, key).correct else 0
+        adversary.reset_behaviors()
+        assert halo_correct >= chord_correct
+
+    def test_invalid_redundancy_rejected(self, honest_ring):
+        with pytest.raises(ValueError):
+            HaloLookupProtocol(honest_ring, redundancy=0)
+
+
+class TestNisanBaseline:
+    def test_correct_on_honest_ring(self, honest_ring, latency):
+        nisan = NisanLookupProtocol(honest_ring, latency_model=latency)
+        for initiator, key in sample_workload(honest_ring, 15, seed=9):
+            result = nisan.lookup(initiator, key)
+            assert result.correct
+
+    def test_queries_whole_tables_so_bytes_exceed_chord(self, honest_ring, latency):
+        nisan = NisanLookupProtocol(honest_ring, latency_model=latency)
+        chord = ChordLookupProtocol(honest_ring, latency_model=latency)
+        nisan_bytes = chord_bytes = 0
+        for initiator, key in sample_workload(honest_ring, 10, seed=10):
+            nisan_bytes += nisan.lookup(initiator, key).bytes_sent
+            chord_bytes += chord.lookup(initiator, key).bytes_sent
+        assert nisan_bytes > chord_bytes
+
+    def test_redundancy_validation(self, honest_ring):
+        with pytest.raises(ValueError):
+            NisanLookupProtocol(honest_ring, redundancy=0)
+
+
+class TestTorskBaseline:
+    def test_correct_on_honest_ring(self, honest_ring, latency):
+        torsk = TorskLookupProtocol(honest_ring, latency_model=latency)
+        correct = 0
+        workload = sample_workload(honest_ring, 20, seed=11)
+        for initiator, key in workload:
+            result = torsk.lookup(initiator, key)
+            if result.correct:
+                correct += 1
+        assert correct >= len(workload) - 2  # buddy selection may rarely fail
+
+    def test_buddy_is_not_initiator(self, honest_ring, latency):
+        torsk = TorskLookupProtocol(honest_ring, latency_model=latency)
+        for initiator, key in sample_workload(honest_ring, 10, seed=12):
+            result = torsk.lookup(initiator, key)
+            assert result.buddy is None or result.buddy != initiator
+
+    def test_initiator_exposure_tracks_malicious_walk(self, small_ring, latency):
+        torsk = TorskLookupProtocol(small_ring, latency_model=latency, rng=RandomSource(13))
+        exposed = 0
+        total = 0
+        for initiator, key in sample_workload(small_ring, 30, seed=14):
+            if small_ring.is_malicious(initiator):
+                continue
+            result = torsk.lookup(initiator, key)
+            total += 1
+            exposed += 1 if result.initiator_exposed else 0
+        assert total > 0
+        # With 25% malicious nodes some but not all walks are exposed.
+        assert 0 < exposed < total
+
+    def test_walk_length_validation(self, honest_ring):
+        with pytest.raises(ValueError):
+            TorskLookupProtocol(honest_ring, walk_length=0)

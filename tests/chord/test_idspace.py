@@ -1,0 +1,134 @@
+"""Tests and property-based tests for identifier-space arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chord.idspace import IdSpace, closest_preceding, predecessor_of, successor_of
+
+SPACE = IdSpace(bits=16)
+ids_strategy = st.integers(min_value=0, max_value=SPACE.size - 1)
+
+
+class TestIdSpaceBasics:
+    def test_size(self):
+        assert IdSpace(bits=8).size == 256
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            IdSpace(bits=1)
+        with pytest.raises(ValueError):
+            IdSpace(bits=1000)
+
+    def test_normalize_wraps(self):
+        assert SPACE.normalize(SPACE.size + 5) == 5
+        assert SPACE.normalize(-1) == SPACE.size - 1
+
+    def test_hash_key_deterministic_and_in_range(self):
+        a = SPACE.hash_key("hello")
+        assert a == SPACE.hash_key("hello")
+        assert 0 <= a < SPACE.size
+        assert SPACE.hash_key("hello") != SPACE.hash_key("world")
+
+    def test_distance_clockwise(self):
+        assert SPACE.distance(10, 20) == 10
+        assert SPACE.distance(20, 10) == SPACE.size - 10
+        assert SPACE.distance(5, 5) == 0
+
+    def test_ideal_fingers(self):
+        fingers = SPACE.ideal_fingers(0, count=4)
+        assert fingers == [1, 2, 4, 8]
+
+    def test_ideal_finger_wraps(self):
+        assert SPACE.ideal_finger(SPACE.size - 1, 0) == 0
+
+    def test_ideal_finger_out_of_range(self):
+        with pytest.raises(ValueError):
+            SPACE.ideal_finger(0, SPACE.bits)
+
+
+class TestIntervals:
+    def test_simple_interval(self):
+        assert SPACE.in_interval(5, 1, 10)
+        assert not SPACE.in_interval(15, 1, 10)
+
+    def test_wraparound_interval(self):
+        start, end = SPACE.size - 10, 10
+        assert SPACE.in_interval(SPACE.size - 5, start, end)
+        assert SPACE.in_interval(5, start, end)
+        assert not SPACE.in_interval(100, start, end)
+
+    def test_endpoints_exclusive_by_default(self):
+        assert not SPACE.in_interval(1, 1, 10)
+        assert not SPACE.in_interval(10, 1, 10)
+
+    def test_inclusive_endpoints(self):
+        assert SPACE.in_interval(1, 1, 10, inclusive_start=True)
+        assert SPACE.in_interval(10, 1, 10, inclusive_end=True)
+
+    def test_degenerate_interval_is_whole_ring(self):
+        assert SPACE.in_interval(500, 7, 7)
+        assert not SPACE.in_interval(7, 7, 7)
+        assert SPACE.in_interval(7, 7, 7, inclusive_start=True)
+
+    @given(ident=ids_strategy, start=ids_strategy, end=ids_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_interval_membership_matches_distance_definition(self, ident, start, end):
+        """x in (start, end) iff 0 < dist(start, x) < dist(start, end) (non-degenerate)."""
+        if start == end:
+            return
+        expected = 0 < SPACE.distance(start, ident) < SPACE.distance(start, end)
+        assert SPACE.in_interval(ident, start, end) == expected
+
+    @given(a=ids_strategy, b=ids_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_distance_antisymmetry(self, a, b):
+        d_ab = SPACE.distance(a, b)
+        d_ba = SPACE.distance(b, a)
+        if a == b:
+            assert d_ab == d_ba == 0
+        else:
+            assert d_ab + d_ba == SPACE.size
+
+
+class TestSelectionHelpers:
+    def test_successor_of(self):
+        ids = [10, 20, 30]
+        assert successor_of(ids, 15, SPACE) == 20
+        assert successor_of(ids, 20, SPACE) == 20
+        assert successor_of(ids, 35, SPACE) == 10  # wraps
+
+    def test_predecessor_of(self):
+        ids = [10, 20, 30]
+        assert predecessor_of(ids, 15, SPACE) == 10
+        assert predecessor_of(ids, 10, SPACE) == 30  # strict predecessor wraps
+        assert predecessor_of(ids, 5, SPACE) == 30
+
+    def test_empty_sequences_rejected(self):
+        with pytest.raises(ValueError):
+            successor_of([], 5, SPACE)
+        with pytest.raises(ValueError):
+            predecessor_of([], 5, SPACE)
+
+    def test_closest_preceding(self):
+        ids = [10, 20, 30, 40]
+        assert closest_preceding(ids, key=35, node_id=5, space=SPACE) == 30
+        assert closest_preceding(ids, key=8, node_id=5, space=SPACE) is None
+
+    @given(id_set=st.sets(ids_strategy, min_size=1, max_size=30), key=ids_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_successor_is_closest_clockwise(self, id_set, key):
+        ids = sorted(id_set)
+        succ = successor_of(ids, key, SPACE)
+        d = SPACE.distance(key, succ)
+        assert all(SPACE.distance(key, other) >= d for other in ids)
+
+    @given(id_set=st.sets(ids_strategy, min_size=2, max_size=30), key=ids_strategy, node=ids_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_closest_preceding_is_in_interval(self, id_set, key, node):
+        ids = sorted(id_set)
+        result = closest_preceding(ids, key, node, SPACE)
+        if result is not None:
+            assert SPACE.in_interval(result, node, key)

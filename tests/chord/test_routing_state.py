@@ -1,0 +1,209 @@
+"""Tests for finger tables, neighbor lists, routing-table snapshots and bound checks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chord.fingertable import FingerTable
+from repro.chord.idspace import IdSpace
+from repro.chord.node import ChordNode
+from repro.chord.routing_table import BoundChecker, RoutingTableSnapshot
+from repro.chord.successor_list import NeighborList, SignedSuccessorList
+from repro.crypto.keys import verify
+
+SPACE = IdSpace(bits=16)
+
+
+class TestFingerTable:
+    def test_ideal_ids_cover_longest_ranges(self):
+        table = FingerTable(owner_id=100, space=SPACE, size=5)
+        # With 5 fingers in a 16-bit space the ideals are owner + 2^11 .. 2^15.
+        assert [table.ideal_id(i) for i in range(5)] == [100 + (1 << e) for e in range(11, 16)]
+
+    def test_fill_from_sorted_ids(self):
+        table = FingerTable(owner_id=0, space=SPACE, size=8)
+        ids = [10, 50, 200, 5000, 40000]
+        table.fill_from(sorted(ids))
+        assert table.get(0) == 5000    # ideal 256 -> successor 5000
+        assert table.get(4) == 5000    # ideal 4096 -> successor 5000
+        assert table.get(5) == 40000   # ideal 8192 -> successor 40000
+        assert table.get(7) == 40000   # ideal 32768 -> successor 40000
+
+    def test_fill_from_empty_rejected(self):
+        table = FingerTable(owner_id=0, space=SPACE, size=4)
+        with pytest.raises(ValueError):
+            table.fill_from([])
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            FingerTable(owner_id=0, space=SPACE, size=0)
+        with pytest.raises(ValueError):
+            FingerTable(owner_id=0, space=SPACE, size=SPACE.bits + 1)
+
+    def test_replace_node(self):
+        table = FingerTable(owner_id=0, space=SPACE, size=4)
+        for i in range(4):
+            table.set(i, 77)
+        assert table.replace_node(77, 88) == 4
+        assert table.nodes() == [88]
+
+    def test_nodes_deduplicated_in_order(self):
+        table = FingerTable(owner_id=0, space=SPACE, size=4)
+        table.set(0, 5)
+        table.set(1, 5)
+        table.set(2, 9)
+        assert table.nodes() == [5, 9]
+
+    def test_closest_preceding(self):
+        table = FingerTable(owner_id=0, space=SPACE, size=8)
+        table.set(0, 10)
+        table.set(1, 50)
+        table.set(2, 200)
+        table.set(3, 5000)
+        assert table.closest_preceding(key=300) == 200
+        assert table.closest_preceding(key=300, exclude={200}) == 50
+
+    def test_copy_is_independent(self):
+        table = FingerTable(owner_id=0, space=SPACE, size=4)
+        table.set(0, 1)
+        clone = table.copy()
+        clone.set(0, 2)
+        assert table.get(0) == 1
+
+
+class TestNeighborList:
+    def test_successor_ordering(self):
+        lst = NeighborList(owner_id=100, space=SPACE, capacity=3, direction=+1)
+        lst.update([500, 200, 300])
+        assert lst.nodes == [200, 300, 500]
+        assert lst.first() == 200
+
+    def test_predecessor_ordering(self):
+        lst = NeighborList(owner_id=100, space=SPACE, capacity=3, direction=-1)
+        lst.update([50, 90, 10])
+        assert lst.nodes == [90, 50, 10]
+
+    def test_capacity_keeps_closest(self):
+        lst = NeighborList(owner_id=0, space=SPACE, capacity=2, direction=+1)
+        lst.update([30, 10, 20])
+        assert lst.nodes == [10, 20]
+
+    def test_owner_and_duplicates_not_added(self):
+        lst = NeighborList(owner_id=5, space=SPACE, capacity=4)
+        assert not lst.add(5)
+        assert lst.add(7)
+        assert not lst.add(7)
+        assert len(lst) == 1
+
+    def test_wraparound_ordering(self):
+        lst = NeighborList(owner_id=SPACE.size - 5, space=SPACE, capacity=3, direction=+1)
+        lst.update([3, SPACE.size - 2, 10])
+        assert lst.nodes == [SPACE.size - 2, 3, 10]
+
+    def test_remove_and_replace_all(self):
+        lst = NeighborList(owner_id=0, space=SPACE, capacity=4)
+        lst.update([1, 2, 3])
+        assert lst.remove(2)
+        assert not lst.remove(2)
+        lst.replace_all([9, 8])
+        assert lst.nodes == [8, 9]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NeighborList(owner_id=0, space=SPACE, capacity=0)
+        with pytest.raises(ValueError):
+            NeighborList(owner_id=0, space=SPACE, capacity=2, direction=0)
+
+    @given(st.sets(st.integers(min_value=1, max_value=SPACE.size - 1), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_nodes_always_sorted_by_distance(self, candidates):
+        lst = NeighborList(owner_id=0, space=SPACE, capacity=6, direction=+1)
+        lst.update(candidates)
+        distances = [SPACE.distance(0, n) for n in lst.nodes]
+        assert distances == sorted(distances)
+        assert len(lst) <= 6
+
+
+class TestSnapshotsAndSigning:
+    def test_snapshot_is_signed_and_verifiable(self):
+        node = ChordNode(1234, SPACE, finger_count=6)
+        node.finger_table.fill_from([2000, 3000, 40000])
+        node.successor_list.update([2000, 3000])
+        snap = node.snapshot(now=5.0)
+        assert snap.signature is not None
+        assert verify(node.keypair.public_key, snap.payload(), snap.signature)
+
+    def test_tampered_snapshot_fails_verification(self):
+        node = ChordNode(1234, SPACE, finger_count=6)
+        node.successor_list.update([2000])
+        snap = node.snapshot(now=5.0)
+        forged = RoutingTableSnapshot(
+            owner_id=snap.owner_id,
+            fingers=snap.fingers,
+            successors=(9999,),
+            predecessors=snap.predecessors,
+            timestamp=snap.timestamp,
+            signature=snap.signature,
+        )
+        assert not verify(node.keypair.public_key, forged.payload(), forged.signature)
+
+    def test_signed_successor_list_verifiable(self):
+        node = ChordNode(77, SPACE)
+        node.successor_list.update([100, 200])
+        signed = node.signed_successor_list(now=1.0)
+        assert verify(node.keypair.public_key, signed.payload(), signed.signature)
+        assert signed.contains(100)
+
+    def test_snapshot_all_nodes_and_entry_count(self):
+        node = ChordNode(0, SPACE, finger_count=6)
+        node.finger_table.fill_from([10, 20])
+        node.successor_list.update([10, 30])
+        snap = node.snapshot()
+        # Every long-range ideal wraps around past 20, so all fingers point to 10.
+        assert set(snap.all_nodes()) == {10, 30}
+        assert snap.entry_count() == len(snap.fingers) + len(snap.successors)
+
+    def test_closest_preceding_on_snapshot(self):
+        node = ChordNode(0, SPACE, finger_count=8)
+        node.finger_table.fill_from([10, 100, 1000])
+        node.successor_list.update([10])
+        snap = node.snapshot()
+        # Fingers resolve to {1000, 10}; the closest node preceding 2000 is 1000.
+        assert snap.closest_preceding(2000, SPACE) == 1000
+
+
+class TestBoundChecker:
+    def _snapshot(self, owner, fingers, successors):
+        return RoutingTableSnapshot(owner_id=owner, fingers=tuple(fingers), successors=tuple(successors))
+
+    def test_accepts_plausible_table(self):
+        checker = BoundChecker(SPACE, expected_network_size=64, tolerance_factor=8.0)
+        gap = SPACE.size // 64
+        fingers = [(100 + (1 << i), 100 + (1 << i) + gap // 2) for i in range(4, 10)]
+        successors = [100 + gap // 2, 100 + gap, 100 + 2 * gap]
+        assert checker.check(self._snapshot(100, fingers, successors)).passed
+
+    def test_rejects_far_finger(self):
+        checker = BoundChecker(SPACE, expected_network_size=64, tolerance_factor=4.0)
+        ideal = 2000
+        bogus = (ideal + SPACE.size // 2) % SPACE.size
+        result = checker.check(self._snapshot(100, [(ideal, bogus)], [150]))
+        assert not result.passed
+        assert any("finger" in v for v in result.violations)
+
+    def test_rejects_unordered_successor_list(self):
+        checker = BoundChecker(SPACE, expected_network_size=64)
+        result = checker.check(self._snapshot(100, [], [300, 200]))
+        assert not result.passed
+
+    def test_rejects_overstretched_successor_list(self):
+        checker = BoundChecker(SPACE, expected_network_size=1024, tolerance_factor=2.0)
+        far = [(100 + (i + 1) * SPACE.size // 8) % SPACE.size for i in range(4)]
+        result = checker.check(self._snapshot(100, [], sorted(far, key=lambda x: SPACE.distance(100, x))))
+        assert not result.passed
+
+    def test_requires_at_least_two_nodes(self):
+        with pytest.raises(ValueError):
+            BoundChecker(SPACE, expected_network_size=1)

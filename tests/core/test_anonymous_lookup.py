@@ -1,0 +1,133 @@
+"""Tests for the Octopus anonymous multi-path lookup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.adversary import Adversary
+from repro.attacks.lookup_bias import LookupBiasBehavior
+from repro.core.config import OctopusConfig
+from repro.core.octopus_node import OctopusNetwork
+from repro.sim.latency import ConstantLatencyModel
+from repro.sim.rng import RandomSource
+
+
+class TestAnonymousLookupCorrectness:
+    def test_lookups_correct_without_attack(self, honest_network):
+        rng = RandomSource(1).stream("keys")
+        correct = 0
+        total = 25
+        for _ in range(total):
+            initiator = honest_network.random_honest_node()
+            key = honest_network.ring.random_key(rng)
+            result = honest_network.lookup(initiator, key)
+            if result.correct:
+                correct += 1
+        assert correct >= total - 1  # allow at most one relay-selection failure
+
+    def test_lookup_by_string_key(self, honest_network):
+        initiator = honest_network.random_honest_node()
+        handle = honest_network.node(initiator)
+        result = handle.lookup_key("some-application-object")
+        assert result.succeeded
+        assert result.result == honest_network.ring.true_successor(
+            honest_network.key_for("some-application-object")
+        )
+
+    def test_lookup_uses_separate_relay_pairs_per_query(self, honest_network):
+        initiator = honest_network.random_honest_node()
+        key = honest_network.ring.random_key(RandomSource(2).stream("k"))
+        result = honest_network.lookup(initiator, key)
+        assert len(result.query_pairs) >= 1
+        assert result.first_pair is not None
+
+    def test_dummy_queries_sent(self, honest_network):
+        initiator = honest_network.random_honest_node()
+        key = honest_network.ring.random_key(RandomSource(3).stream("k"))
+        result = honest_network.lookup(initiator, key)
+        assert len(result.dummy_targets) == honest_network.config.dummy_queries
+        dummy_obs = [o for o in result.observations if o.is_dummy]
+        assert len(dummy_obs) == honest_network.config.dummy_queries
+
+    def test_no_dummies_when_disabled(self, honest_network):
+        initiator = honest_network.random_honest_node()
+        key = honest_network.ring.random_key(RandomSource(4).stream("k"))
+        result = honest_network.lookup(initiator, key, with_dummies=False)
+        assert result.dummy_targets == []
+
+    def test_latency_recorded_with_latency_model(self):
+        network = OctopusNetwork.create(
+            n_nodes=60,
+            fraction_malicious=0.0,
+            seed=21,
+            config=OctopusConfig(expected_network_size=60),
+            id_bits=24,
+            latency_model=ConstantLatencyModel(0.005),
+        )
+        initiator = network.random_honest_node()
+        key = network.ring.random_key(RandomSource(5).stream("k"))
+        result = network.lookup(initiator, key)
+        assert result.latency > 0.0
+
+    def test_messages_counted(self, honest_network):
+        initiator = honest_network.random_honest_node()
+        key = honest_network.ring.random_key(RandomSource(6).stream("k"))
+        result = honest_network.lookup(initiator, key)
+        assert result.messages_sent >= result.hops + len(result.dummy_targets)
+
+    def test_unknown_initiator_rejected(self, honest_network):
+        with pytest.raises(KeyError):
+            honest_network.lookup(123456789, 42)
+
+    def test_observations_cover_all_queries(self, honest_network):
+        initiator = honest_network.random_honest_node()
+        key = honest_network.ring.random_key(RandomSource(7).stream("k"))
+        result = honest_network.lookup(initiator, key)
+        # One observation per non-dropped query (real + dummy).
+        assert len(result.observations) == result.hops + len(result.dummy_targets)
+
+    def test_key_never_disclosed_to_queried_nodes(self, honest_network):
+        """Octopus conceals the key: queried nodes return whole tables and the
+        protocol never asks them anything key-specific, so the adversary's only
+        key-related signal is which nodes were queried (range estimation)."""
+        initiator = honest_network.random_honest_node()
+        key = honest_network.ring.random_key(RandomSource(8).stream("k"))
+        result = honest_network.lookup(initiator, key)
+        for queried in result.path:
+            node = honest_network.ring.node(queried)
+            # Nodes only ever answered whole-table requests.
+            assert node.stats.queries_answered >= 1
+
+
+class TestAnonymousLookupUnderAttack:
+    def test_bias_attack_causes_wrong_results(self, small_network):
+        adversary = Adversary(small_network.ring, RandomSource(11), attack_rate=1.0)
+        adversary.install_behavior(lambda adv, node: LookupBiasBehavior(adv, node))
+        rng = RandomSource(12).stream("keys")
+        wrong = 0
+        for _ in range(20):
+            initiator = small_network.random_honest_node()
+            key = small_network.ring.random_key(rng)
+            result = small_network.lookup(initiator, key)
+            if result.succeeded and not result.correct:
+                wrong += 1
+        adversary.reset_behaviors()
+        assert wrong >= 1  # at least some lookups were successfully biased
+
+    def test_malicious_queried_nodes_tracked(self, small_network):
+        rng = RandomSource(13).stream("keys")
+        observed = False
+        for _ in range(15):
+            initiator = small_network.random_honest_node()
+            key = small_network.ring.random_key(rng)
+            result = small_network.lookup(initiator, key)
+            if result.malicious_queried:
+                observed = True
+                assert all(small_network.ring.is_malicious(n) for n in result.malicious_queried)
+        assert observed
+
+    def test_summary_reports_consistent_state(self, small_network):
+        summary = small_network.summary()
+        assert summary["n_nodes"] == len(small_network.ring)
+        assert 0.0 <= summary["malicious_remaining_fraction"] <= 1.0
+        assert summary["false_positive_rate"] == 0.0

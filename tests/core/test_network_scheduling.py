@@ -1,0 +1,106 @@
+"""Engine-driven integration tests: the paper's periodic protocol schedule,
+churn, and end-to-end behaviour of the OctopusNetwork facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.adversary import Adversary
+from repro.attacks.lookup_bias import LookupBiasBehavior
+from repro.core.config import OctopusConfig, PAPER_EFFICIENCY_CONFIG, PAPER_SECURITY_CONFIG
+from repro.core.octopus_node import OctopusNetwork
+from repro.sim.churn import ChurnConfig, ChurnProcess
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RandomSource
+
+
+class TestOctopusConfig:
+    def test_paper_configs_are_valid(self):
+        PAPER_SECURITY_CONFIG.validate()
+        PAPER_EFFICIENCY_CONFIG.validate()
+
+    def test_scaled_for_updates_bound_checker_size(self):
+        config = OctopusConfig().scaled_for(5000)
+        assert config.expected_network_size == 5000
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            OctopusConfig(random_walk_phase_length=1).validate()
+        with pytest.raises(ValueError):
+            OctopusConfig(relay_pairs_per_lookup=0).validate()
+        with pytest.raises(ValueError):
+            OctopusConfig(dummy_queries=-1).validate()
+        with pytest.raises(ValueError):
+            OctopusConfig(stabilize_interval=0).validate()
+        with pytest.raises(ValueError):
+            OctopusConfig(concurrent_lookup_rate=2.0).validate()
+
+
+class TestScheduledProtocols:
+    def _network(self, seed=31, n=70, f=0.2):
+        return OctopusNetwork.create(
+            n_nodes=n, fraction_malicious=f, seed=seed, config=OctopusConfig(expected_network_size=n), id_bits=24
+        )
+
+    def test_scheduled_protocols_run_and_keep_ring_consistent(self):
+        network = self._network(f=0.0, n=50)
+        engine = SimulationEngine()
+        network.schedule_protocols(engine, include_lookups=True)
+        engine.run(until=120.0)
+        assert engine.events_processed > 0
+        # Maintenance kept the successor invariant intact.
+        alive = network.ring.alive_ids_sorted()
+        for idx, nid in enumerate(alive):
+            node = network.ring.node(nid)
+            assert node.successor == alive[(idx + 1) % len(alive)]
+
+    def test_scheduled_surveillance_removes_attackers(self):
+        network = self._network(seed=33)
+        adversary = Adversary(network.ring, RandomSource(1), attack_rate=1.0)
+        adversary.install_behavior(lambda adv, node: LookupBiasBehavior(adv, node))
+        engine = SimulationEngine()
+        network.schedule_protocols(engine, include_lookups=True)
+        engine.run(until=240.0)
+        assert network.remaining_malicious_fraction() < 0.1
+        assert network.identification.stats.false_positive_rate <= 0.05
+
+    def test_churned_nodes_resume_after_rejoin(self):
+        network = self._network(f=0.0, n=50, seed=35)
+        engine = SimulationEngine()
+        network.schedule_protocols(engine)
+        churn = ChurnProcess(
+            engine,
+            ChurnConfig(mean_lifetime_seconds=60.0, mean_downtime_seconds=10.0),
+            RandomSource(3),
+            on_leave=network.ring.mark_dead,
+            on_join=lambda nid: network.ring.mark_alive(nid, now=engine.now),
+        )
+        churn.start(list(network.ring.nodes))
+        engine.run(until=200.0)
+        # The network keeps a healthy majority of nodes alive and lookups work.
+        alive = network.ring.alive_ids_sorted()
+        assert len(alive) > 0.5 * len(network.ring)
+        # Routing state right after heavy churn can be partially stale, so a
+        # single lookup may fail; across a handful of attempts at least one
+        # must complete.
+        rng = RandomSource(9).stream("k")
+        successes = 0
+        for _ in range(5):
+            initiator = network.random_honest_node()
+            result = network.lookup(initiator, network.ring.random_key(rng), now=engine.now)
+            successes += 1 if result.succeeded else 0
+        assert successes >= 1
+
+    def test_lookup_correct_after_long_schedule(self):
+        network = self._network(f=0.0, n=60, seed=37)
+        engine = SimulationEngine()
+        network.schedule_protocols(engine, include_lookups=False)
+        engine.run(until=180.0)
+        rng = RandomSource(5).stream("k")
+        correct = 0
+        for _ in range(10):
+            initiator = network.random_honest_node()
+            key = network.ring.random_key(rng)
+            if network.lookup(initiator, key, now=engine.now).correct:
+                correct += 1
+        assert correct >= 9

@@ -1,0 +1,219 @@
+"""Tests for the two-phase random walk and anonymous paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.adversary import Adversary
+from repro.attacks.fingertable_manipulation import FingertableManipulationBehavior
+from repro.attacks.selective_dos import SelectiveDosBehavior
+from repro.core.anonymous_path import AnonymousPath
+from repro.core.config import OctopusConfig
+from repro.core.random_walk import RandomWalkProtocol, RelayPair
+from repro.sim.latency import ConstantLatencyModel
+from repro.sim.rng import RandomSource
+
+
+class TestRandomWalk:
+    def _walker(self, network, **overrides):
+        cfg = network.config
+        return RandomWalkProtocol(network.ring, cfg, RandomSource(77), **overrides)
+
+    def test_walk_succeeds_and_selects_two_distinct_relays(self, honest_network):
+        walker = self._walker(honest_network)
+        initiator = honest_network.random_honest_node()
+        result = walker.perform(initiator)
+        assert result.succeeded
+        assert result.relay_pair is not None
+        assert result.relay_pair.first != result.relay_pair.second
+
+    def test_walk_visits_two_phases_of_hops(self, honest_network):
+        walker = self._walker(honest_network)
+        initiator = honest_network.random_honest_node()
+        result = walker.perform(initiator)
+        l = honest_network.config.random_walk_phase_length
+        assert len(result.hops) >= 2 * l
+
+    def test_walk_buffers_fingertables_at_initiator(self, honest_network):
+        initiator = honest_network.random_honest_node()
+        node = honest_network.ring.node(initiator)
+        node.buffered_fingertables.clear()
+        walker = self._walker(honest_network)
+        result = walker.perform(initiator)
+        assert result.succeeded
+        assert len(node.buffered_fingertables) >= 1
+
+    def test_walk_relays_are_alive_nodes(self, honest_network):
+        walker = self._walker(honest_network)
+        initiator = honest_network.random_honest_node()
+        result = walker.perform(initiator)
+        for relay in result.relay_pair.as_tuple():
+            assert honest_network.ring.node(relay).alive
+
+    def test_dead_initiator_fails(self, honest_network):
+        walker = self._walker(honest_network)
+        initiator = honest_network.random_honest_node()
+        honest_network.ring.mark_dead(initiator)
+        result = walker.perform(initiator)
+        assert not result.succeeded
+        honest_network.ring.mark_alive(initiator)
+
+    def test_malicious_hops_recorded(self, small_network):
+        walker = self._walker(small_network)
+        found = False
+        for seed in range(15):
+            initiator = small_network.random_honest_node()
+            result = walker.perform(initiator)
+            if result.succeeded and result.malicious_hops:
+                found = True
+                assert all(small_network.ring.is_malicious(h) for h in result.malicious_hops)
+        assert found
+
+    def test_bound_check_failures_trigger_restart(self, small_network):
+        """Manipulated tables that fail bound checks cause walk restarts, not crashes."""
+        adversary = Adversary(small_network.ring, RandomSource(1), attack_rate=1.0)
+        adversary.install_behavior(
+            lambda adv, node: FingertableManipulationBehavior(adv, node, fingers_to_manipulate=12)
+        )
+        walker = self._walker(small_network)
+        completed = 0
+        for _ in range(10):
+            initiator = small_network.random_honest_node()
+            result = walker.perform(initiator)
+            completed += 1 if result.succeeded else 0
+            assert result.restarts >= 0
+        adversary.reset_behaviors()
+        assert completed >= 1
+
+
+class TestAnonymousPath:
+    def _path(self, network, initiator, latency_model=None):
+        ring = network.ring
+        rng = RandomSource(9)
+        stream = rng.stream("relays")
+        others = [nid for nid in ring.alive_ids_sorted() if nid != initiator]
+        relays = stream.sample(others, 4)
+        first = RelayPair(first=relays[0], second=relays[1])
+        second = RelayPair(first=relays[2], second=relays[3])
+        return AnonymousPath(
+            ring, initiator, first, second, network.config, rng, latency_model=latency_model
+        ), relays
+
+    def test_query_returns_routing_table(self, honest_network):
+        initiator = honest_network.random_honest_node()
+        path, relays = self._path(honest_network, initiator)
+        target = next(nid for nid in honest_network.ring.alive_ids_sorted() if nid not in relays + [initiator])
+        result = path.send_query(target)
+        assert not result.dropped
+        assert result.table is not None
+        assert result.table.owner_id == target
+
+    def test_queried_node_sees_exit_relay_not_initiator(self, honest_network):
+        initiator = honest_network.random_honest_node()
+        path, relays = self._path(honest_network, initiator)
+        assert path.exit_relay == relays[3]
+
+    def test_latency_accumulates_over_hops(self, honest_network):
+        initiator = honest_network.random_honest_node()
+        path, relays = self._path(honest_network, initiator, latency_model=ConstantLatencyModel(0.01))
+        target = next(nid for nid in honest_network.ring.alive_ids_sorted() if nid not in relays + [initiator])
+        result = path.send_query(target)
+        # 5 forward hops + 5 return hops at 10 ms each, plus the relay delay at B.
+        assert result.latency >= 0.10
+
+    def test_onion_structure_matches_relays(self, honest_network):
+        initiator = honest_network.random_honest_node()
+        path, relays = self._path(honest_network, initiator)
+        onion = path.build_onion(queried_node=relays[0], payload={"q": 1})
+        from repro.crypto.onion import derive_layer_key
+
+        layer = onion.peel(derive_layer_key(initiator, 0))
+        assert layer.next_hop == relays[1]
+
+    def test_dead_relay_drops_query(self, honest_network):
+        initiator = honest_network.random_honest_node()
+        path, relays = self._path(honest_network, initiator)
+        honest_network.ring.mark_dead(relays[2])
+        target = next(nid for nid in honest_network.ring.alive_ids_sorted() if nid not in relays + [initiator])
+        result = path.send_query(target)
+        assert result.dropped
+        honest_network.ring.mark_alive(relays[2])
+
+    def test_selective_dos_relay_drops_and_is_identified_as_culprit(self, small_network):
+        adversary = Adversary(small_network.ring, RandomSource(2), attack_rate=1.0)
+        initiator = small_network.random_honest_node()
+        ring = small_network.ring
+        honest = [nid for nid in ring.honest_ids() if nid != initiator]
+        malicious = ring.malicious_alive_ids()
+        relays = [honest[0], honest[1], malicious[0], honest[2]]
+        adversary.install_behavior(lambda adv, node: SelectiveDosBehavior(adv, node), node_ids=[malicious[0]])
+        path = AnonymousPath(
+            ring,
+            initiator,
+            RelayPair(relays[0], relays[1]),
+            RelayPair(relays[2], relays[3]),
+            small_network.config,
+            RandomSource(3),
+        )
+        target = honest[5]
+        result = path.send_query(target, purpose="anonymous-lookup")
+        assert result.dropped
+        assert result.drop_culprit == malicious[0]
+        adversary.reset_behaviors()
+
+    def test_observation_flags_consistent(self, small_network):
+        ring = small_network.ring
+        initiator = small_network.random_honest_node()
+        malicious = ring.malicious_alive_ids()
+        honest = [nid for nid in ring.honest_ids() if nid != initiator]
+        # Malicious A and C_i, honest B and D_i, honest queried node:
+        path = AnonymousPath(
+            ring,
+            initiator,
+            RelayPair(malicious[0], honest[0]),
+            RelayPair(malicious[1], honest[1]),
+            small_network.config,
+            RandomSource(5),
+        )
+        result = path.send_query(honest[6], purpose="anonymous-lookup")
+        obs = result.observation
+        assert obs is not None
+        # Queried node and exit relay honest -> not observed, hence not linkable.
+        assert not obs.observed
+        assert not obs.linkable_to_initiator
+
+    def test_observed_when_exit_relay_malicious(self, small_network):
+        ring = small_network.ring
+        initiator = small_network.random_honest_node()
+        malicious = ring.malicious_alive_ids()
+        honest = [nid for nid in ring.honest_ids() if nid != initiator]
+        path = AnonymousPath(
+            ring,
+            initiator,
+            RelayPair(honest[0], honest[1]),
+            RelayPair(honest[2], malicious[0]),
+            small_network.config,
+            RandomSource(6),
+        )
+        result = path.send_query(honest[7], purpose="anonymous-lookup")
+        assert result.observation.observed
+        # Entry relay honest -> cannot be linked back to the initiator.
+        assert not result.observation.linkable_to_initiator
+
+    def test_linkable_when_entry_and_query_relay_malicious(self, small_network):
+        ring = small_network.ring
+        initiator = small_network.random_honest_node()
+        malicious = ring.malicious_alive_ids()
+        honest = [nid for nid in ring.honest_ids() if nid != initiator]
+        path = AnonymousPath(
+            ring,
+            initiator,
+            RelayPair(malicious[0], honest[0]),
+            RelayPair(malicious[1], malicious[2]),
+            small_network.config,
+            RandomSource(7),
+        )
+        result = path.send_query(honest[8], purpose="anonymous-lookup")
+        assert result.observation.observed
+        assert result.observation.linkable_to_initiator
+        assert result.observation.linkable_to_b

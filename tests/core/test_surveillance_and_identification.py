@@ -1,0 +1,269 @@
+"""Tests for the surveillance mechanisms, secure finger update, DoS defense
+and the CA-side attacker identification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.adversary import Adversary
+from repro.attacks.fingertable_manipulation import FingertableManipulationBehavior
+from repro.attacks.fingertable_pollution import FingertablePollutionBehavior
+from repro.attacks.lookup_bias import LookupBiasBehavior
+from repro.attacks.selective_dos import SelectiveDosBehavior
+from repro.core.attacker_identification import DropReport, NeighborReport
+from repro.core.octopus_node import OctopusNetwork
+from repro.core.config import OctopusConfig
+from repro.sim.rng import RandomSource
+
+
+def make_network(seed=5, n=80, f=0.2):
+    return OctopusNetwork.create(
+        n_nodes=n, fraction_malicious=f, seed=seed, config=OctopusConfig(expected_network_size=n), id_bits=24
+    )
+
+
+class TestSecretNeighborSurveillance:
+    def test_no_reports_without_attack(self, honest_network):
+        for _ in range(3):
+            for node_id in honest_network.ring.honest_ids():
+                honest_network.neighbor_surveillance.check(node_id, now=60.0)
+        assert honest_network.identification.stats.identified_honest == 0
+        assert honest_network.identification.stats.identified_malicious == 0
+
+    def test_lookup_bias_attacker_detected_and_revoked(self):
+        network = make_network(seed=6)
+        adversary = Adversary(network.ring, RandomSource(1), attack_rate=1.0)
+        adversary.install_behavior(lambda adv, node: LookupBiasBehavior(adv, node))
+        for round_idx in range(12):
+            network.run_surveillance_round(now=60.0 * (round_idx + 1))
+        stats = network.identification.stats
+        assert stats.identified_malicious > 0
+        assert stats.identified_honest == 0
+        assert network.remaining_malicious_fraction() < 0.2
+        # Revoked nodes are removed from the ring and recorded at the CA.
+        for node_id in network.identification.identified_nodes():
+            assert network.ca.is_revoked(node_id)
+            assert not network.ring.node(node_id).alive
+
+    def test_half_attack_rate_detected_more_slowly(self):
+        slow = make_network(seed=7)
+        fast = make_network(seed=7)
+        for net, rate in ((fast, 1.0), (slow, 0.5)):
+            adversary = Adversary(net.ring, RandomSource(2), attack_rate=rate)
+            adversary.install_behavior(lambda adv, node: LookupBiasBehavior(adv, node))
+            for i in range(4):
+                net.run_surveillance_round(now=60.0 * (i + 1))
+        assert fast.identification.stats.identified_malicious >= slow.identification.stats.identified_malicious
+
+    def test_recently_joined_node_does_not_report(self):
+        network = make_network(seed=8)
+        checker = network.random_honest_node()
+        network.ring.mark_alive(checker, now=100.0)  # records a very recent join
+        outcome = network.neighbor_surveillance.check(checker, now=101.0)
+        assert not outcome.reported
+
+
+class TestSecretFingerSurveillance:
+    def test_manipulated_fingertable_detected(self):
+        network = make_network(seed=9)
+        adversary = Adversary(network.ring, RandomSource(3), attack_rate=1.0)
+        adversary.install_behavior(
+            lambda adv, node: FingertableManipulationBehavior(adv, node, collusion_consistency=0.0)
+        )
+        # Populate honest buffers by running random walks, then check.
+        detections = 0
+        for i in range(6):
+            for node_id in network.ring.honest_ids()[:40]:
+                network.random_walker.perform(node_id, now=10.0 * i)
+                outcome = network.finger_surveillance.check(node_id, now=10.0 * i + 5.0)
+                detections += 1 if outcome.detected else 0
+        assert detections > 0
+        assert network.identification.stats.identified_malicious > 0
+        assert network.identification.stats.identified_honest == 0
+
+    def test_no_detection_on_honest_tables(self, honest_network):
+        for node_id in honest_network.ring.honest_ids()[:30]:
+            honest_network.random_walker.perform(node_id, now=1.0)
+            outcome = honest_network.finger_surveillance.check(node_id, now=2.0)
+            assert outcome.report_judgement is None or outcome.report_judgement.identified is None
+
+
+class TestSecureFingerUpdate:
+    def test_updates_finger_to_true_successor_without_attack(self, honest_network):
+        node_id = honest_network.random_honest_node()
+        outcome = honest_network.secure_update.update_finger(node_id, finger_index=3, now=1.0)
+        assert outcome.adopted
+        assert outcome.candidate == honest_network.ring.true_successor(outcome.ideal_id)
+
+    def test_pollution_attempts_rejected_by_check(self):
+        network = make_network(seed=10)
+        adversary = Adversary(network.ring, RandomSource(4), attack_rate=1.0)
+        adversary.install_behavior(
+            lambda adv, node: FingertablePollutionBehavior(adv, node, collusion_consistency=0.0)
+        )
+        adopted_wrong = 0
+        rejected = 0
+        for node_id in network.ring.honest_ids()[:40]:
+            outcome = network.secure_update.update_random_finger(node_id, now=5.0)
+            if outcome.check_failed:
+                rejected += 1
+            if outcome.adopted and outcome.candidate != network.ring.true_successor(outcome.ideal_id):
+                adopted_wrong += 1
+        assert rejected > 0 or adopted_wrong == 0
+        # With no collusion cover, almost no polluted finger should be adopted.
+        assert adopted_wrong <= 2
+
+    def test_pollution_rate_metric(self, honest_network):
+        for node_id in honest_network.ring.honest_ids()[:10]:
+            honest_network.secure_update.update_random_finger(node_id, now=1.0)
+        assert honest_network.secure_update.pollution_rate() == 0.0
+
+
+class TestDosDefense:
+    def test_dropper_identified(self):
+        network = make_network(seed=11)
+        ring = network.ring
+        initiator = network.random_honest_node()
+        honest = [nid for nid in ring.honest_ids() if nid != initiator]
+        malicious = ring.malicious_alive_ids()
+        relays = [honest[0], honest[1], malicious[0], honest[2]]
+        judgement = network.dos_defense.investigate_drop(initiator, relays, culprit_hint=malicious[0], now=1.0)
+        assert judgement is not None
+        assert judgement.identified == malicious[0]
+        assert not judgement.is_false_positive
+
+    def test_no_report_when_relay_actually_dead(self):
+        network = make_network(seed=12)
+        ring = network.ring
+        initiator = network.random_honest_node()
+        honest = [nid for nid in ring.honest_ids() if nid != initiator]
+        relays = honest[:4]
+        ring.mark_dead(relays[2])
+        judgement = network.dos_defense.investigate_drop(initiator, relays, culprit_hint=None, now=1.0)
+        assert judgement is None
+        ring.mark_alive(relays[2])
+
+    def test_duplicate_relays_do_not_incriminate_honest_nodes(self):
+        network = make_network(seed=13)
+        ring = network.ring
+        initiator = network.random_honest_node()
+        honest = [nid for nid in ring.honest_ids() if nid != initiator]
+        malicious = ring.malicious_alive_ids()
+        # The same (honest, malicious) pair serves as both relay pairs.
+        relays = [honest[0], malicious[0], honest[0], malicious[0]]
+        judgement = network.dos_defense.investigate_drop(initiator, relays, culprit_hint=malicious[0], now=1.0)
+        assert judgement is not None
+        assert judgement.identified == malicious[0]
+
+    def test_receipts_and_witnesses_verifiable(self):
+        network = make_network(seed=14)
+        honest = network.ring.honest_ids()
+        receipt = network.dos_defense.issue_receipt(honest[0], honest[1], now=2.0)
+        assert receipt is not None
+        assert network.dos_defense.verify_receipt(receipt)
+        statements = network.dos_defense.gather_witness_statements(honest[1], honest[2], now=2.0)
+        assert statements
+        assert all(s.delivered for s in statements)
+
+    def test_witness_statements_report_dead_target(self):
+        network = make_network(seed=15)
+        honest = network.ring.honest_ids()
+        network.ring.mark_dead(honest[2])
+        statements = network.dos_defense.gather_witness_statements(honest[1], honest[2], now=2.0)
+        assert statements
+        assert all(not s.delivered for s in statements)
+        network.ring.mark_alive(honest[2])
+
+
+class TestAttackerIdentificationService:
+    def test_bad_evidence_signature_is_false_alarm(self):
+        network = make_network(seed=16)
+        honest = network.ring.honest_ids()
+        accused = network.ring.node(honest[1])
+        # Evidence signed by the *reporter* instead of the accused: invalid.
+        forged = network.ring.node(honest[0]).signed_successor_list(now=1.0)
+        forged = type(forged)(
+            owner_id=accused.node_id,
+            nodes=forged.nodes,
+            timestamp=forged.timestamp,
+            signature=forged.signature,
+        )
+        report = NeighborReport(reporter=honest[0], accused=accused.node_id, evidence=forged, time=1.0)
+        judgement = network.identification.process_neighbor_report(report, now=1.0)
+        assert judgement.identified is None
+
+    def test_pollution_proof_chain_shifts_blame_to_polluter(self):
+        """Figure 2(b): an honest node with a polluted successor list is cleared
+        because its stored proof points at the malicious supplier."""
+        network = make_network(seed=17)
+        ring = network.ring
+        honest = ring.honest_ids()
+        malicious = ring.malicious_alive_ids()
+        victim_x = honest[0]
+        honest_p3 = ring.node(honest[1])
+        polluter = ring.node(malicious[0])
+
+        # The polluter signs a manipulated successor list that excludes X but
+        # spans past it; the honest node adopted it during stabilization.
+        space = ring.space
+        far_nodes = sorted(
+            (nid for nid in honest[2:12] if space.distance(polluter.node_id, nid) > space.distance(polluter.node_id, victim_x)),
+            key=lambda nid: space.distance(polluter.node_id, nid),
+        )[:4]
+        if not far_nodes:
+            pytest.skip("topology does not allow constructing the scenario for this seed")
+        from repro.chord.successor_list import SignedSuccessorList
+
+        payload_list = SignedSuccessorList(owner_id=polluter.node_id, nodes=tuple(far_nodes), timestamp=1.0)
+        signature = polluter.keypair.sign(payload_list.payload())
+        polluted_proof = SignedSuccessorList(
+            owner_id=polluter.node_id, nodes=tuple(far_nodes), timestamp=1.0, signature=signature
+        )
+        honest_p3.store_successor_proof(polluted_proof)
+        # P3's own (manipulated-by-pollution) list excludes X as well.
+        honest_p3.successor_list.replace_all(far_nodes)
+
+        evidence = honest_p3.signed_successor_list(now=2.0)
+        report = NeighborReport(reporter=victim_x, accused=honest_p3.node_id, evidence=evidence, time=2.0)
+        judgement = network.identification.process_neighbor_report(report, now=2.0)
+        assert judgement.identified == polluter.node_id
+        assert not judgement.is_false_positive
+
+    def test_churned_node_during_investigation_not_convicted_first_time(self):
+        network = make_network(seed=18)
+        ring = network.ring
+        honest = ring.honest_ids()
+        accused = honest[3]
+        ring.mark_dead(accused)
+        evidence = ring.node(accused).signed_successor_list(now=1.0)
+        report = NeighborReport(reporter=honest[0], accused=accused, evidence=evidence, time=1.0)
+        judgement = network.identification.process_neighbor_report(report, now=1.0)
+        assert judgement.identified is None
+        # A second churn during investigation within the window convicts.
+        judgement2 = network.identification.process_neighbor_report(report, now=2.0)
+        assert judgement2.identified == accused
+        ring.mark_alive(accused)
+
+    def test_drop_report_with_all_receipts_is_false_alarm(self):
+        network = make_network(seed=19)
+        honest = network.ring.honest_ids()
+        report = DropReport(
+            reporter=honest[0],
+            relays=tuple(honest[1:5]),
+            receipts={nid: True for nid in honest[1:5]},
+            time=1.0,
+        )
+        judgement = network.identification.process_drop_report(report, now=1.0)
+        assert judgement.identified is None
+
+    def test_stats_rates_consistent(self):
+        network = make_network(seed=20)
+        adversary = Adversary(network.ring, RandomSource(8), attack_rate=1.0)
+        adversary.install_behavior(lambda adv, node: LookupBiasBehavior(adv, node))
+        for i in range(6):
+            network.run_surveillance_round(now=60.0 * (i + 1))
+        stats = network.identification.stats
+        assert 0.0 <= stats.false_positive_rate <= 1.0
+        assert 0.0 <= stats.false_negative_rate <= 1.0
+        assert 0.0 <= stats.false_alarm_rate <= 1.0
+        assert stats.reports >= stats.identified_malicious + stats.identified_honest

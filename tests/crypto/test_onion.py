@@ -1,0 +1,123 @@
+"""Tests for onion encryption and the layered packet formats."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.onion import (
+    OnionError,
+    OnionPacket,
+    ReplyOnion,
+    derive_layer_key,
+    symmetric_decrypt,
+    symmetric_encrypt,
+)
+
+
+class TestSymmetricCipher:
+    def test_roundtrip(self):
+        key = derive_layer_key(123, 0)
+        blob = symmetric_encrypt(key, b"secret message")
+        assert symmetric_decrypt(key, blob) == b"secret message"
+
+    def test_wrong_key_fails_integrity(self):
+        key = derive_layer_key(123, 0)
+        other = derive_layer_key(123, 1)
+        blob = symmetric_encrypt(key, b"secret")
+        with pytest.raises(OnionError):
+            symmetric_decrypt(other, blob)
+
+    def test_tampered_ciphertext_detected(self):
+        key = derive_layer_key(5, 0)
+        blob = bytearray(symmetric_encrypt(key, b"payload"))
+        blob[0] ^= 0xFF
+        with pytest.raises(OnionError):
+            symmetric_decrypt(key, bytes(blob))
+
+    def test_short_blob_rejected(self):
+        with pytest.raises(OnionError):
+            symmetric_decrypt(b"k" * 32, b"short")
+
+    def test_ciphertext_differs_from_plaintext(self):
+        key = derive_layer_key(1, 2)
+        plaintext = b"A" * 64
+        assert symmetric_encrypt(key, plaintext)[: len(plaintext)] != plaintext
+
+    @given(st.binary(min_size=0, max_size=2000))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, data):
+        key = derive_layer_key(42, 7)
+        assert symmetric_decrypt(key, symmetric_encrypt(key, data)) == data
+
+
+class TestOnionPacket:
+    def _keys(self, n):
+        return [derive_layer_key(1000, i) for i in range(n)]
+
+    def test_each_relay_peels_one_layer(self):
+        relays = [11, 22, 33, 44]
+        keys = self._keys(4)
+        payload = {"key": 12345, "type": "lookup"}
+        onion = OnionPacket.build(relays, keys, payload)
+
+        layer1 = onion.peel(keys[0])
+        assert layer1.next_hop == 22
+        layer2 = layer1.payload.peel(keys[1])
+        assert layer2.next_hop == 33
+        layer3 = layer2.payload.peel(keys[2])
+        assert layer3.next_hop == 44
+        exit_layer = layer3.payload.peel(keys[3])
+        assert exit_layer.next_hop is None
+        assert exit_layer.payload == {"key": 12345, "type": "lookup"}
+
+    def test_intermediate_relay_cannot_read_payload(self):
+        relays = [1, 2]
+        keys = self._keys(2)
+        onion = OnionPacket.build(relays, keys, {"secret": "x"})
+        layer = onion.peel(keys[0])
+        # The intermediate relay only obtains another opaque onion.
+        assert isinstance(layer.payload, OnionPacket)
+
+    def test_wrong_key_cannot_peel(self):
+        relays = [1, 2]
+        keys = self._keys(2)
+        onion = OnionPacket.build(relays, keys, {"a": 1})
+        with pytest.raises(OnionError):
+            onion.peel(keys[1])
+
+    def test_single_relay_path(self):
+        keys = self._keys(1)
+        onion = OnionPacket.build([9], keys, {"v": 1})
+        layer = onion.peel(keys[0])
+        assert layer.next_hop is None
+        assert layer.payload == {"v": 1}
+
+    def test_empty_relay_list_rejected(self):
+        with pytest.raises(ValueError):
+            OnionPacket.build([], [], {"v": 1})
+
+    def test_key_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            OnionPacket.build([1, 2], self._keys(1), {})
+
+
+class TestReplyOnion:
+    def test_seal_add_layers_and_open(self):
+        exit_key = derive_layer_key(7, 0)
+        mid_key = derive_layer_key(7, 1)
+        entry_key = derive_layer_key(7, 2)
+        reply = ReplyOnion.seal({"result": 42}, relay_id=3, key=exit_key)
+        reply.add_layer(2, mid_key)
+        reply.add_layer(1, entry_key)
+        opened = reply.open([entry_key, mid_key, exit_key])
+        assert opened == {"result": 42}
+
+    def test_missing_layer_key_fails(self):
+        exit_key = derive_layer_key(7, 0)
+        mid_key = derive_layer_key(7, 1)
+        reply = ReplyOnion.seal({"r": 1}, relay_id=3, key=exit_key)
+        reply.add_layer(2, mid_key)
+        with pytest.raises(OnionError):
+            reply.open([exit_key])  # wrong order / missing outer layer

@@ -1,0 +1,79 @@
+"""Tests for the Section 4.2 ablation and the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.ablation import AblationConfig, AnonymityAblation
+
+
+class TestAnonymityAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = AblationConfig(n_nodes=3000, fraction_malicious=0.2, n_worlds=80, seed=5)
+        return AnonymityAblation(config).run()
+
+    def test_all_variants_evaluated(self, result):
+        variants = {p.variant for p in result.points}
+        assert variants == {
+            "multi-path + dummies",
+            "multi-path, no dummies",
+            "single path + dummies",
+            "single path, no dummies",
+        }
+
+    def test_full_design_is_strongest(self, result):
+        """Section 4.2: the full design is never worse than the stripped-down
+        variants beyond Monte-Carlo noise (the advantage grows with network
+        size and adversary strength; at this scaled-down size it is small)."""
+        by = result.by_variant()
+        full = by["multi-path + dummies"].target_leak
+        for variant, point in by.items():
+            if variant == "multi-path + dummies":
+                continue
+            assert full <= point.target_leak + 0.2, variant
+
+    def test_leaks_are_bounded(self, result):
+        for point in result.points:
+            assert 0.0 <= point.target_leak <= 5.0
+            assert point.target_entropy <= result.points[0].target_entropy + 5.0
+
+
+class TestCli:
+    def test_security_subcommand(self, capsys):
+        code = main(["security", "--nodes", "80", "--duration", "120", "--attack", "lookup-bias", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "malicious_fraction" in out
+        assert "identified malicious=" in out
+
+    def test_timing_subcommand(self, capsys):
+        code = main(["timing", "--flows", "200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 1" in out
+
+    def test_efficiency_subcommand(self, capsys):
+        code = main(["efficiency", "--nodes", "60", "--lookups", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 3" in out
+        assert "octopus" in out
+
+    def test_anonymity_subcommand(self, capsys):
+        code = main(["anonymity", "--nodes", "2000", "--worlds", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "leak(T)" in out
+        assert "nisan" in out
+
+    def test_ablation_subcommand(self, capsys):
+        code = main(["ablation", "--nodes", "2000", "--worlds", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Section 4.2 ablation" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["definitely-not-a-command"])

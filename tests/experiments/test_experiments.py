@@ -1,0 +1,192 @@
+"""Integration tests for the experiment harnesses (scaled-down parameters).
+
+These check the *shape* of the paper's results end-to-end: attacker
+identification reduces the malicious fraction, accuracy metrics stay in the
+published regime, the efficiency ordering holds, and the timing-analysis
+error rate is high.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import OctopusConfig
+from repro.experiments.anonymity import AnonymityExperiment, AnonymityExperimentConfig
+from repro.experiments.efficiency import EfficiencyExperiment, EfficiencyExperimentConfig
+from repro.experiments.results import ExperimentRecord, format_series, format_table
+from repro.experiments.security import SecurityExperiment, SecurityExperimentConfig
+from repro.experiments.timing import TimingExperiment, TimingExperimentConfig
+
+
+def small_security_config(attack: str, **overrides) -> SecurityExperimentConfig:
+    defaults = dict(
+        n_nodes=100,
+        duration=240.0,
+        attack=attack,
+        attack_rate=1.0,
+        churn_lifetime_minutes=60.0,
+        sample_interval=60.0,
+        seed=2,
+    )
+    defaults.update(overrides)
+    return SecurityExperimentConfig(**defaults)
+
+
+class TestSecurityExperiment:
+    def test_lookup_bias_attackers_removed(self):
+        result = SecurityExperiment(small_security_config("lookup-bias")).run()
+        assert result.initial_malicious_fraction == pytest.approx(0.2, abs=0.02)
+        assert result.final_malicious_fraction < 0.05
+        assert result.false_positive_rate == 0.0
+        assert result.identified_malicious > 0
+
+    def test_biased_lookups_stop_growing(self):
+        result = SecurityExperiment(small_security_config("lookup-bias")).run()
+        biased = [v for _, v in result.biased_lookups_series]
+        total = [v for _, v in result.lookups_series]
+        assert total[-1] > 0
+        # Most bias happens early; the last interval adds little.
+        assert biased[-1] - biased[len(biased) // 2] <= max(2.0, 0.2 * biased[-1] + 1.0)
+
+    def test_no_attack_no_convictions(self):
+        result = SecurityExperiment(small_security_config("none", duration=180.0)).run()
+        assert result.identified_malicious == 0
+        assert result.identified_honest == 0
+        assert result.final_malicious_fraction == pytest.approx(result.initial_malicious_fraction, abs=0.05)
+
+    def test_fingertable_manipulation_detected(self):
+        result = SecurityExperiment(small_security_config("fingertable-manipulation")).run()
+        assert result.final_malicious_fraction < result.initial_malicious_fraction * 0.5
+        assert result.false_positive_rate <= 0.05
+
+    def test_selective_dos_detected(self):
+        result = SecurityExperiment(small_security_config("selective-dos")).run()
+        assert result.final_malicious_fraction < result.initial_malicious_fraction * 0.5
+        assert result.false_positive_rate <= 0.05
+
+    def test_ca_workload_peaks_early(self):
+        result = SecurityExperiment(small_security_config("lookup-bias")).run()
+        workload = [v for _, v in result.ca_workload_series]
+        if sum(workload) > 0:
+            first_half = sum(workload[: len(workload) // 2])
+            second_half = sum(workload[len(workload) // 2:])
+            assert first_half >= second_half
+
+    def test_invalid_attack_rejected(self):
+        with pytest.raises(ValueError):
+            SecurityExperimentConfig(attack="unknown-attack").validate()
+
+
+class TestAnonymityExperiment:
+    def test_sweep_produces_points_and_octopus_wins(self):
+        config = AnonymityExperimentConfig(
+            n_nodes=3000,
+            fractions_malicious=(0.1, 0.2),
+            dummy_counts=(6,),
+            concurrent_lookup_rates=(0.01,),
+            n_worlds=60,
+            seed=1,
+        )
+        result = AnonymityExperiment(config).run()
+        assert len(result.octopus_points) == 2
+        assert len(result.comparison_points) == 6
+        # At f = 0.2, Octopus leaks less than every comparison scheme.
+        octo = [p for p in result.octopus_points if p.fraction_malicious == 0.2][0]
+        for point in result.comparison_points:
+            if point.fraction_malicious == 0.2:
+                assert octo.initiator_leak < point.initiator_leak
+                assert octo.target_leak < point.target_leak
+
+    def test_octopus_entropy_decreases_with_f(self):
+        config = AnonymityExperimentConfig(
+            n_nodes=3000,
+            fractions_malicious=(0.05, 0.2),
+            dummy_counts=(6,),
+            concurrent_lookup_rates=(0.01,),
+            n_worlds=60,
+            seed=2,
+        )
+        points = AnonymityExperiment(config).run_octopus()
+        low = [p for p in points if p.fraction_malicious == 0.05][0]
+        high = [p for p in points if p.fraction_malicious == 0.2][0]
+        assert high.initiator_entropy <= low.initiator_entropy
+
+
+class TestEfficiencyExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = EfficiencyExperimentConfig(
+            n_nodes=100,
+            lookups_per_scheme=40,
+            seed=1,
+            octopus=OctopusConfig(expected_network_size=100),
+        )
+        return EfficiencyExperiment(config).run()
+
+    def test_all_schemes_measured(self, result):
+        assert set(result.schemes) == {"octopus", "chord", "halo"}
+        for scheme in result.schemes.values():
+            assert scheme.lookups == 40
+            assert scheme.mean_latency > 0.0
+
+    def test_latency_ordering_matches_paper(self, result):
+        """Table 3 / Figure 7(a): Chord fastest, Halo slowest (waits for all
+        redundant lookups), Octopus in between."""
+        chord = result.schemes["chord"].mean_latency
+        octopus = result.schemes["octopus"].mean_latency
+        halo = result.schemes["halo"].mean_latency
+        assert chord < octopus
+        assert octopus < halo
+
+    def test_bandwidth_ordering_matches_paper(self, result):
+        """Octopus pays the most bandwidth; all schemes stay within tens of kbps."""
+        for interval in (5.0, 10.0):
+            octopus = result.schemes["octopus"].bandwidth_kbps[interval]
+            chord = result.schemes["chord"].bandwidth_kbps[interval]
+            halo = result.schemes["halo"].bandwidth_kbps[interval]
+            assert octopus > halo > chord
+            assert octopus < 50.0
+            assert chord < 2.0
+
+    def test_longer_lookup_interval_cheaper(self, result):
+        octopus = result.schemes["octopus"].bandwidth_kbps
+        assert octopus[10.0] < octopus[5.0]
+
+    def test_correctness_high_without_attack(self, result):
+        for scheme in result.schemes.values():
+            assert scheme.correct_fraction > 0.9
+
+    def test_table3_rows_render(self, result):
+        rows = result.table3_rows()
+        assert len(rows) == 3
+        assert {r["scheme"] for r in rows} == {"octopus", "chord", "halo"}
+
+
+class TestTimingExperiment:
+    def test_table1_grid(self):
+        config = TimingExperimentConfig(max_candidate_flows=400)
+        result = TimingExperiment(config).run()
+        assert len(result.cells) == 6
+        assert result.min_error_rate() > 0.9
+        assert result.max_information_leak() < 2.0
+        rows = result.table1_rows()
+        assert len(rows) == 2
+        assert all(len(row) == 4 for row in rows)
+
+
+class TestResultFormatting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", "y"]], title="T")
+        assert "T" in text and "2.500" in text
+
+    def test_format_series(self):
+        text = format_series("s", [(0.0, 1.0), (10.0, 2.0)])
+        assert "10.0" in text
+
+    def test_experiment_record_roundtrip(self):
+        record = ExperimentRecord(name="demo", parameters={"n": 5})
+        record.add_row(metric="x", value=1.0)
+        record.add_series("curve", [(0.0, 0.0), (1.0, 1.0)])
+        record.notes.append("scaled-down run")
+        text = record.to_text()
+        assert "demo" in text and "curve" in text and "scaled-down" in text

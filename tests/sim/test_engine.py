@@ -1,0 +1,182 @@
+"""Tests for the discrete-event engine, clock and events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import SimulationClock
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event
+from repro.sim.rng import RandomSource
+
+
+class TestSimulationClock:
+    def test_starts_at_zero(self):
+        assert SimulationClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimulationClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_cannot_go_backwards(self):
+        clock = SimulationClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+    def test_reset(self):
+        clock = SimulationClock(start=3.0)
+        clock.advance_to(9.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestEventOrdering:
+    def test_events_order_by_time(self):
+        early = Event(time=1.0)
+        late = Event(time=2.0)
+        assert early < late
+
+    def test_ties_broken_by_priority(self):
+        a = Event(time=1.0, priority=0)
+        b = Event(time=1.0, priority=1)
+        assert a < b
+
+    def test_ties_broken_by_sequence(self):
+        a = Event(time=1.0)
+        b = Event(time=1.0)
+        assert a < b  # a was created first
+
+    def test_cancelled_event_does_not_fire(self):
+        fired = []
+        event = Event(time=1.0, callback=lambda: fired.append(1))
+        event.cancel()
+        event.fire()
+        assert fired == []
+
+
+class TestSimulationEngine:
+    def test_runs_events_in_time_order(self):
+        engine = SimulationEngine()
+        order = []
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_with_events(self):
+        engine = SimulationEngine()
+        times = []
+        engine.schedule(1.5, lambda: times.append(engine.now))
+        engine.schedule(4.0, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [1.5, 4.0]
+
+    def test_run_until_stops_before_later_events(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(2))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        assert engine.pending == 1
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_cancelled_events_skipped(self):
+        engine = SimulationEngine()
+        fired = []
+        event = engine.schedule(1.0, lambda: fired.append("cancelled"))
+        engine.schedule(2.0, lambda: fired.append("kept"))
+        event.cancel()
+        engine.run()
+        assert fired == ["kept"]
+
+    def test_max_events_bounds_run(self):
+        engine = SimulationEngine()
+        for i in range(10):
+            engine.schedule(float(i + 1), lambda: None)
+        fired = engine.run(max_events=3)
+        assert fired == 3
+        assert engine.pending == 7
+
+    def test_stop_from_within_event(self):
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: (fired.append(1), engine.stop()))
+        engine.schedule(2.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1]
+
+    def test_events_scheduled_during_run_execute(self):
+        engine = SimulationEngine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            engine.schedule(1.0, lambda: fired.append("nested"))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert fired == ["first", "nested"]
+
+    def test_periodic_scheduling(self):
+        engine = SimulationEngine()
+        ticks = []
+        engine.schedule_periodic(10.0, lambda: ticks.append(engine.now), start=10.0)
+        engine.run(until=45.0)
+        assert ticks == [10.0, 20.0, 30.0, 40.0]
+
+    def test_periodic_with_stop_predicate(self):
+        engine = SimulationEngine()
+        ticks = []
+
+        def tick():
+            ticks.append(engine.now)
+
+        engine.schedule_periodic(5.0, tick, start=5.0, stop_predicate=lambda: len(ticks) >= 3)
+        engine.run(until=100.0)
+        assert len(ticks) == 3
+
+    def test_periodic_jitter_requires_rng(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule_periodic(5.0, lambda: None, jitter=1.0)
+
+    def test_periodic_with_jitter_stays_roughly_periodic(self):
+        engine = SimulationEngine()
+        rng = RandomSource(3).stream("jitter")
+        ticks = []
+        engine.schedule_periodic(10.0, lambda: ticks.append(engine.now), start=0.0, jitter=2.0, rng=rng)
+        engine.run(until=100.0)
+        assert len(ticks) >= 8
+        gaps = [b - a for a, b in zip(ticks, ticks[1:])]
+        assert all(10.0 <= g <= 12.0 for g in gaps)
+
+    def test_reset(self):
+        engine = SimulationEngine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.pending == 0
+        assert engine.events_processed == 0
+
+    def test_events_processed_counter(self):
+        engine = SimulationEngine()
+        for i in range(5):
+            engine.schedule(float(i + 1), lambda: None)
+        engine.run()
+        assert engine.events_processed == 5
