@@ -22,11 +22,39 @@ def pytest_addoption(parser):
         default=False,
         help="run benchmarks at the paper's full scale (much slower)",
     )
+    parser.addoption(
+        "--campaign-results",
+        default=None,
+        metavar="DIR",
+        help=(
+            "campaign results directory written by 'repro campaign'; benchmarks "
+            "that support it print the multi-seed aggregates alongside their "
+            "own single-run numbers"
+        ),
+    )
 
 
 @pytest.fixture(scope="session")
 def paper_scale(request) -> bool:
     return bool(request.config.getoption("--paper-scale"))
+
+
+@pytest.fixture(scope="session")
+def campaign_results(request):
+    """Loaded ``repro.campaign`` results directory, or ``None`` if not given.
+
+    Lets a figure benchmark substitute (or cross-check) its one-shot run with
+    the mean/std/CI aggregates of a many-seed campaign::
+
+        python -m pytest benchmarks/bench_fig7a_latency_cdf.py \
+            --campaign-results results/efficiency-campaign
+    """
+    path = request.config.getoption("--campaign-results")
+    if not path:
+        return None
+    from repro.campaign import load_campaign_results
+
+    return load_campaign_results(path)
 
 
 def run_once(benchmark, fn):

@@ -15,7 +15,9 @@ with every substrate it depends on:
 * :mod:`repro.attacks` — the adversary models evaluated in the paper;
 * :mod:`repro.anonymity` — entropy-based anonymity estimators (Section 6);
 * :mod:`repro.baselines` — Chord, Halo, NISAN and Torsk comparison lookups;
-* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+* :mod:`repro.experiments` — harnesses regenerating every table and figure;
+* :mod:`repro.campaign` — multi-seed / parameter-grid campaign runner that
+  fans experiment trials out over worker processes and aggregates them.
 
 Quickstart::
 

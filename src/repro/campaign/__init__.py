@@ -1,0 +1,57 @@
+"""Parallel experiment-campaign runner.
+
+Turns the repository's one-shot experiment harnesses into multi-seed,
+parameter-grid campaigns:
+
+* :mod:`repro.campaign.spec` — declarative spec and grid expansion;
+* :mod:`repro.campaign.registry` — experiment kind → pickleable entry point;
+* :mod:`repro.campaign.runner` — serial / process-pool execution with resume;
+* :mod:`repro.campaign.aggregate` — mean/std/CI summaries per grid cell;
+* :mod:`repro.campaign.persistence` — the JSON results-directory layout.
+
+Typical use::
+
+    from repro.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        kind="security",
+        base={"n_nodes": 150, "duration": 400.0, "attack": "lookup-bias"},
+        grid={"attack_rate": [1.0, 0.5]},
+        seeds=(0, 1, 2, 3),
+    )
+    report = run_campaign(spec, out_dir="results/fig3a", jobs=4, resume=True)
+    print(report.summary["groups"][0]["metrics"]["final_malicious_fraction"])
+
+or, from the command line, ``python -m repro campaign --help``.
+"""
+
+from .aggregate import aggregate_records, group_key, summarize, summary_rows
+from .persistence import CampaignResults, CampaignStore, load_campaign_results
+from .registry import (
+    ExperimentAdapter,
+    available_kinds,
+    get_experiment,
+    register_experiment,
+)
+from .runner import CampaignReport, execute_trial, run_campaign
+from .spec import CampaignSpec, TrialSpec, canonical_json
+
+__all__ = [
+    "CampaignReport",
+    "CampaignResults",
+    "CampaignSpec",
+    "CampaignStore",
+    "ExperimentAdapter",
+    "TrialSpec",
+    "aggregate_records",
+    "available_kinds",
+    "canonical_json",
+    "execute_trial",
+    "get_experiment",
+    "group_key",
+    "load_campaign_results",
+    "register_experiment",
+    "run_campaign",
+    "summarize",
+    "summary_rows",
+]

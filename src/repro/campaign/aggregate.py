@@ -1,0 +1,121 @@
+"""Aggregation of per-trial metrics into per-configuration summaries.
+
+Trials are grouped by their parameters *minus the seed*: each group is one
+cell of the campaign's parameter grid, its seeds the repeated measurements.
+Every scalar metric is summarised as mean / sample standard deviation /
+95% confidence half-width / min / max / n.
+
+The confidence interval uses the normal approximation ``1.96 * std / sqrt(n)``
+(not Student's t) — campaigns usually run enough seeds for the difference not
+to matter, and it keeps the stdlib-only promise.  ``n`` is reported so a
+stricter reader can re-derive t-based intervals.
+
+Determinism: groups are ordered by the canonical JSON of their parameters and
+trials within a group by seed, so the summary — including float rounding of
+the incremental sums — is identical no matter which worker finished first.
+This is what lets the acceptance check "serial and parallel runs produce
+identical aggregates" hold exactly, not just approximately.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .spec import CampaignSpec, canonical_json
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean/std/ci95/min/max/n for one metric across one group's trials."""
+    n = len(values)
+    if n == 0:
+        return {"n": 0}
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    return {
+        "mean": mean,
+        "std": std,
+        "ci95": 1.96 * std / math.sqrt(n) if n > 1 else 0.0,
+        "min": min(values),
+        "max": max(values),
+        "n": n,
+    }
+
+
+def group_key(params: Mapping[str, object]) -> str:
+    """Canonical identity of a grid cell: the parameters without the seed."""
+    return canonical_json({k: v for k, v in params.items() if k != "seed"})
+
+
+def aggregate_records(
+    records: Sequence[Mapping[str, object]],
+    spec: Optional[CampaignSpec] = None,
+) -> Dict[str, object]:
+    """Fold trial records into the ``summary.json`` structure."""
+    groups: Dict[str, List[Mapping[str, object]]] = {}
+    for record in records:
+        groups.setdefault(group_key(record["params"]), []).append(record)
+
+    group_summaries: List[Dict[str, object]] = []
+    for key in sorted(groups):
+        trials = sorted(groups[key], key=lambda r: r["params"].get("seed", 0))
+        metric_names = sorted({name for t in trials for name in t.get("metrics", {})})
+        metrics = {
+            name: summarize([float(t["metrics"][name]) for t in trials if name in t["metrics"]])
+            for name in metric_names
+        }
+        group_summaries.append(
+            {
+                "params": {k: v for k, v in trials[0]["params"].items() if k != "seed"},
+                "seeds": [t["params"].get("seed") for t in trials],
+                "trial_ids": [t["trial_id"] for t in trials],
+                "metrics": metrics,
+            }
+        )
+
+    summary: Dict[str, object] = {
+        "n_trials": len(records),
+        "n_groups": len(group_summaries),
+        "groups": group_summaries,
+    }
+    if spec is not None:
+        summary["name"] = spec.name
+        summary["kind"] = spec.kind
+        summary["n_trials_expected"] = spec.n_trials()
+    return summary
+
+
+def summary_rows(summary: Mapping[str, object], metrics: Optional[Sequence[str]] = None) -> Tuple[List[str], List[List[object]]]:
+    """Flatten a summary into (headers, rows) for ``format_table``.
+
+    One row per group; varied parameters first, then ``mean±ci95`` per metric.
+    ``metrics`` selects/orders the metric columns (default: all, sorted).
+    """
+    groups = summary.get("groups", [])
+    if not groups:
+        return [], []
+    # Only show parameters that actually vary between groups (plus n).
+    all_params = sorted({k for g in groups for k in g["params"]})
+    varied = [
+        k for k in all_params
+        if len({canonical_json(g["params"].get(k)) for g in groups}) > 1
+    ] or all_params[:1]
+    metric_names = list(metrics) if metrics else sorted({m for g in groups for m in g["metrics"]})
+    headers = varied + ["n"] + metric_names
+    rows: List[List[object]] = []
+    for g in groups:
+        row: List[object] = [g["params"].get(k, "") for k in varied]
+        ns = [s.get("n", 0) for s in g["metrics"].values()]
+        row.append(max(ns) if ns else 0)
+        for name in metric_names:
+            stat = g["metrics"].get(name)
+            if not stat or stat.get("n", 0) == 0:
+                row.append("")
+            else:
+                row.append(f"{stat['mean']:.4g}±{stat['ci95']:.2g}")
+        rows.append(row)
+    return headers, rows

@@ -1,0 +1,137 @@
+"""On-disk layout of a campaign results directory.
+
+::
+
+    <out_dir>/
+      spec.json             # the campaign spec as run
+      summary.json          # aggregated metrics (see aggregate.py)
+      trials/
+        <trial_id>.json     # one record per completed trial
+
+Trial files are written atomically (tmp file + ``os.replace``) so a killed
+run never leaves a half-written record; resume support treats only files
+that parse and carry a ``metrics`` mapping as completed.  Because trial ids
+are content-addressed hashes of the trial parameters (see ``spec.py``), a
+record on disk is valid exactly as long as the spec still expands to that
+trial — edited parameters yield new ids and re-run automatically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+from .spec import CampaignSpec
+
+
+def _write_json_atomic(path: Path, data: object) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+class CampaignStore:
+    """Reads and writes one campaign's results directory."""
+
+    def __init__(self, out_dir: Union[str, Path]) -> None:
+        self.out_dir = Path(out_dir)
+        self.trials_dir = self.out_dir / "trials"
+        self.spec_path = self.out_dir / "spec.json"
+        self.summary_path = self.out_dir / "summary.json"
+
+    def ensure_layout(self) -> None:
+        self.trials_dir.mkdir(parents=True, exist_ok=True)
+
+    # --------------------------------------------------------------- spec
+    def write_spec(self, spec: CampaignSpec) -> None:
+        self.ensure_layout()
+        _write_json_atomic(self.spec_path, spec.to_dict())
+
+    def load_spec(self) -> CampaignSpec:
+        return CampaignSpec.from_json_file(self.spec_path)
+
+    # -------------------------------------------------------------- trials
+    def trial_path(self, trial_id: str) -> Path:
+        return self.trials_dir / f"{trial_id}.json"
+
+    def write_trial(self, record: Dict[str, object]) -> None:
+        _write_json_atomic(self.trial_path(str(record["trial_id"])), record)
+
+    def load_trial(self, trial_id: str) -> Optional[Dict[str, object]]:
+        """The trial's record, or ``None`` if absent or unreadable."""
+        path = self.trial_path(trial_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or "metrics" not in record:
+            return None
+        return record
+
+    def completed_trial_ids(self) -> Set[str]:
+        """Ids of every trial with a complete, parseable record on disk."""
+        if not self.trials_dir.is_dir():
+            return set()
+        done: Set[str] = set()
+        for path in self.trials_dir.glob("*.json"):
+            if self.load_trial(path.stem) is not None:
+                done.add(path.stem)
+        return done
+
+    def load_trials(self, trial_ids: Iterable[str]) -> List[Dict[str, object]]:
+        """Records for the given ids, in the given order, missing ones skipped."""
+        records = []
+        for trial_id in trial_ids:
+            record = self.load_trial(trial_id)
+            if record is not None:
+                records.append(record)
+        return records
+
+    # ------------------------------------------------------------- summary
+    def write_summary(self, summary: Dict[str, object]) -> None:
+        self.ensure_layout()
+        _write_json_atomic(self.summary_path, summary)
+
+    def load_summary(self) -> Optional[Dict[str, object]]:
+        try:
+            with open(self.summary_path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+
+@dataclass
+class CampaignResults:
+    """A loaded campaign results directory (spec + trials + summary)."""
+
+    out_dir: Path
+    spec: CampaignSpec
+    records: List[Dict[str, object]] = field(default_factory=list)
+    summary: Optional[Dict[str, object]] = None
+
+    def metric_values(self, name: str) -> List[float]:
+        """All per-trial values of one scalar metric, in trial order."""
+        return [
+            float(r["metrics"][name])
+            for r in self.records
+            if isinstance(r.get("metrics"), dict) and name in r["metrics"]
+        ]
+
+
+def load_campaign_results(out_dir: Union[str, Path]) -> CampaignResults:
+    """Load a results directory written by :func:`repro.campaign.run_campaign`."""
+    store = CampaignStore(out_dir)
+    spec = store.load_spec()
+    trial_ids = [t.trial_id for t in spec.expand()]
+    return CampaignResults(
+        out_dir=store.out_dir,
+        spec=spec,
+        records=store.load_trials(trial_ids),
+        summary=store.load_summary(),
+    )

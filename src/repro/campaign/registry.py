@@ -1,0 +1,100 @@
+"""Registry mapping experiment kinds to pickleable campaign entry points.
+
+Each adapter pairs a config dataclass with the module-level ``run_<kind>``
+function from :mod:`repro.experiments`.  Workers receive only the kind name
+and a plain parameter dict, look the adapter up in their own process, build
+the typed config, and run — so nothing that crosses the process boundary
+needs to be pickleable beyond builtins.
+
+``register_experiment`` is public: tests and downstream extensions can add
+kinds (e.g. toy experiments, future distributed workloads) without touching
+this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Tuple
+
+from ..experiments.ablation import AblationConfig, run_ablation
+from ..experiments.anonymity import AnonymityExperimentConfig, run_anonymity
+from ..experiments.efficiency import EfficiencyExperimentConfig, run_efficiency
+from ..experiments.results import config_from_dict
+from ..experiments.security import SecurityExperimentConfig, run_security
+from ..experiments.timing import TimingExperimentConfig, run_timing
+
+
+@dataclass(frozen=True)
+class ExperimentAdapter:
+    """Binds an experiment kind to its config class and entry point.
+
+    ``entry_point`` must be a module-level callable ``(config) -> result``
+    whose result exposes ``scalar_metrics() -> Dict[str, float]`` and
+    ``to_dict() -> dict`` (all :mod:`repro.experiments` harnesses do).
+    """
+
+    kind: str
+    config_cls: type
+    entry_point: Callable
+    description: str = ""
+
+    def build_config(self, params: Mapping[str, object]):
+        return config_from_dict(self.config_cls, dict(params))
+
+    def run(self, params: Mapping[str, object]):
+        return self.entry_point(self.build_config(params))
+
+
+_REGISTRY: Dict[str, ExperimentAdapter] = {}
+
+
+def register_experiment(adapter: ExperimentAdapter, replace: bool = False) -> None:
+    """Add an experiment kind to the registry (``replace=True`` to override)."""
+    if adapter.kind in _REGISTRY and not replace:
+        raise ValueError(f"experiment kind {adapter.kind!r} is already registered")
+    _REGISTRY[adapter.kind] = adapter
+
+
+def get_experiment(kind: str) -> ExperimentAdapter:
+    if kind not in _REGISTRY:
+        raise KeyError(f"unknown experiment kind {kind!r}; choose from {sorted(_REGISTRY)}")
+    return _REGISTRY[kind]
+
+
+def available_kinds() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+for _adapter in (
+    ExperimentAdapter(
+        kind="security",
+        config_cls=SecurityExperimentConfig,
+        entry_point=run_security,
+        description="attacker identification under active attacks (Figs 3/4/9, Table 2)",
+    ),
+    ExperimentAdapter(
+        kind="anonymity",
+        config_cls=AnonymityExperimentConfig,
+        entry_point=run_anonymity,
+        description="initiator/target anonymity sweeps (Figs 5/6)",
+    ),
+    ExperimentAdapter(
+        kind="efficiency",
+        config_cls=EfficiencyExperimentConfig,
+        entry_point=run_efficiency,
+        description="latency/bandwidth comparison (Table 3, Fig 7(a))",
+    ),
+    ExperimentAdapter(
+        kind="timing",
+        config_cls=TimingExperimentConfig,
+        entry_point=run_timing,
+        description="timing-analysis error rates (Table 1)",
+    ),
+    ExperimentAdapter(
+        kind="ablation",
+        config_cls=AblationConfig,
+        entry_point=run_ablation,
+        description="multi-path / dummy-query design ablation (Section 4.2)",
+    ),
+):
+    register_experiment(_adapter)

@@ -1,0 +1,152 @@
+"""Campaign execution: serial or process-pool fan-out with resume support.
+
+``execute_trial`` is the worker entry point.  It is a module-level function
+taking and returning plain dicts, so submitting it to a
+``concurrent.futures.ProcessPoolExecutor`` never trips over pickling: the
+experiment objects themselves are built *inside* the worker process from the
+parameter dict, via the adapter registry.
+
+Every trial is seeded from its own parameters, so results do not depend on
+which worker ran it or in what order trials completed — serial (``jobs=1``)
+and parallel runs of the same spec produce byte-identical trial records and
+aggregates.  ``jobs=1`` bypasses the pool entirely, which keeps tracebacks
+flat and makes ``pdb``/profiling work, hence its role as the determinism and
+debugging fallback.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from .aggregate import aggregate_records
+from .persistence import CampaignStore
+from .registry import get_experiment
+from .spec import CampaignSpec, TrialSpec
+
+#: ``progress(event, trial_id, done, total)`` with event in {"run", "skip"}.
+ProgressCallback = Callable[[str, str, int, int], None]
+
+
+def execute_trial(trial: Dict[str, object]) -> Dict[str, object]:
+    """Run one trial (dict form of :class:`TrialSpec`) and return its record."""
+    adapter = get_experiment(str(trial["kind"]))
+    result = adapter.run(trial["params"])
+    # to_dict() embeds scalar_metrics() for standalone use; the record keeps
+    # the metrics once, at top level, so the two copies can never drift.
+    detail = result.to_dict()
+    metrics = detail.pop("metrics", None) or result.scalar_metrics()
+    return {
+        "trial_id": trial["trial_id"],
+        "kind": trial["kind"],
+        "params": dict(trial["params"]),
+        "metrics": metrics,
+        "detail": detail,
+    }
+
+
+@dataclass
+class CampaignReport:
+    """What one ``run_campaign`` invocation did."""
+
+    spec: CampaignSpec
+    out_dir: Path
+    executed_trial_ids: List[str] = field(default_factory=list)
+    skipped_trial_ids: List[str] = field(default_factory=list)
+    summary: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def n_executed(self) -> int:
+        return len(self.executed_trial_ids)
+
+    @property
+    def n_skipped(self) -> int:
+        return len(self.skipped_trial_ids)
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    out_dir: Union[str, Path],
+    jobs: int = 1,
+    resume: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignReport:
+    """Expand ``spec``, run every trial, and write records + summary.
+
+    With ``resume=True``, trials whose records already exist under
+    ``out_dir/trials/`` are skipped (memoization across runs); the summary is
+    recomputed from *all* records either way.  ``jobs`` > 1 fans pending
+    trials out over a process pool of that many workers.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    trials = spec.expand()
+    store = CampaignStore(out_dir)
+    store.ensure_layout()
+    store.write_spec(spec)
+
+    # Probe only this spec's trial ids — not every file in trials/ — so resume
+    # cost scales with the campaign, not with whatever else shares the directory.
+    done = (
+        {t.trial_id for t in trials if store.load_trial(t.trial_id) is not None}
+        if resume
+        else set()
+    )
+    pending = [t for t in trials if t.trial_id not in done]
+    skipped = [t.trial_id for t in trials if t.trial_id in done]
+    total = len(trials)
+    finished = 0
+
+    for trial_id in skipped:
+        finished += 1
+        if progress:
+            progress("skip", trial_id, finished, total)
+
+    report = CampaignReport(spec=spec, out_dir=store.out_dir, skipped_trial_ids=skipped)
+
+    if pending:
+        if jobs == 1:
+            for trial in pending:
+                record = execute_trial(trial.to_dict())
+                store.write_trial(record)
+                finished += 1
+                report.executed_trial_ids.append(trial.trial_id)
+                if progress:
+                    progress("run", trial.trial_id, finished, total)
+        else:
+            _run_parallel(pending, store, report, jobs, progress, finished, total)
+
+    records = store.load_trials([t.trial_id for t in trials])
+    report.summary = aggregate_records(records, spec=spec)
+    store.write_summary(report.summary)
+    return report
+
+
+def _run_parallel(
+    pending: List[TrialSpec],
+    store: CampaignStore,
+    report: CampaignReport,
+    jobs: int,
+    progress: Optional[ProgressCallback],
+    finished: int,
+    total: int,
+) -> None:
+    """Fan ``pending`` out over a process pool, persisting as results land."""
+    executed = []
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = {pool.submit(execute_trial, t.to_dict()): t.trial_id for t in pending}
+        outstanding = set(futures)
+        while outstanding:
+            complete, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+            for future in complete:
+                record = future.result()  # propagate worker exceptions
+                store.write_trial(record)
+                finished += 1
+                executed.append(futures[future])
+                if progress:
+                    progress("run", futures[future], finished, total)
+    # Report executed ids in spec order, not completion order.
+    order = {t.trial_id: i for i, t in enumerate(pending)}
+    report.executed_trial_ids.extend(sorted(executed, key=order.__getitem__))

@@ -1,0 +1,170 @@
+"""Declarative campaign specifications and their expansion into trials.
+
+A campaign is ``experiment kind × parameter grid × seed list``.  The spec is
+plain data (JSON-friendly), so campaigns can live in version-controlled files
+next to the figures they regenerate::
+
+    {
+      "name": "fig3a-sweep",
+      "kind": "security",
+      "base": {"n_nodes": 150, "duration": 400, "attack": "lookup-bias"},
+      "grid": {"attack_rate": [1.0, 0.5]},
+      "seeds": [0, 1, 2, 3]
+    }
+
+``expand()`` turns the spec into the full cross product of grid axes and
+seeds: one :class:`TrialSpec` per (combination, seed), each carrying a
+deterministic ``trial_id``.  Trial ids are purely content-addressed (a hash
+of the kind and the exact parameter mapping, prefixed with the seed for
+readability), which is what makes resume support safe: a finished trial is
+recognised across runs *even when the grid or seed list has since grown*,
+and any edit to its parameters changes its id and forces a re-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+
+def canonical_json(data: object) -> str:
+    """Key-sorted, whitespace-free JSON — the hashing/grouping canonical form."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One independent unit of work: an experiment kind plus its parameters.
+
+    ``params`` includes the trial's ``seed``; two trials of a campaign never
+    share a ``trial_id`` because the (kind, params) pair is unique within the
+    expanded grid.
+    """
+
+    trial_id: str
+    kind: str
+    params: Mapping[str, object]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"trial_id": self.trial_id, "kind": self.kind, "params": dict(self.params)}
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative multi-trial experiment campaign."""
+
+    kind: str
+    name: str = ""
+    #: parameters shared by every trial (overridden by grid axes).
+    base: Dict[str, object] = field(default_factory=dict)
+    #: parameter name -> list of values; the cross product of all axes is run.
+    grid: Dict[str, List[object]] = field(default_factory=dict)
+    #: each grid combination is run once per seed.
+    seeds: Tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        self.seeds = tuple(self.seeds)
+        if not self.name:
+            self.name = f"{self.kind}-campaign"
+
+    # ------------------------------------------------------------- validation
+    def validate(self) -> None:
+        from .registry import available_kinds
+
+        if self.kind not in available_kinds():
+            raise ValueError(
+                f"unknown experiment kind {self.kind!r}; choose from {sorted(available_kinds())}"
+            )
+        if not self.seeds:
+            raise ValueError("a campaign needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError("duplicate seeds would run identical trials twice")
+        for axis, values in self.grid.items():
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ValueError(f"grid axis {axis!r} must be a non-empty list of values")
+            if len({canonical_json(v) for v in values}) != len(values):
+                raise ValueError(f"grid axis {axis!r} contains duplicate values")
+        if "seed" in self.base or "seed" in self.grid:
+            raise ValueError("put seeds in the 'seeds' list, not in base/grid parameters")
+
+    # -------------------------------------------------------------- expansion
+    def expand(self) -> List[TrialSpec]:
+        """Cross product of grid axes × seeds, in deterministic order.
+
+        Axes iterate in sorted-name order and seeds in the order given, so the
+        trial list (and every trial id) is identical between runs of the same
+        spec — the property resume support and the serial/parallel equality
+        guarantee both rest on.
+        """
+        self.validate()
+        axes = sorted(self.grid)
+        value_lists = [self.grid[a] for a in axes]
+        trials: List[TrialSpec] = []
+        for combo in itertools.product(*value_lists):
+            overrides = dict(zip(axes, combo))
+            for seed in self.seeds:
+                params = {**self.base, **overrides, "seed": seed}
+                digest = hashlib.sha256(
+                    canonical_json({"kind": self.kind, "params": params}).encode("utf-8")
+                ).hexdigest()[:12]
+                # The id is purely content-derived (no positional index): adding
+                # seeds or grid values must not rename unchanged trials, or
+                # resume would re-run work it already has on disk.
+                trials.append(
+                    TrialSpec(trial_id=f"s{seed}-{digest}", kind=self.kind, params=params)
+                )
+        return trials
+
+    def n_trials(self) -> int:
+        count = len(self.seeds)
+        for values in self.grid.values():
+            count *= len(values)
+        return count
+
+    # ------------------------------------------------------------- (de)serial
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "base": dict(self.base),
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "seeds": list(self.seeds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CampaignSpec":
+        known = {"name", "kind", "base", "grid", "seeds"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown campaign spec keys: {', '.join(unknown)}")
+        if "kind" not in data:
+            raise ValueError("campaign spec needs a 'kind'")
+        base = data.get("base", {})
+        grid = data.get("grid", {})
+        seeds = data.get("seeds", (0,))
+        if not isinstance(base, dict):
+            raise ValueError("'base' must be a mapping of parameter name -> value")
+        if not isinstance(grid, dict) or any(
+            not isinstance(v, (list, tuple)) for v in grid.values()
+        ):
+            raise ValueError("'grid' must map parameter names to lists of values")
+        if not isinstance(seeds, (list, tuple)) or any(
+            not isinstance(s, int) or isinstance(s, bool) for s in seeds
+        ):
+            raise ValueError("'seeds' must be a list of integers")
+        return cls(
+            kind=str(data["kind"]),
+            name=str(data.get("name", "")),
+            base=dict(base),
+            grid={k: list(v) for k, v in grid.items()},
+            seeds=tuple(seeds),
+        )
+
+    @classmethod
+    def from_json_file(cls, path: Union[str, Path]) -> "CampaignSpec":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

@@ -7,17 +7,26 @@ Usage (after ``pip install -e .``)::
     python -m repro efficiency --nodes 207 --lookups 80
     python -m repro timing
     python -m repro ablation
+    python -m repro campaign   --spec campaign.json --jobs 4 --out results/ --resume
 
-Each subcommand builds the corresponding harness from
+Each single-run subcommand builds the corresponding harness from
 :mod:`repro.experiments`, runs it, and prints the regenerated rows/series in
-the same form the benchmarks use.
+the same form the benchmarks use.  ``campaign`` fans a whole
+multi-seed / parameter-grid sweep out over worker processes via
+:mod:`repro.campaign`; the grid can come from a JSON spec file or be given
+inline::
+
+    python -m repro campaign --kind security \
+        --param n_nodes=150 --param duration=400 \
+        --param attack_rate=1.0,0.5 --seeds 0-3 --jobs 4 --out results/fig3a
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .experiments.ablation import AblationConfig, AnonymityAblation
 from .experiments.anonymity import AnonymityExperiment, AnonymityExperimentConfig
@@ -63,7 +72,88 @@ def _build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("--nodes", type=int, default=8000)
     ablation.add_argument("--malicious", type=float, default=0.2)
     ablation.add_argument("--worlds", type=int, default=150)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="multi-seed / parameter-grid campaign over worker processes",
+        description=(
+            "Expand a campaign spec (experiment kind x parameter grid x seeds) into "
+            "independent trials, run them serially or on a process pool, and write "
+            "per-trial JSON plus a mean/std/CI summary to the results directory."
+        ),
+    )
+    campaign.add_argument("--spec", help="JSON campaign spec file (overrides inline options)")
+    campaign.add_argument("--kind", help="experiment kind for an inline campaign")
+    campaign.add_argument("--name", default="", help="campaign name (default: <kind>-campaign)")
+    campaign.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=V[,V...]",
+        help="inline parameter; one value fixes it, several make a grid axis (repeatable)",
+    )
+    campaign.add_argument("--seeds", default="0", help="seed list: '0,1,2' or a range '0-7'")
+    campaign.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
+    campaign.add_argument("--out", default="campaign-results", help="results directory")
+    campaign.add_argument("--resume", action="store_true",
+                          help="skip trials whose records already exist in --out")
+    campaign.add_argument("--list-kinds", action="store_true",
+                          help="list registered experiment kinds and exit")
+    campaign.add_argument("--quiet", action="store_true", help="suppress per-trial progress lines")
     return parser
+
+
+def _parse_param_value(token: str) -> object:
+    """Parse one inline parameter value: JSON literal if possible, else string."""
+    try:
+        return json.loads(token)
+    except ValueError:
+        return token
+
+
+def _parse_seeds(text: str) -> List[int]:
+    """Parse ``--seeds``: comma-separated ints or an inclusive 'LO-HI' range."""
+    text = text.strip()
+    try:
+        if "-" in text and "," not in text and not text.startswith("-"):
+            lo, hi = text.split("-", 1)
+            return list(range(int(lo), int(hi) + 1))
+        return [int(tok) for tok in text.split(",") if tok.strip()]
+    except ValueError:
+        raise SystemExit(
+            f"repro campaign: malformed --seeds {text!r} (expected '0,1,2' or a range '0-7')"
+        )
+
+
+def _inline_spec(args) -> "CampaignSpec":
+    """Build a CampaignSpec from --kind/--param/--seeds options."""
+    from .campaign import CampaignSpec
+
+    if not args.kind:
+        raise SystemExit("repro campaign: either --spec FILE or --kind KIND is required")
+    base: Dict[str, object] = {}
+    grid: Dict[str, List[object]] = {}
+    for item in args.param:
+        if "=" not in item:
+            raise SystemExit(f"repro campaign: malformed --param {item!r} (expected NAME=VALUE[,VALUE...])")
+        name, _, raw = item.partition("=")
+        # A value that parses as JSON in one piece is ONE parameter value —
+        # this is how list-valued config fields are set inline, e.g.
+        # --param max_delays=[0.1,0.2].  Only otherwise does ',' split the
+        # string into a grid axis.
+        try:
+            base[name.strip()] = json.loads(raw)
+            continue
+        except ValueError:
+            pass
+        values = [_parse_param_value(tok) for tok in raw.split(",")]
+        if len(values) == 1:
+            base[name.strip()] = values[0]
+        else:
+            grid[name.strip()] = values
+    return CampaignSpec(
+        kind=args.kind, name=args.name, base=base, grid=grid, seeds=tuple(_parse_seeds(args.seeds))
+    )
 
 
 def _run_security(args) -> int:
@@ -145,6 +235,55 @@ def _run_ablation(args) -> int:
     return 0
 
 
+def _run_campaign(args) -> int:
+    from .campaign import CampaignSpec, available_kinds, get_experiment, run_campaign, summary_rows
+
+    if args.list_kinds:
+        for kind in available_kinds():
+            print(f"{kind:12s} {get_experiment(kind).description}")
+        return 0
+
+    if args.spec:
+        try:
+            spec = CampaignSpec.from_json_file(args.spec)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro campaign: cannot load spec {args.spec!r}: {exc}")
+        if args.name:
+            spec.name = args.name
+    else:
+        spec = _inline_spec(args)
+    # Fail fast — validate the spec and build every trial's typed config
+    # before anything is written or any worker starts.
+    try:
+        trials = spec.expand()
+        adapter = get_experiment(spec.kind)
+        for trial in trials:
+            config = adapter.build_config(trial.params)
+            validate = getattr(config, "validate", None)
+            if callable(validate):
+                validate()
+        if args.jobs < 1:
+            raise ValueError("--jobs must be >= 1")
+    except (KeyError, TypeError, ValueError) as exc:
+        # KeyError's str() wraps the message in quotes; unwrap via args.
+        raise SystemExit(f"repro campaign: {exc.args[0] if exc.args else exc}")
+
+    def progress(event: str, trial_id: str, done: int, total: int) -> None:
+        if not args.quiet:
+            verb = "ran " if event == "run" else "skip"
+            print(f"[{done}/{total}] {verb} {trial_id}")
+
+    report = run_campaign(spec, out_dir=args.out, jobs=args.jobs, resume=args.resume, progress=progress)
+    print(
+        f"campaign {spec.name!r} ({spec.kind}): {report.n_executed} trial(s) executed, "
+        f"{report.n_skipped} skipped, results in {report.out_dir}"
+    )
+    headers, rows = summary_rows(report.summary)
+    if rows:
+        print(format_table(headers, rows, title="aggregate (mean±ci95 over seeds)"))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -155,6 +294,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "efficiency": _run_efficiency,
         "timing": _run_timing,
         "ablation": _run_ablation,
+        "campaign": _run_campaign,
     }
     return handlers[args.command](args)
 

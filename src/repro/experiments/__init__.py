@@ -4,30 +4,50 @@
 * :mod:`repro.experiments.anonymity` — Figures 5(a)-(c), 6.
 * :mod:`repro.experiments.efficiency` — Table 3, Figure 7(a).
 * :mod:`repro.experiments.timing` — Table 1.
+* :mod:`repro.experiments.ablation` — Section 4.2 design ablation.
+
+Every harness also exposes a pickleable module-level ``run_<kind>(config)``
+entry point and ``to_dict()``-able results so :mod:`repro.campaign` can fan
+trials out across worker processes.
 """
 
+from .ablation import AblationConfig, AblationResult, AnonymityAblation, run_ablation
 from .anonymity import (
     AnonymityExperiment,
     AnonymityExperimentConfig,
     AnonymityExperimentResult,
     AnonymityPoint,
+    run_anonymity,
 )
 from .efficiency import (
     EfficiencyExperiment,
     EfficiencyExperimentConfig,
     EfficiencyExperimentResult,
     SchemeEfficiency,
+    run_efficiency,
 )
-from .results import ExperimentRecord, format_series, format_table
+from .results import (
+    ExperimentRecord,
+    config_from_dict,
+    format_series,
+    format_table,
+    jsonify,
+    percentile,
+    percentile_from_cdf,
+)
 from .security import (
     SecurityExperiment,
     SecurityExperimentConfig,
     SecurityExperimentResult,
     run_attack_sweep,
+    run_security,
 )
-from .timing import TimingExperiment, TimingExperimentConfig, TimingExperimentResult
+from .timing import TimingExperiment, TimingExperimentConfig, TimingExperimentResult, run_timing
 
 __all__ = [
+    "AblationConfig",
+    "AblationResult",
+    "AnonymityAblation",
     "AnonymityExperiment",
     "AnonymityExperimentConfig",
     "AnonymityExperimentResult",
@@ -37,12 +57,21 @@ __all__ = [
     "EfficiencyExperimentResult",
     "SchemeEfficiency",
     "ExperimentRecord",
+    "config_from_dict",
     "format_series",
     "format_table",
+    "jsonify",
+    "percentile",
+    "percentile_from_cdf",
     "SecurityExperiment",
     "SecurityExperimentConfig",
     "SecurityExperimentResult",
+    "run_ablation",
+    "run_anonymity",
     "run_attack_sweep",
+    "run_efficiency",
+    "run_security",
+    "run_timing",
     "TimingExperiment",
     "TimingExperimentConfig",
     "TimingExperimentResult",

@@ -18,13 +18,15 @@ target.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import re
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
 from ..anonymity.observations import AnonymityConfig
 from ..anonymity.ring_model import LightweightRing
 from ..anonymity.target import TargetAnonymityEstimator
 from ..sim.rng import RandomSource
+from .results import jsonify
 
 
 @dataclass
@@ -38,6 +40,9 @@ class AblationConfig:
     relay_pairs_per_lookup: int = 4
     n_worlds: int = 150
     seed: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return jsonify(asdict(self))
 
 
 @dataclass
@@ -60,6 +65,22 @@ class AblationResult:
 
     def by_variant(self) -> Dict[str, AblationPoint]:
         return {p.variant: p for p in self.points}
+
+    def scalar_metrics(self) -> Dict[str, float]:
+        """H(T)/leak(T) per design variant, variant names slugified for keys."""
+        metrics: Dict[str, float] = {}
+        for p in self.points:
+            slug = re.sub(r"[^a-z0-9]+", "_", p.variant.lower()).strip("_")
+            metrics[f"target_entropy_{slug}"] = float(p.target_entropy)
+            metrics[f"target_leak_{slug}"] = float(p.target_leak)
+        return metrics
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": self.config.to_dict(),
+            "metrics": self.scalar_metrics(),
+            "points": [asdict(p) for p in self.points],
+        }
 
 
 class AnonymityAblation:
@@ -101,3 +122,8 @@ class AnonymityAblation:
                 )
             )
         return result
+
+
+def run_ablation(config: Optional[AblationConfig] = None) -> AblationResult:
+    """Pickleable ``(config) -> result`` entry point for campaign workers."""
+    return AnonymityAblation(config).run()

@@ -11,7 +11,7 @@ Both are pure parameters of :class:`AnonymityExperimentConfig`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..anonymity.comparison import ComparisonAnonymityModel
@@ -19,6 +19,7 @@ from ..anonymity.initiator import InitiatorAnonymityEstimator, InitiatorAnonymit
 from ..anonymity.observations import AnonymityConfig
 from ..anonymity.ring_model import LightweightRing
 from ..anonymity.target import TargetAnonymityEstimator, TargetAnonymityResult
+from .results import jsonify
 
 
 @dataclass
@@ -31,6 +32,9 @@ class AnonymityExperimentConfig:
     concurrent_lookup_rates: Tuple[float, ...] = (0.005, 0.01)
     n_worlds: int = 200
     seed: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return jsonify(asdict(self))
 
 
 @dataclass
@@ -70,6 +74,29 @@ class AnonymityExperimentResult:
             for p in self.comparison_points
             if p.scheme == scheme
         ]
+
+    def scalar_metrics(self) -> Dict[str, float]:
+        """Per-scheme mean entropies/leaks across all swept points."""
+        metrics: Dict[str, float] = {}
+        by_scheme: Dict[str, List[AnonymityPoint]] = {}
+        for p in self.octopus_points + self.comparison_points:
+            by_scheme.setdefault(p.scheme, []).append(p)
+        for scheme in sorted(by_scheme):
+            pts = by_scheme[scheme]
+            n = float(len(pts))
+            metrics[f"{scheme}_initiator_entropy"] = sum(p.initiator_entropy for p in pts) / n
+            metrics[f"{scheme}_target_entropy"] = sum(p.target_entropy for p in pts) / n
+            metrics[f"{scheme}_initiator_leak"] = sum(p.initiator_leak for p in pts) / n
+            metrics[f"{scheme}_target_leak"] = sum(p.target_leak for p in pts) / n
+        return metrics
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": self.config.to_dict(),
+            "metrics": self.scalar_metrics(),
+            "octopus_points": [asdict(p) for p in self.octopus_points],
+            "comparison_points": [asdict(p) for p in self.comparison_points],
+        }
 
 
 class AnonymityExperiment:
@@ -134,3 +161,8 @@ class AnonymityExperiment:
         result.octopus_points = self.run_octopus()
         result.comparison_points = self.run_comparison()
         return result
+
+
+def run_anonymity(config: Optional[AnonymityExperimentConfig] = None) -> AnonymityExperimentResult:
+    """Pickleable ``(config) -> result`` entry point for campaign workers."""
+    return AnonymityExperiment(config).run()

@@ -23,7 +23,7 @@ pays bandwidth for anonymity but stays within a few kbps.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..baselines.chord_lookup import ChordLookupProtocol
@@ -35,6 +35,7 @@ from ..sim.bandwidth import MessageSizeModel
 from ..sim.latency import KingLatencyModel
 from ..sim.metrics import Histogram
 from ..sim.rng import RandomSource
+from .results import jsonify
 
 
 @dataclass
@@ -60,6 +61,9 @@ class EfficiencyExperimentConfig:
     processing_delay_mean: float = 0.020
     slow_node_probability: float = 0.03
     slow_node_delay_range: Tuple[float, float] = (0.5, 2.0)
+
+    def to_dict(self) -> Dict[str, object]:
+        return jsonify(asdict(self))
 
 
 @dataclass
@@ -97,6 +101,38 @@ class EfficiencyExperimentResult:
                 row[f"kbps_lk_int_{int(interval)}min"] = round(kbps, 2)
             rows.append(row)
         return rows
+
+    def scalar_metrics(self) -> Dict[str, float]:
+        """Flat per-scheme latency/bandwidth metrics for campaign aggregation."""
+        metrics: Dict[str, float] = {}
+        for name in sorted(self.schemes):
+            s = self.schemes[name]
+            metrics[f"{name}_mean_latency_s"] = float(s.mean_latency)
+            metrics[f"{name}_median_latency_s"] = float(s.median_latency)
+            metrics[f"{name}_correct_fraction"] = float(s.correct_fraction)
+            for interval, kbps in sorted(s.bandwidth_kbps.items()):
+                # %g keeps whole-number intervals short ('5') but preserves
+                # fractional ones ('7.5') so distinct intervals never collide.
+                metrics[f"{name}_kbps_lk_int_{interval:g}min"] = float(kbps)
+        return metrics
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": self.config.to_dict(),
+            "metrics": self.scalar_metrics(),
+            "schemes": {
+                name: {
+                    "scheme": s.scheme,
+                    "mean_latency": s.mean_latency,
+                    "median_latency": s.median_latency,
+                    "latency_cdf": [list(p) for p in s.latency_cdf],
+                    "bandwidth_kbps": {str(k): v for k, v in sorted(s.bandwidth_kbps.items())},
+                    "lookups": s.lookups,
+                    "correct_fraction": s.correct_fraction,
+                }
+                for name, s in sorted(self.schemes.items())
+            },
+        }
 
 
 class EfficiencyExperiment:
@@ -283,3 +319,8 @@ class EfficiencyExperiment:
                 correct_fraction=correct_fraction,
             )
         return result
+
+
+def run_efficiency(config: Optional[EfficiencyExperimentConfig] = None) -> EfficiencyExperimentResult:
+    """Pickleable ``(config) -> result`` entry point for campaign workers."""
+    return EfficiencyExperiment(config).run()

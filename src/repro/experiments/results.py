@@ -7,8 +7,76 @@ compared against the published tables and figures at a glance.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..sim.metrics import percentile  # noqa: F401 — canonical impl, re-exported here
+
+
+def percentile_from_cdf(cdf: Sequence[Tuple[float, float]], fraction: float) -> float:
+    """Percentile read off ``(value, cumulative_fraction)`` pairs.
+
+    Returns the smallest value whose cumulative fraction reaches ``fraction``
+    (``fraction`` in (0, 1]).  This is the correct way to query a pre-computed
+    CDF: it scans the cumulative fractions instead of indexing the point list
+    by ``fraction * len(cdf)``, which conflates the number of CDF points with
+    the number of underlying samples and silently degrades whenever the CDF
+    resolution differs from the sample count.
+    """
+    if not cdf:
+        return float("nan")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    for value, cum in cdf:
+        if cum >= fraction:
+            return value
+    return cdf[-1][0]
+
+
+def jsonify(data: object) -> object:
+    """Recursively convert tuples to lists so a dump/load round trip is equal.
+
+    ``dataclasses.asdict`` preserves tuples, but JSON has no tuple type, so a
+    reloaded record would otherwise compare unequal to the in-memory one —
+    which would break campaign resume comparisons and test assertions.
+    """
+    if isinstance(data, (list, tuple)):
+        return [jsonify(v) for v in data]
+    if isinstance(data, dict):
+        return {k: jsonify(v) for k, v in data.items()}
+    return data
+
+
+def config_from_dict(cls: type, data: Dict[str, object]):
+    """Instantiate an experiment config dataclass from a plain-JSON dict.
+
+    Used by :mod:`repro.campaign` to turn trial parameters back into typed
+    configs.  Lists are coerced to tuples (JSON has no tuples), a mapping
+    given for a dataclass-typed field (e.g. ``octopus``) is recursively
+    rebuilt into that dataclass, and unknown keys raise ``ValueError`` so
+    typos in campaign specs fail loudly instead of being ignored.
+    """
+    import typing
+
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} parameters: {', '.join(unknown)}")
+    # Resolve string annotations (``from __future__ import annotations``) so
+    # nested dataclass fields can be detected by type, not by name.
+    hints = typing.get_type_hints(cls)
+    kwargs: Dict[str, object] = {}
+    for name, value in data.items():
+        target = hints.get(name)
+        if isinstance(value, dict) and dataclasses.is_dataclass(target):
+            value = config_from_dict(target, value)
+        elif isinstance(value, list):
+            value = tuple(value)
+        kwargs[name] = value
+    return cls(**kwargs)
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:

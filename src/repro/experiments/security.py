@@ -21,7 +21,7 @@ preserve the qualitative behaviour, as documented in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..attacks.adversary import Adversary
@@ -35,6 +35,7 @@ from ..sim.churn import ChurnConfig, ChurnProcess
 from ..sim.engine import SimulationEngine
 from ..sim.metrics import MetricsRegistry
 from ..sim.rng import RandomSource
+from .results import jsonify
 
 #: attack name -> behaviour factory
 ATTACKS = {
@@ -72,6 +73,10 @@ class SecurityExperimentConfig:
         if self.duration <= 0:
             raise ValueError("duration must be positive")
 
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (tuples already converted to lists)."""
+        return jsonify(asdict(self))
+
 
 @dataclass
 class SecurityExperimentResult:
@@ -95,6 +100,33 @@ class SecurityExperimentResult:
     total_biased_lookups: int = 0
     final_malicious_fraction: float = 0.0
     initial_malicious_fraction: float = 0.0
+
+    def scalar_metrics(self) -> Dict[str, float]:
+        """Flat per-trial metrics aggregated by :mod:`repro.campaign`."""
+        return {
+            "initial_malicious_fraction": float(self.initial_malicious_fraction),
+            "final_malicious_fraction": float(self.final_malicious_fraction),
+            "false_positive_rate": float(self.false_positive_rate),
+            "false_negative_rate": float(self.false_negative_rate),
+            "false_alarm_rate": float(self.false_alarm_rate),
+            "identified_malicious": float(self.identified_malicious),
+            "identified_honest": float(self.identified_honest),
+            "total_lookups": float(self.total_lookups),
+            "total_biased_lookups": float(self.total_biased_lookups),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable dump: config, scalar metrics and the raw series."""
+        return {
+            "config": self.config.to_dict(),
+            "metrics": self.scalar_metrics(),
+            "series": {
+                "malicious_fraction": [list(p) for p in self.malicious_fraction_series],
+                "lookups": [list(p) for p in self.lookups_series],
+                "biased_lookups": [list(p) for p in self.biased_lookups_series],
+                "ca_workload": [list(p) for p in self.ca_workload_series],
+            },
+        }
 
 
 class SecurityExperiment:
@@ -218,6 +250,11 @@ class SecurityExperiment:
             if containing is not outcome.first_pair:
                 relays.extend([containing.first, containing.second])
             network.dos_defense.investigate_drop(initiator_id, relays, culprit, now=0.0)
+
+
+def run_security(config: Optional[SecurityExperimentConfig] = None) -> SecurityExperimentResult:
+    """Pickleable ``(config) -> result`` entry point for campaign workers."""
+    return SecurityExperiment(config).run()
 
 
 def run_attack_sweep(

@@ -7,12 +7,13 @@ paper reports and renders the same rows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..attacks.timing_analysis import TimingAnalysisAttack, TimingAnalysisResult
 from ..sim.latency import KingLatencyModel
 from ..sim.rng import RandomSource
+from .results import jsonify
 
 
 @dataclass
@@ -25,6 +26,9 @@ class TimingExperimentConfig:
     concurrent_lookup_rates: Tuple[float, ...] = (0.005, 0.01, 0.05)
     max_candidate_flows: int = 2000
     seed: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return jsonify(asdict(self))
 
 
 @dataclass
@@ -50,6 +54,25 @@ class TimingExperimentResult:
 
     def max_information_leak(self) -> float:
         return max(cell.information_leak_bits for cell in self.cells) if self.cells else 0.0
+
+    def scalar_metrics(self) -> Dict[str, float]:
+        """One error-rate/leak metric per Table 1 cell, plus the extremes."""
+        metrics: Dict[str, float] = {
+            "min_error_rate": float(self.min_error_rate()),
+            "max_information_leak_bits": float(self.max_information_leak()),
+        }
+        for cell in self.cells:
+            key = f"{int(round(cell.max_delay * 1000))}ms_alpha_{cell.concurrent_lookup_rate * 100:g}pct"
+            metrics[f"error_rate_{key}"] = float(cell.error_rate)
+            metrics[f"information_leak_bits_{key}"] = float(cell.information_leak_bits)
+        return metrics
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "config": self.config.to_dict(),
+            "metrics": self.scalar_metrics(),
+            "cells": [asdict(cell) for cell in self.cells],
+        }
 
 
 class TimingExperiment:
@@ -77,3 +100,8 @@ class TimingExperiment:
                     )
                 )
         return result
+
+
+def run_timing(config: Optional[TimingExperimentConfig] = None) -> TimingExperimentResult:
+    """Pickleable ``(config) -> result`` entry point for campaign workers."""
+    return TimingExperiment(config).run()

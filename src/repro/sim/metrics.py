@@ -14,6 +14,31 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile of raw samples, ``pct`` in [0, 100].
+
+    Uses the standard ``rank = pct/100 * (n - 1)`` convention (NumPy's
+    ``linear`` interpolation): the 0th percentile is the minimum, the 100th
+    the maximum, and intermediate ranks interpolate between the two nearest
+    order statistics.  Canonical implementation — :class:`Histogram` and
+    :mod:`repro.experiments.results` both delegate here.
+    """
+    if not values:
+        return float("nan")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError("percentile must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = pct / 100.0 * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
 @dataclass
 class TimeSeries:
     """An append-only series of ``(time, value)`` samples."""
@@ -94,20 +119,7 @@ class Histogram:
 
     def percentile(self, pct: float) -> float:
         """Linear-interpolated percentile, ``pct`` in [0, 100]."""
-        if not self._samples:
-            return float("nan")
-        if not 0.0 <= pct <= 100.0:
-            raise ValueError("percentile must be in [0, 100]")
-        ordered = sorted(self._samples)
-        if len(ordered) == 1:
-            return ordered[0]
-        rank = pct / 100.0 * (len(ordered) - 1)
-        lo = int(math.floor(rank))
-        hi = int(math.ceil(rank))
-        if lo == hi:
-            return ordered[lo]
-        frac = rank - lo
-        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        return percentile(self._samples, pct)
 
     def stddev(self) -> float:
         if len(self._samples) < 2:

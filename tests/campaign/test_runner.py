@@ -1,0 +1,109 @@
+"""End-to-end runner behaviour: parallel equality, resume, persistence.
+
+The campaigns here use the security experiment at toy scale (60 nodes, 15
+simulated seconds, ~0.1 s per trial) so the whole file stays fast while still
+exercising the real experiment entry points across process boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, CampaignStore, load_campaign_results, run_campaign
+
+
+@pytest.fixture
+def small_spec() -> CampaignSpec:
+    return CampaignSpec(
+        kind="security",
+        name="runner-test",
+        base={"n_nodes": 60, "duration": 15.0, "sample_interval": 5.0},
+        grid={"attack_rate": [1.0, 0.5]},
+        seeds=(0, 1),
+    )
+
+
+def test_serial_run_writes_trials_and_summary(small_spec, tmp_path):
+    out = tmp_path / "serial"
+    report = run_campaign(small_spec, out_dir=out, jobs=1)
+    assert report.n_executed == 4 and report.n_skipped == 0
+    assert (out / "spec.json").is_file()
+    assert (out / "summary.json").is_file()
+    trial_files = sorted((out / "trials").glob("*.json"))
+    assert len(trial_files) == 4
+    record = json.loads(trial_files[0].read_text())
+    assert record["kind"] == "security"
+    assert "final_malicious_fraction" in record["metrics"]
+    assert record["detail"]["config"]["n_nodes"] == 60
+
+
+def test_parallel_equals_serial_on_fixed_seeds(small_spec, tmp_path):
+    serial = run_campaign(small_spec, out_dir=tmp_path / "serial", jobs=1)
+    parallel = run_campaign(small_spec, out_dir=tmp_path / "parallel", jobs=2)
+    assert serial.summary == parallel.summary
+    for trial in small_spec.expand():
+        ser = json.loads((tmp_path / "serial" / "trials" / f"{trial.trial_id}.json").read_text())
+        par = json.loads((tmp_path / "parallel" / "trials" / f"{trial.trial_id}.json").read_text())
+        assert ser == par
+
+
+def test_resume_skips_completed_trials(small_spec, tmp_path):
+    out = tmp_path / "resumed"
+    run_campaign(small_spec, out_dir=out, jobs=1)
+    events = []
+    report = run_campaign(
+        small_spec,
+        out_dir=out,
+        jobs=1,
+        resume=True,
+        progress=lambda event, trial_id, done, total: events.append(event),
+    )
+    assert report.n_executed == 0
+    assert report.n_skipped == 4
+    assert events == ["skip"] * 4
+    assert report.summary["n_trials"] == 4
+
+
+def test_resume_runs_only_missing_trials(small_spec, tmp_path):
+    out = tmp_path / "partial"
+    run_campaign(small_spec, out_dir=out, jobs=1)
+    victim = small_spec.expand()[2]
+    store = CampaignStore(out)
+    store.trial_path(victim.trial_id).unlink()
+    report = run_campaign(small_spec, out_dir=out, jobs=1, resume=True)
+    assert report.executed_trial_ids == [victim.trial_id]
+    assert report.n_skipped == 3
+
+
+def test_without_resume_everything_reruns(small_spec, tmp_path):
+    out = tmp_path / "rerun"
+    run_campaign(small_spec, out_dir=out, jobs=1)
+    report = run_campaign(small_spec, out_dir=out, jobs=1)
+    assert report.n_executed == 4 and report.n_skipped == 0
+
+
+def test_corrupt_trial_record_is_not_treated_as_complete(small_spec, tmp_path):
+    out = tmp_path / "corrupt"
+    run_campaign(small_spec, out_dir=out, jobs=1)
+    victim = small_spec.expand()[0]
+    store = CampaignStore(out)
+    store.trial_path(victim.trial_id).write_text("{not json")
+    report = run_campaign(small_spec, out_dir=out, jobs=1, resume=True)
+    assert report.executed_trial_ids == [victim.trial_id]
+
+
+def test_load_campaign_results_round_trip(small_spec, tmp_path):
+    out = tmp_path / "loaded"
+    report = run_campaign(small_spec, out_dir=out, jobs=1)
+    results = load_campaign_results(out)
+    assert results.spec.to_dict() == small_spec.to_dict()
+    assert len(results.records) == 4
+    assert results.summary == report.summary
+    assert len(results.metric_values("final_malicious_fraction")) == 4
+
+
+def test_bad_jobs_rejected(small_spec, tmp_path):
+    with pytest.raises(ValueError, match="jobs"):
+        run_campaign(small_spec, out_dir=tmp_path, jobs=0)

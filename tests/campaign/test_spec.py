@@ -1,0 +1,108 @@
+"""Grid expansion and (de)serialization of campaign specs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, available_kinds
+
+
+def make_spec(**overrides):
+    kwargs = dict(
+        kind="security",
+        base={"n_nodes": 60, "duration": 30.0},
+        grid={"attack_rate": [1.0, 0.5], "attack": ["lookup-bias", "selective-dos"]},
+        seeds=(0, 1, 2),
+    )
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+def test_expansion_is_full_cross_product():
+    spec = make_spec()
+    trials = spec.expand()
+    assert len(trials) == spec.n_trials() == 2 * 2 * 3
+    combos = {
+        (t.params["attack_rate"], t.params["attack"], t.params["seed"]) for t in trials
+    }
+    assert len(combos) == 12
+    for trial in trials:
+        assert trial.kind == "security"
+        assert trial.params["n_nodes"] == 60
+        assert trial.params["duration"] == 30.0
+
+
+def test_grid_overrides_base_parameters():
+    spec = make_spec(base={"n_nodes": 60, "attack_rate": 9.9}, grid={"attack_rate": [1.0, 0.5]})
+    rates = sorted(t.params["attack_rate"] for t in spec.expand())
+    assert rates == [0.5, 0.5, 0.5, 1.0, 1.0, 1.0]
+
+
+def test_expansion_is_deterministic():
+    first = make_spec().expand()
+    second = make_spec().expand()
+    assert [t.trial_id for t in first] == [t.trial_id for t in second]
+    assert [t.params for t in first] == [t.params for t in second]
+
+
+def test_trial_ids_are_unique_and_content_addressed():
+    trials = make_spec().expand()
+    assert len({t.trial_id for t in trials}) == len(trials)
+    # Changing a base parameter changes every trial id (hash suffix).
+    changed = make_spec(base={"n_nodes": 61, "duration": 30.0}).expand()
+    assert {t.trial_id for t in trials}.isdisjoint({t.trial_id for t in changed})
+
+
+def test_growing_the_campaign_keeps_existing_trial_ids():
+    """Resume depends on ids staying stable when the sweep is extended."""
+    small = {t.trial_id for t in make_spec(seeds=(0, 1)).expand()}
+    more_seeds = {t.trial_id for t in make_spec(seeds=(0, 1, 2, 3)).expand()}
+    assert small < more_seeds
+    wider_grid = {
+        t.trial_id
+        for t in make_spec(
+            seeds=(0, 1),
+            grid={"attack_rate": [1.0, 0.5, 0.25], "attack": ["lookup-bias", "selective-dos"]},
+        ).expand()
+    }
+    assert small < wider_grid
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown experiment kind"):
+        make_spec(kind="frobnicate").validate()
+
+
+def test_seed_belongs_in_seed_list():
+    with pytest.raises(ValueError, match="seeds"):
+        make_spec(base={"seed": 3}).validate()
+
+
+def test_duplicate_seeds_rejected():
+    with pytest.raises(ValueError, match="duplicate seeds"):
+        make_spec(seeds=(0, 0)).validate()
+
+
+def test_empty_grid_axis_rejected():
+    with pytest.raises(ValueError, match="non-empty"):
+        make_spec(grid={"attack_rate": []}).validate()
+
+
+def test_json_file_round_trip(tmp_path):
+    spec = make_spec(name="round-trip")
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    loaded = CampaignSpec.from_json_file(path)
+    assert loaded.to_dict() == spec.to_dict()
+    assert [t.trial_id for t in loaded.expand()] == [t.trial_id for t in spec.expand()]
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown campaign spec keys"):
+        CampaignSpec.from_dict({"kind": "security", "grdi": {}})
+
+
+def test_all_builtin_kinds_registered():
+    assert set(available_kinds()) >= {"security", "anonymity", "efficiency", "timing", "ablation"}
