@@ -11,7 +11,7 @@ Scaled-down default: N=120 nodes, 400 simulated seconds (paper: N=1000,
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import report_campaign, run_once
 
 from repro.experiments.security import SecurityExperimentConfig, run_attack_sweep
 
@@ -27,7 +27,7 @@ def _base_config(paper_scale) -> SecurityExperimentConfig:
     )
 
 
-def test_fig3a_lookup_bias(benchmark, paper_scale):
+def test_fig3a_lookup_bias(benchmark, paper_scale, campaign_results):
     results = run_once(
         benchmark, lambda: run_attack_sweep("lookup-bias", (1.0, 0.5), _base_config(paper_scale))
     )
@@ -36,6 +36,7 @@ def test_fig3a_lookup_bias(benchmark, paper_scale):
     for rate, result in results.items():
         series = ", ".join(f"{t:.0f}s:{v:.3f}" for t, v in result.malicious_fraction_series)
         print(f"    attack rate {rate:.0%}: {series}")
+    report_campaign(campaign_results, "fig3a")
 
     for rate, result in results.items():
         assert result.initial_malicious_fraction > 0.15

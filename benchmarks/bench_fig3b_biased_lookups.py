@@ -8,12 +8,12 @@ and then flattens because the attackers have been identified and removed.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import report_campaign, run_once
 
 from repro.experiments.security import SecurityExperiment, SecurityExperimentConfig
 
 
-def test_fig3b_biased_lookups(benchmark, paper_scale):
+def test_fig3b_biased_lookups(benchmark, paper_scale, campaign_results):
     config = SecurityExperimentConfig(
         n_nodes=1000 if paper_scale else 120,
         duration=1000.0 if paper_scale else 400.0,
@@ -28,6 +28,7 @@ def test_fig3b_biased_lookups(benchmark, paper_scale):
     print("\nFigure 3(b) — cumulative lookups vs biased lookups")
     for (t, total), (_, biased) in zip(result.lookups_series, result.biased_lookups_series):
         print(f"    t={t:6.0f}s  lookups={total:7.0f}  biased={biased:6.0f}")
+    report_campaign(campaign_results, "fig3b")
 
     half_time = config.duration / 2.0
     total_final = result.lookups_series[-1][1]

@@ -9,12 +9,12 @@ secret neighbor surveillance.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import report_campaign, run_once
 
 from repro.experiments.security import SecurityExperiment, SecurityExperimentConfig
 
 
-def test_fig4_fingertable_pollution(benchmark, paper_scale):
+def test_fig4_fingertable_pollution(benchmark, paper_scale, campaign_results):
     config = SecurityExperimentConfig(
         n_nodes=1000 if paper_scale else 120,
         duration=1000.0 if paper_scale else 500.0,
@@ -30,6 +30,7 @@ def test_fig4_fingertable_pollution(benchmark, paper_scale):
     for t, v in result.malicious_fraction_series:
         print(f"    t={t:6.0f}s  fraction={v:.3f}")
     print(f"    FP={result.false_positive_rate:.3f} FN={result.false_negative_rate:.3f} FA={result.false_alarm_rate:.3f}")
+    report_campaign(campaign_results, "fig4")
 
     assert result.final_malicious_fraction < 0.2 * result.initial_malicious_fraction + 0.02
     assert result.false_positive_rate <= 0.05

@@ -13,12 +13,12 @@ observation structure rather than by N.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import report_campaign, run_once
 
 from repro.experiments.anonymity import AnonymityExperiment, AnonymityExperimentConfig
 
 
-def test_fig5a_initiator_anonymity(benchmark, paper_scale):
+def test_fig5a_initiator_anonymity(benchmark, paper_scale, campaign_results):
     config = AnonymityExperimentConfig(
         n_nodes=100_000 if paper_scale else 8_000,
         fractions_malicious=(0.04, 0.12, 0.20),
@@ -35,6 +35,7 @@ def test_fig5a_initiator_anonymity(benchmark, paper_scale):
             f"    f={p.fraction_malicious:.2f} dummies={p.dummy_queries} alpha={p.concurrent_lookup_rate:.3f}"
             f"  H(I)={p.initiator_entropy:.2f}  leak={p.initiator_leak:.2f} bit (ideal {p.ideal_entropy:.2f})"
         )
+    report_campaign(campaign_results, "fig5a")
 
     # Leak grows with f but stays small (near-optimal anonymity).
     for dummies in (2, 6):

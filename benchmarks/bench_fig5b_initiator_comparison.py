@@ -8,7 +8,7 @@ is 4–6x better than the prior schemes in leaked information.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import report_campaign, run_once
 
 from repro.experiments.anonymity import AnonymityExperiment, AnonymityExperimentConfig
 
@@ -26,7 +26,7 @@ def _run(paper_scale):
     return experiment.run_octopus(), experiment.run_comparison(alpha=0.01)
 
 
-def test_fig5b_initiator_comparison(benchmark, paper_scale):
+def test_fig5b_initiator_comparison(benchmark, paper_scale, campaign_results):
     octopus_points, comparison_points = run_once(benchmark, lambda: _run(paper_scale))
 
     print("\nFigure 5(b) — initiator anonymity comparison at alpha=1%")
@@ -34,6 +34,7 @@ def test_fig5b_initiator_comparison(benchmark, paper_scale):
         print(f"    octopus  f={p.fraction_malicious:.2f}  H(I)={p.initiator_entropy:.2f}  leak={p.initiator_leak:.2f}")
     for p in comparison_points:
         print(f"    {p.scheme:8s} f={p.fraction_malicious:.2f}  H(I)={p.initiator_entropy:.2f}  leak={p.initiator_leak:.2f}")
+    report_campaign(campaign_results, "fig5b")
 
     for f in (0.1, 0.2):
         octo = next(p for p in octopus_points if abs(p.fraction_malicious - f) < 1e-9)

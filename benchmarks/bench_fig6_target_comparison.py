@@ -9,7 +9,7 @@ the Myrmic lookup reveals the key, hence the target).  Key-revealing schemes
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import report_campaign, run_once
 
 from repro.experiments.anonymity import AnonymityExperiment, AnonymityExperimentConfig
 
@@ -27,7 +27,7 @@ def _run(paper_scale):
     return experiment.run_octopus(), experiment.run_comparison(alpha=0.01)
 
 
-def test_fig6_target_comparison(benchmark, paper_scale):
+def test_fig6_target_comparison(benchmark, paper_scale, campaign_results):
     octopus_points, comparison_points = run_once(benchmark, lambda: _run(paper_scale))
 
     print("\nFigure 6 — target anonymity comparison at alpha=1%")
@@ -35,6 +35,7 @@ def test_fig6_target_comparison(benchmark, paper_scale):
         print(f"    octopus  f={p.fraction_malicious:.2f}  H(T)={p.target_entropy:.2f}  leak={p.target_leak:.2f}")
     for p in comparison_points:
         print(f"    {p.scheme:8s} f={p.fraction_malicious:.2f}  H(T)={p.target_entropy:.2f}  leak={p.target_leak:.2f}")
+    report_campaign(campaign_results, "fig6")
 
     octo20 = next(p for p in octopus_points if abs(p.fraction_malicious - 0.2) < 1e-9)
     by_scheme = {

@@ -7,7 +7,7 @@ only completes when all of its redundant searches have returned.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import report_campaign, run_once
 
 from repro.core.config import OctopusConfig
 from repro.experiments.efficiency import EfficiencyExperiment, EfficiencyExperimentConfig
@@ -35,15 +35,7 @@ def test_fig7a_latency_cdf(benchmark, paper_scale, campaign_results):
         cdfs[name] = (pct(0.1), pct(0.5), pct(0.9), scheme.mean_latency)
         print(f"    {name:8s} {pct(0.1):6.2f} {pct(0.5):7.2f} {pct(0.9):7.2f} {scheme.mean_latency:8.2f}")
 
-    if campaign_results is not None and campaign_results.spec.kind == "efficiency":
-        # Report per grid cell from the summary, so campaigns sweeping other
-        # parameters never blend different configurations into one number.
-        for group in (campaign_results.summary or {}).get("groups", []):
-            print(f"  campaign aggregates (mean over seeds) for {group['params']}:")
-            for metric in ("chord_mean_latency_s", "octopus_mean_latency_s", "halo_mean_latency_s"):
-                stat = group["metrics"].get(metric)
-                if stat and stat.get("n"):
-                    print(f"    {metric:24s} {stat['mean']:8.2f} ±{stat['ci95']:.2f}  (n={stat['n']})")
+    report_campaign(campaign_results, "fig7a")
 
     # CDF ordering at the median and the tail matches the paper.
     assert cdfs["chord"][1] < cdfs["octopus"][1]

@@ -8,7 +8,7 @@ at most a few messages per second even at the peak.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import report_campaign, run_once
 
 from repro.experiments.security import SecurityExperiment, SecurityExperimentConfig
 
@@ -31,13 +31,14 @@ def _run(paper_scale):
     return out
 
 
-def test_fig7b_ca_workload(benchmark, paper_scale):
+def test_fig7b_ca_workload(benchmark, paper_scale, campaign_results):
     results = run_once(benchmark, lambda: _run(paper_scale))
 
     print("\nFigure 7(b) — CA workload over time (messages per sampling bucket)")
     for attack, result in results.items():
         series = ", ".join(f"{t:.0f}s:{v:.0f}" for t, v in result.ca_workload_series)
         print(f"    {attack}: {series}")
+    report_campaign(campaign_results, "fig7b")
 
     for attack, result in results.items():
         workload = [v for _, v in result.ca_workload_series]

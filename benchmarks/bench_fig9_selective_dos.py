@@ -9,12 +9,12 @@ run.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import report_campaign, run_once
 
 from repro.experiments.security import SecurityExperimentConfig, run_attack_sweep
 
 
-def test_fig9_selective_dos(benchmark, paper_scale):
+def test_fig9_selective_dos(benchmark, paper_scale, campaign_results):
     base = SecurityExperimentConfig(
         n_nodes=1000 if paper_scale else 120,
         duration=1000.0 if paper_scale else 400.0,
@@ -29,6 +29,7 @@ def test_fig9_selective_dos(benchmark, paper_scale):
     for rate, result in results.items():
         series = ", ".join(f"{t:.0f}s:{v:.3f}" for t, v in result.malicious_fraction_series)
         print(f"    attack rate {rate:.0%}: {series}")
+    report_campaign(campaign_results, "fig9")
 
     for rate, result in results.items():
         assert result.final_malicious_fraction < 0.05

@@ -8,12 +8,12 @@ small fraction of a bit.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import report_campaign, run_once
 
 from repro.experiments.timing import TimingExperiment, TimingExperimentConfig
 
 
-def test_table1_timing_analysis(benchmark, paper_scale):
+def test_table1_timing_analysis(benchmark, paper_scale, campaign_results):
     config = TimingExperimentConfig(
         n_nodes=1_000_000,
         fraction_malicious=0.2,
@@ -25,6 +25,7 @@ def test_table1_timing_analysis(benchmark, paper_scale):
     for row in result.table1_rows():
         print("   ", row)
     print(f"    max residual information leak: {result.max_information_leak():.3f} bit")
+    report_campaign(campaign_results, "table1")
 
     assert result.min_error_rate() > 0.95
     assert result.max_information_leak() < 1.0

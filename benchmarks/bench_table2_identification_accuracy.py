@@ -12,7 +12,7 @@ accuracy is measured over the whole run).
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import report_campaign, run_once
 
 from repro.experiments.security import SecurityExperiment, SecurityExperimentConfig
 
@@ -47,12 +47,13 @@ def _run(paper_scale):
     return rows
 
 
-def test_table2_identification_accuracy(benchmark, paper_scale):
+def test_table2_identification_accuracy(benchmark, paper_scale, campaign_results):
     rows = run_once(benchmark, lambda: _run(paper_scale))
 
     print("\nTable 2 — identification accuracy (paper: FP=0, FN<=~20%, FA<=~2%)")
     for row in rows:
         print("   ", row)
+    report_campaign(campaign_results, "table2")
     print(
         "    note: the scaled-down default (N=120, 300 s) inflates the false-negative and"
         " false-alarm rates relative to the paper's N=1000 / full-length runs because each"

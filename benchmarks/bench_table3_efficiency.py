@@ -14,13 +14,13 @@ Octopus, and Octopus staying within a few kbps.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import report_campaign, run_once
 
 from repro.core.config import OctopusConfig
 from repro.experiments.efficiency import EfficiencyExperiment, EfficiencyExperimentConfig
 
 
-def test_table3_efficiency(benchmark, paper_scale):
+def test_table3_efficiency(benchmark, paper_scale, campaign_results):
     n_nodes = 207
     config = EfficiencyExperimentConfig(
         n_nodes=n_nodes,
@@ -33,6 +33,7 @@ def test_table3_efficiency(benchmark, paper_scale):
     print("\nTable 3 — efficiency comparison (207 nodes, King-like latencies)")
     for row in result.table3_rows():
         print("   ", row)
+    report_campaign(campaign_results, "table3")
 
     chord = result.schemes["chord"]
     octopus = result.schemes["octopus"]

@@ -48,6 +48,11 @@ def campaign_results(request):
 
         python -m pytest benchmarks/bench_fig7a_latency_cdf.py \
             --campaign-results results/efficiency-campaign
+
+    The option is session-wide: when the whole ``benchmarks/`` directory runs
+    with one campaign directory, only the benchmarks whose figure adapter
+    matches the campaign's experiment kind print aggregate rows (the others
+    print a one-line note saying why they skipped).
     """
     path = request.config.getoption("--campaign-results")
     if not path:
@@ -57,6 +62,38 @@ def campaign_results(request):
     return load_campaign_results(path)
 
 
+def report_campaign(campaign_results, figure: str) -> None:
+    """Print one figure's multi-seed mean±ci95 aggregates, if available.
+
+    Every benchmark calls this with its figure key; the adapter registry in
+    :mod:`repro.campaign.figures` supplies the campaign kind, metric selection
+    and row formatting, so benchmarks stay one-liner consumers.
+    """
+    if campaign_results is None:
+        return
+    from repro.campaign import render_figure_aggregates
+
+    text = render_figure_aggregates(figure, campaign_results)
+    if text:
+        print(text)
+
+
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+try:  # pragma: no cover - depends on the environment
+    import pytest_benchmark  # noqa: F401
+except ImportError:
+    # Keep the suite runnable on the stdlib-only promise: without the
+    # pytest-benchmark plugin, provide a minimal stand-in that just calls the
+    # function once (no timing statistics, same return-value contract).
+    class _FallbackBenchmark:
+        @staticmethod
+        def pedantic(fn, args=(), kwargs=None, rounds=1, iterations=1, warmup_rounds=0):
+            return fn(*args, **(kwargs or {}))
+
+    @pytest.fixture
+    def benchmark():
+        return _FallbackBenchmark()

@@ -7,7 +7,9 @@ parameter-grid campaigns:
 * :mod:`repro.campaign.registry` — experiment kind → pickleable entry point;
 * :mod:`repro.campaign.runner` — serial / process-pool execution with resume;
 * :mod:`repro.campaign.aggregate` — mean/std/CI summaries per grid cell;
-* :mod:`repro.campaign.persistence` — the JSON results-directory layout.
+* :mod:`repro.campaign.persistence` — the JSON results-directory layout;
+* :mod:`repro.campaign.figures` — figure adapters mapping every paper
+  figure/table benchmark to the campaign kind and metrics it reports.
 
 Typical use::
 
@@ -25,7 +27,22 @@ Typical use::
 or, from the command line, ``python -m repro campaign --help``.
 """
 
-from .aggregate import aggregate_records, group_key, summarize, summary_rows
+from .aggregate import (
+    aggregate_records,
+    group_key,
+    strip_timing,
+    summarize,
+    summarize_timing,
+    summary_rows,
+)
+from .figures import (
+    FigureAdapter,
+    available_figures,
+    figure_aggregate_rows,
+    get_figure,
+    register_figure,
+    render_figure_aggregates,
+)
 from .persistence import CampaignResults, CampaignStore, load_campaign_results
 from .registry import (
     ExperimentAdapter,
@@ -42,16 +59,24 @@ __all__ = [
     "CampaignSpec",
     "CampaignStore",
     "ExperimentAdapter",
+    "FigureAdapter",
     "TrialSpec",
     "aggregate_records",
+    "available_figures",
     "available_kinds",
     "canonical_json",
     "execute_trial",
+    "figure_aggregate_rows",
     "get_experiment",
+    "get_figure",
     "group_key",
     "load_campaign_results",
     "register_experiment",
+    "register_figure",
+    "render_figure_aggregates",
     "run_campaign",
+    "strip_timing",
     "summarize",
+    "summarize_timing",
     "summary_rows",
 ]

@@ -15,6 +15,12 @@ trials within a group by seed, so the summary — including float rounding of
 the incremental sums — is identical no matter which worker finished first.
 This is what lets the acceptance check "serial and parallel runs produce
 identical aggregates" hold exactly, not just approximately.
+
+The one exception is the ``timing`` block: per-trial wall-clock seconds
+(recorded by the runner under ``record["timing"]``) are summarised into
+``summary["timing"]`` so campaign cost is visible, but wall-clock genuinely
+differs between runs, so :func:`strip_timing` defines the view under which
+serial and parallel outputs must compare byte-identical.
 """
 
 from __future__ import annotations
@@ -51,6 +57,40 @@ def group_key(params: Mapping[str, object]) -> str:
     return canonical_json({k: v for k, v in params.items() if k != "seed"})
 
 
+def strip_timing(data: Mapping[str, object]) -> Dict[str, object]:
+    """A trial record or summary without its wall-clock ``timing`` block.
+
+    This is the determinism-compared view: serial and parallel runs of the
+    same spec must produce byte-identical trial records and summaries *after*
+    this projection, because elapsed wall-clock is the one field that
+    legitimately varies between otherwise identical runs.
+    """
+    return {k: v for k, v in data.items() if k != "timing"}
+
+
+def summarize_timing(records: Sequence[Mapping[str, object]]) -> Dict[str, float]:
+    """Fold per-trial ``timing.elapsed_s`` values into totals for the summary.
+
+    Records written before timing capture existed (or hand-crafted ones)
+    simply don't contribute; ``n`` counts only timed trials so the mean stays
+    honest when old and new records are mixed in one directory.
+    """
+    elapsed: List[float] = []
+    for record in records:
+        timing = record.get("timing")
+        if isinstance(timing, Mapping) and isinstance(timing.get("elapsed_s"), (int, float)):
+            elapsed.append(float(timing["elapsed_s"]))
+    if not elapsed:
+        return {"n": 0}
+    return {
+        "n": len(elapsed),
+        "total_elapsed_s": sum(elapsed),
+        "mean_elapsed_s": sum(elapsed) / len(elapsed),
+        "min_elapsed_s": min(elapsed),
+        "max_elapsed_s": max(elapsed),
+    }
+
+
 def aggregate_records(
     records: Sequence[Mapping[str, object]],
     spec: Optional[CampaignSpec] = None,
@@ -81,6 +121,7 @@ def aggregate_records(
         "n_trials": len(records),
         "n_groups": len(group_summaries),
         "groups": group_summaries,
+        "timing": summarize_timing(records),
     }
     if spec is not None:
         summary["name"] = spec.name

@@ -1,0 +1,251 @@
+"""Figure adapters: the bridge between benchmarks and campaign aggregates.
+
+Every benchmark in ``benchmarks/`` regenerates one figure or table of the
+paper.  A :class:`FigureAdapter` records, per figure, which campaign ``kind``
+produces its data, which scalar metrics the figure reports (as ``fnmatch``
+patterns, because several harnesses derive metric names from swept values —
+e.g. ``error_rate_100ms_alpha_0.5pct``), and how to turn a campaign summary
+into printable mean±ci95 rows.  The registry is what lets *every* benchmark
+accept ``--campaign-results DIR`` through one shared code path instead of 14
+hand-rolled ones::
+
+    from repro.campaign.figures import render_figure_aggregates
+    print(render_figure_aggregates("fig3a", campaign_results))
+
+Rendering is deliberately forgiving about *which* campaign it is given: a
+results directory of the wrong experiment kind yields a one-line note, not an
+error, because ``--campaign-results`` is a session-wide pytest option — one
+campaign directory is shared by every collected benchmark, and only the
+benchmarks whose kind matches should print aggregate rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..experiments.results import format_table
+from .aggregate import summary_rows
+
+#: ``formatter(adapter, summary) -> str`` renders one figure's aggregate rows.
+FigureFormatter = Callable[["FigureAdapter", Mapping[str, object]], str]
+
+
+@dataclass(frozen=True)
+class FigureAdapter:
+    """Binds one paper figure/table to the campaign data that reproduces it.
+
+    ``metrics`` are ``fnmatch`` patterns matched against the scalar metric
+    names in a campaign summary, in order; matched names keep the pattern
+    order (then sort within a pattern), so the printed columns follow the
+    figure's reading order rather than plain alphabetical order.
+    """
+
+    figure: str
+    bench: str
+    title: str
+    kind: str
+    metrics: Tuple[str, ...]
+    formatter: Optional[FigureFormatter] = None
+
+    def resolve_metrics(self, summary: Mapping[str, object]) -> List[str]:
+        """Concrete metric names present in ``summary`` matching my patterns."""
+        available = sorted(
+            {name for group in summary.get("groups", []) for name in group.get("metrics", {})}
+        )
+        resolved: List[str] = []
+        for pattern in self.metrics:
+            for name in available:
+                if fnmatchcase(name, pattern) and name not in resolved:
+                    resolved.append(name)
+        return resolved
+
+
+_REGISTRY: Dict[str, FigureAdapter] = {}
+
+
+def register_figure(adapter: FigureAdapter, replace: bool = False) -> None:
+    """Add a figure adapter to the registry (``replace=True`` to override)."""
+    if adapter.figure in _REGISTRY and not replace:
+        raise ValueError(f"figure {adapter.figure!r} is already registered")
+    _REGISTRY[adapter.figure] = adapter
+
+
+def get_figure(figure: str) -> FigureAdapter:
+    if figure not in _REGISTRY:
+        raise KeyError(f"unknown figure {figure!r}; choose from {sorted(_REGISTRY)}")
+    return _REGISTRY[figure]
+
+
+def available_figures() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def figure_aggregate_rows(
+    figure: str, summary: Mapping[str, object]
+) -> Tuple[List[str], List[List[object]]]:
+    """(headers, rows) of one figure's mean±ci95 table from a campaign summary.
+
+    Empty when none of the figure's metrics appear in the summary — never the
+    every-metric table ``summary_rows`` would fall back to on an empty
+    selection (e.g. a matching-kind campaign recorded before a figure's
+    metrics existed).
+    """
+    adapter = get_figure(figure)
+    resolved = adapter.resolve_metrics(summary)
+    if not resolved:
+        return [], []
+    return summary_rows(summary, metrics=resolved)
+
+
+def _default_formatter(adapter: FigureAdapter, summary: Mapping[str, object]) -> str:
+    resolved = adapter.resolve_metrics(summary)
+    if not resolved:
+        return (
+            f"{adapter.title}: campaign summary contains none of this figure's "
+            f"metrics ({', '.join(adapter.metrics)}) — re-run the campaign with "
+            f"current code to record them"
+        )
+    headers, rows = summary_rows(summary, metrics=resolved)
+    if not rows:
+        return f"{adapter.title}: campaign summary has no aggregated groups yet"
+    title = f"{adapter.title} — campaign aggregates (mean±ci95 over seeds)"
+    table = format_table(headers, rows, title=title)
+    timing = summary.get("timing") or {}
+    if timing.get("n"):
+        table += (
+            f"\ncampaign timing: {timing['total_elapsed_s']:.2f} s total over "
+            f"{timing['n']} timed trial(s), mean {timing['mean_elapsed_s']:.2f} s/trial"
+        )
+    return table
+
+
+def render_figure_aggregates(figure: str, results) -> str:
+    """Render a loaded :class:`repro.campaign.CampaignResults` for one figure.
+
+    Returns a table of mean±ci95 rows when the campaign's kind matches the
+    figure's, and an explanatory one-liner otherwise (no summary yet, or a
+    campaign of a different experiment kind).
+    """
+    adapter = get_figure(figure)
+    if results is None:
+        return ""
+    kind = getattr(results.spec, "kind", None)
+    if kind != adapter.kind:
+        return (
+            f"{adapter.title}: --campaign-results is a {kind!r} campaign; "
+            f"this figure needs kind {adapter.kind!r} — skipping aggregates"
+        )
+    if not results.summary:
+        return f"{adapter.title}: campaign directory has no summary.json yet"
+    formatter = adapter.formatter or _default_formatter
+    return formatter(adapter, results.summary)
+
+
+for _adapter in (
+    FigureAdapter(
+        figure="fig3a",
+        bench="bench_fig3a_lookup_bias.py",
+        title="Figure 3(a) — malicious fraction under lookup bias",
+        kind="security",
+        metrics=("initial_malicious_fraction", "final_malicious_fraction", "false_positive_rate"),
+    ),
+    FigureAdapter(
+        figure="fig3b",
+        bench="bench_fig3b_biased_lookups.py",
+        title="Figure 3(b) — cumulative lookups vs biased lookups",
+        kind="security",
+        metrics=("total_lookups", "total_biased_lookups"),
+    ),
+    FigureAdapter(
+        figure="fig3c",
+        bench="bench_fig3c_fingertable_manipulation.py",
+        title="Figure 3(c) — malicious fraction under fingertable manipulation",
+        kind="security",
+        metrics=("final_malicious_fraction", "false_negative_rate", "false_positive_rate"),
+    ),
+    FigureAdapter(
+        figure="fig4",
+        bench="bench_fig4_fingertable_pollution.py",
+        title="Figure 4 — malicious fraction under fingertable pollution",
+        kind="security",
+        metrics=(
+            "final_malicious_fraction",
+            "false_positive_rate",
+            "false_negative_rate",
+            "false_alarm_rate",
+        ),
+    ),
+    FigureAdapter(
+        figure="fig5a",
+        bench="bench_fig5a_initiator_anonymity.py",
+        title="Figure 5(a) — Octopus initiator anonymity H(I)",
+        kind="anonymity",
+        metrics=("octopus_initiator_entropy", "octopus_initiator_leak"),
+    ),
+    FigureAdapter(
+        figure="fig5b",
+        bench="bench_fig5b_initiator_comparison.py",
+        title="Figure 5(b) — initiator anonymity comparison",
+        kind="anonymity",
+        metrics=("octopus_initiator_entropy", "*_initiator_leak"),
+    ),
+    FigureAdapter(
+        figure="fig5c",
+        bench="bench_fig5c_target_anonymity.py",
+        title="Figure 5(c) — Octopus target anonymity H(T)",
+        kind="anonymity",
+        metrics=("octopus_target_entropy", "octopus_target_leak"),
+    ),
+    FigureAdapter(
+        figure="fig6",
+        bench="bench_fig6_target_comparison.py",
+        title="Figure 6 — target anonymity comparison",
+        kind="anonymity",
+        metrics=("octopus_target_entropy", "*_target_leak"),
+    ),
+    FigureAdapter(
+        figure="fig7a",
+        bench="bench_fig7a_latency_cdf.py",
+        title="Figure 7(a) — lookup latency CDF",
+        kind="efficiency",
+        metrics=("*_mean_latency_s", "*_median_latency_s"),
+    ),
+    FigureAdapter(
+        figure="fig7b",
+        bench="bench_fig7b_ca_workload.py",
+        title="Figure 7(b) — CA workload",
+        kind="security",
+        metrics=("ca_messages_total", "ca_messages_peak_per_s"),
+    ),
+    FigureAdapter(
+        figure="fig9",
+        bench="bench_fig9_selective_dos.py",
+        title="Figure 9 — malicious fraction under selective DoS",
+        kind="security",
+        metrics=("final_malicious_fraction", "false_positive_rate"),
+    ),
+    FigureAdapter(
+        figure="table1",
+        bench="bench_table1_timing_analysis.py",
+        title="Table 1 — timing-analysis error rates",
+        kind="timing",
+        metrics=("min_error_rate", "max_information_leak_bits", "error_rate_*"),
+    ),
+    FigureAdapter(
+        figure="table2",
+        bench="bench_table2_identification_accuracy.py",
+        title="Table 2 — identification accuracy under churn",
+        kind="security",
+        metrics=("false_positive_rate", "false_negative_rate", "false_alarm_rate"),
+    ),
+    FigureAdapter(
+        figure="table3",
+        bench="bench_table3_efficiency.py",
+        title="Table 3 — latency / bandwidth comparison",
+        kind="efficiency",
+        metrics=("*_mean_latency_s", "*_median_latency_s", "*_kbps_lk_int_*"),
+    ),
+):
+    register_figure(_adapter)

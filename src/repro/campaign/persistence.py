@@ -10,10 +10,17 @@
 
 Trial files are written atomically (tmp file + ``os.replace``) so a killed
 run never leaves a half-written record; resume support treats only files
-that parse and carry a ``metrics`` mapping as completed.  Because trial ids
-are content-addressed hashes of the trial parameters (see ``spec.py``), a
-record on disk is valid exactly as long as the spec still expands to that
-trial — edited parameters yield new ids and re-run automatically.
+that parse and carry a ``metrics`` mapping as completed — a truncated or
+otherwise corrupt file is indistinguishable from an absent one and the trial
+re-runs.  Because trial ids are content-addressed hashes of the trial
+parameters (see ``spec.py``), a record on disk is valid exactly as long as
+the spec still expands to that trial — edited parameters yield new ids and
+re-run automatically.
+
+Each record also carries a ``timing`` block (``{"elapsed_s": ...}``, written
+by the runner) with the trial's wall-clock cost.  It is informational only:
+resumed trials keep the timing of the run that actually produced them, and
+determinism comparisons go through ``aggregate.strip_timing``.
 """
 
 from __future__ import annotations
@@ -121,6 +128,15 @@ class CampaignResults:
             float(r["metrics"][name])
             for r in self.records
             if isinstance(r.get("metrics"), dict) and name in r["metrics"]
+        ]
+
+    def elapsed_values(self) -> List[float]:
+        """Per-trial wall-clock seconds, in trial order (timed trials only)."""
+        return [
+            float(r["timing"]["elapsed_s"])
+            for r in self.records
+            if isinstance(r.get("timing"), dict)
+            and isinstance(r["timing"].get("elapsed_s"), (int, float))
         ]
 
 

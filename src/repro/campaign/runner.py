@@ -9,13 +9,16 @@ parameter dict, via the adapter registry.
 Every trial is seeded from its own parameters, so results do not depend on
 which worker ran it or in what order trials completed — serial (``jobs=1``)
 and parallel runs of the same spec produce byte-identical trial records and
-aggregates.  ``jobs=1`` bypasses the pool entirely, which keeps tracebacks
+aggregates once the per-trial ``timing`` block (wall-clock seconds, the one
+intentionally non-deterministic field) is stripped; see
+:func:`repro.campaign.aggregate.strip_timing`.  ``jobs=1`` bypasses the pool entirely, which keeps tracebacks
 flat and makes ``pdb``/profiling work, hence its role as the determinism and
 debugging fallback.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -33,7 +36,9 @@ ProgressCallback = Callable[[str, str, int, int], None]
 def execute_trial(trial: Dict[str, object]) -> Dict[str, object]:
     """Run one trial (dict form of :class:`TrialSpec`) and return its record."""
     adapter = get_experiment(str(trial["kind"]))
+    started = time.perf_counter()
     result = adapter.run(trial["params"])
+    elapsed = time.perf_counter() - started
     # to_dict() embeds scalar_metrics() for standalone use; the record keeps
     # the metrics once, at top level, so the two copies can never drift.
     detail = result.to_dict()
@@ -44,6 +49,10 @@ def execute_trial(trial: Dict[str, object]) -> Dict[str, object]:
         "params": dict(trial["params"]),
         "metrics": metrics,
         "detail": detail,
+        # Wall-clock lives under its own key, never inside "metrics": the
+        # determinism guarantee (serial == parallel) covers a record with
+        # "timing" stripped — see aggregate.strip_timing.
+        "timing": {"elapsed_s": elapsed},
     }
 
 

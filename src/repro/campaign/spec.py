@@ -65,6 +65,11 @@ class CampaignSpec:
     grid: Dict[str, List[object]] = field(default_factory=dict)
     #: each grid combination is run once per seed.
     seeds: Tuple[int, ...] = (0,)
+    #: optional provenance: the paper figure/table this campaign regenerates
+    #: (a key of :mod:`repro.campaign.figures`, e.g. ``"fig3a"``).  Purely
+    #: informational for trial identity — it is not part of the trial hash, so
+    #: tagging an existing campaign never invalidates finished trials.
+    figure: str = ""
 
     def __post_init__(self) -> None:
         self.seeds = tuple(self.seeds)
@@ -90,6 +95,19 @@ class CampaignSpec:
                 raise ValueError(f"grid axis {axis!r} contains duplicate values")
         if "seed" in self.base or "seed" in self.grid:
             raise ValueError("put seeds in the 'seeds' list, not in base/grid parameters")
+        if self.figure:
+            from .figures import available_figures, get_figure
+
+            if self.figure not in available_figures():
+                raise ValueError(
+                    f"unknown figure {self.figure!r}; choose from {sorted(available_figures())}"
+                )
+            expected = get_figure(self.figure).kind
+            if expected != self.kind:
+                raise ValueError(
+                    f"figure {self.figure!r} is produced by kind {expected!r}, "
+                    f"not {self.kind!r}"
+                )
 
     # -------------------------------------------------------------- expansion
     def expand(self) -> List[TrialSpec]:
@@ -127,17 +145,22 @@ class CampaignSpec:
 
     # ------------------------------------------------------------- (de)serial
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "name": self.name,
             "kind": self.kind,
             "base": dict(self.base),
             "grid": {k: list(v) for k, v in self.grid.items()},
             "seeds": list(self.seeds),
         }
+        # Written only when set, so spec.json files from before the figure
+        # field existed round-trip to an identical document.
+        if self.figure:
+            data["figure"] = self.figure
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "CampaignSpec":
-        known = {"name", "kind", "base", "grid", "seeds"}
+        known = {"name", "kind", "base", "grid", "seeds", "figure"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ValueError(f"unknown campaign spec keys: {', '.join(unknown)}")
@@ -162,6 +185,7 @@ class CampaignSpec:
             base=dict(base),
             grid={k: list(v) for k, v in grid.items()},
             seeds=tuple(seeds),
+            figure=str(data.get("figure", "")),
         )
 
     @classmethod

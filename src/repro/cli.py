@@ -19,6 +19,11 @@ inline::
     python -m repro campaign --kind security \
         --param n_nodes=150 --param duration=400 \
         --param attack_rate=1.0,0.5 --seeds 0-3 --jobs 4 --out results/fig3a
+
+``--figure fig3a`` picks the right kind for a paper figure and tags the spec
+(``--list-figures`` shows the figure -> kind/benchmark/metrics map); the
+written results directory can then be fed to the matching benchmark via
+``pytest benchmarks/<bench> --campaign-results <out>``.
 """
 
 from __future__ import annotations
@@ -84,6 +89,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--spec", help="JSON campaign spec file (overrides inline options)")
     campaign.add_argument("--kind", help="experiment kind for an inline campaign")
+    campaign.add_argument(
+        "--figure",
+        default="",
+        help=(
+            "paper figure/table this campaign regenerates (e.g. fig3a, table3); "
+            "implies the matching --kind and is stored in spec.json for provenance"
+        ),
+    )
     campaign.add_argument("--name", default="", help="campaign name (default: <kind>-campaign)")
     campaign.add_argument(
         "--param",
@@ -99,6 +112,8 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="skip trials whose records already exist in --out")
     campaign.add_argument("--list-kinds", action="store_true",
                           help="list registered experiment kinds and exit")
+    campaign.add_argument("--list-figures", action="store_true",
+                          help="list figure adapters (figure -> kind, benchmark, metrics) and exit")
     campaign.add_argument("--quiet", action="store_true", help="suppress per-trial progress lines")
     return parser
 
@@ -126,11 +141,23 @@ def _parse_seeds(text: str) -> List[int]:
 
 
 def _inline_spec(args) -> "CampaignSpec":
-    """Build a CampaignSpec from --kind/--param/--seeds options."""
-    from .campaign import CampaignSpec
+    """Build a CampaignSpec from --kind/--figure/--param/--seeds options."""
+    from .campaign import CampaignSpec, get_figure
 
-    if not args.kind:
-        raise SystemExit("repro campaign: either --spec FILE or --kind KIND is required")
+    kind = args.kind
+    if args.figure:
+        try:
+            adapter = get_figure(args.figure)
+        except KeyError as exc:
+            raise SystemExit(f"repro campaign: {exc.args[0]}")
+        if kind and kind != adapter.kind:
+            raise SystemExit(
+                f"repro campaign: figure {args.figure!r} is produced by kind "
+                f"{adapter.kind!r}, not {kind!r}"
+            )
+        kind = adapter.kind
+    if not kind:
+        raise SystemExit("repro campaign: one of --spec FILE, --kind KIND or --figure FIG is required")
     base: Dict[str, object] = {}
     grid: Dict[str, List[object]] = {}
     for item in args.param:
@@ -152,7 +179,12 @@ def _inline_spec(args) -> "CampaignSpec":
         else:
             grid[name.strip()] = values
     return CampaignSpec(
-        kind=args.kind, name=args.name, base=base, grid=grid, seeds=tuple(_parse_seeds(args.seeds))
+        kind=kind,
+        name=args.name,
+        base=base,
+        grid=grid,
+        seeds=tuple(_parse_seeds(args.seeds)),
+        figure=args.figure,
     )
 
 
@@ -236,11 +268,25 @@ def _run_ablation(args) -> int:
 
 
 def _run_campaign(args) -> int:
-    from .campaign import CampaignSpec, available_kinds, get_experiment, run_campaign, summary_rows
+    from .campaign import (
+        CampaignSpec,
+        available_figures,
+        available_kinds,
+        get_experiment,
+        get_figure,
+        run_campaign,
+        summary_rows,
+    )
 
     if args.list_kinds:
         for kind in available_kinds():
             print(f"{kind:12s} {get_experiment(kind).description}")
+        return 0
+    if args.list_figures:
+        for figure in available_figures():
+            adapter = get_figure(figure)
+            print(f"{figure:8s} kind={adapter.kind:10s} {adapter.bench}")
+            print(f"{'':8s} metrics: {', '.join(adapter.metrics)}")
         return 0
 
     if args.spec:
@@ -278,6 +324,13 @@ def _run_campaign(args) -> int:
         f"campaign {spec.name!r} ({spec.kind}): {report.n_executed} trial(s) executed, "
         f"{report.n_skipped} skipped, results in {report.out_dir}"
     )
+    timing = report.summary.get("timing") or {}
+    if timing.get("n"):
+        print(
+            f"trial wall-clock: {timing['total_elapsed_s']:.2f} s total over "
+            f"{timing['n']} timed trial(s), mean {timing['mean_elapsed_s']:.2f} s, "
+            f"max {timing['max_elapsed_s']:.2f} s"
+        )
     headers, rows = summary_rows(report.summary)
     if rows:
         print(format_table(headers, rows, title="aggregate (mean±ci95 over seeds)"))

@@ -103,7 +103,13 @@ class SecurityExperimentResult:
 
     def scalar_metrics(self) -> Dict[str, float]:
         """Flat per-trial metrics aggregated by :mod:`repro.campaign`."""
+        ca_totals = [v for _, v in self.ca_workload_series]
+        sample_interval = float(self.config.sample_interval) or 1.0
         return {
+            # CA workload scalars back Figure 7(b)'s campaign aggregates: the
+            # series itself stays in to_dict()'s "series" block.
+            "ca_messages_total": float(sum(ca_totals)),
+            "ca_messages_peak_per_s": float(max(ca_totals) / sample_interval) if ca_totals else 0.0,
             "initial_malicious_fraction": float(self.initial_malicious_fraction),
             "final_malicious_fraction": float(self.final_malicious_fraction),
             "false_positive_rate": float(self.false_positive_rate),

@@ -106,8 +106,10 @@ class SimulationEngine:
         rng:
             ``random.Random``-like object used to draw jitter.
         stop_predicate:
-            Re-scheduling stops once this returns ``True`` (checked after each
-            firing).  Useful to stop periodic maintenance when a node dies.
+            Stops the periodic task once it returns ``True``.  It is checked
+            *before* every firing — including the first, so a node that dies
+            between scheduling and ``start`` never runs a maintenance tick —
+            and again after each firing so no dead continuation is scheduled.
         """
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -115,6 +117,8 @@ class SimulationEngine:
             raise ValueError("jitter requires an rng")
 
         def _tick() -> None:
+            if stop_predicate is not None and stop_predicate():
+                return
             callback()
             if stop_predicate is not None and stop_predicate():
                 return
@@ -170,9 +174,22 @@ class SimulationEngine:
                     fired += 1
         finally:
             self._running = False
+        # Advance the clock to ``until`` only when the queue genuinely drained
+        # past it.  After an early exit (``stop()`` or ``max_events``) pending
+        # events at or before ``until`` still have to fire — advancing would
+        # strand them in the simulated past and make a follow-up ``run()``
+        # crash on the clock's no-backwards invariant.
         if until is not None and until > self.now:
-            self.clock.advance_to(until)
+            next_time = self._next_pending_time()
+            if next_time is None or next_time > until:
+                self.clock.advance_to(until)
         return fired
+
+    def _next_pending_time(self) -> Optional[float]:
+        """Firing time of the earliest non-cancelled event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
 
     def stop(self) -> None:
         """Request that :meth:`run` returns after the current event."""

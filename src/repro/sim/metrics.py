@@ -27,7 +27,12 @@ def percentile(values: Sequence[float], pct: float) -> float:
         return float("nan")
     if not 0.0 <= pct <= 100.0:
         raise ValueError("percentile must be in [0, 100]")
-    ordered = sorted(values)
+    return _percentile_of_sorted(sorted(values), pct)
+
+
+def _percentile_of_sorted(ordered: Sequence[float], pct: float) -> float:
+    """:func:`percentile` for already-sorted samples (lets callers that need
+    many percentiles of the same data, like a CDF, sort once)."""
     if len(ordered) == 1:
         return ordered[0]
     rank = pct / 100.0 * (len(ordered) - 1)
@@ -129,17 +134,20 @@ class Histogram:
         return math.sqrt(var)
 
     def cdf(self, n_points: int = 50) -> List[Tuple[float, float]]:
-        """Return ``n_points`` (value, cumulative-fraction) pairs."""
+        """Return ``n_points`` (value, cumulative-fraction) pairs.
+
+        Each point is the canonical :func:`percentile` of the samples at the
+        cumulative fraction — NOT an ``int(round(frac * n)) - 1`` index into
+        the order statistics, which skips/duplicates samples whenever the
+        number of CDF points differs from the sample count (worst at small n).
+        """
         if not self._samples:
             return []
         ordered = sorted(self._samples)
-        points = []
-        for i in range(1, n_points + 1):
-            frac = i / n_points
-            idx = min(len(ordered) - 1, int(round(frac * len(ordered))) - 1)
-            idx = max(idx, 0)
-            points.append((ordered[idx], frac))
-        return points
+        return [
+            (_percentile_of_sorted(ordered, 100.0 * i / n_points), i / n_points)
+            for i in range(1, n_points + 1)
+        ]
 
 
 class MetricsRegistry:

@@ -1,0 +1,204 @@
+"""The figure-adapter registry: every paper figure maps to campaign data.
+
+These tests pin the tentpole contract of the adapter layer: all 14 benchmarks
+are registered, each names a real benchmark file that actually consumes its
+adapter via ``report_campaign``, metric patterns resolve against genuine
+summaries, and rendering degrades to a one-line note instead of failing when
+handed a campaign of the wrong kind.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    FigureAdapter,
+    aggregate_records,
+    available_figures,
+    available_kinds,
+    figure_aggregate_rows,
+    get_figure,
+    register_figure,
+    render_figure_aggregates,
+    run_campaign,
+)
+from repro.campaign.figures import _REGISTRY
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+ALL_FIGURES = (
+    "fig3a", "fig3b", "fig3c", "fig4",
+    "fig5a", "fig5b", "fig5c", "fig6",
+    "fig7a", "fig7b", "fig9",
+    "table1", "table2", "table3",
+)
+
+
+def fake_summary(metric_names, params=({"attack_rate": 1.0}, {"attack_rate": 0.5})):
+    """A minimal two-group summary with the given metric names."""
+    records = []
+    for cell in params:
+        for seed in (0, 1):
+            records.append(
+                {
+                    "trial_id": f"s{seed}-{abs(hash(str(cell))) % 10**8:08x}",
+                    "kind": "security",
+                    "params": {**cell, "seed": seed},
+                    "metrics": {name: float(seed + 1) for name in metric_names},
+                }
+            )
+    return aggregate_records(records)
+
+
+class TestRegistry:
+    def test_all_fourteen_figures_registered(self):
+        assert set(available_figures()) == set(ALL_FIGURES)
+
+    def test_every_adapter_points_at_a_known_kind_and_real_bench_file(self):
+        for figure in available_figures():
+            adapter = get_figure(figure)
+            assert adapter.kind in available_kinds(), figure
+            assert (BENCH_DIR / adapter.bench).is_file(), adapter.bench
+            assert adapter.metrics, figure
+            assert adapter.title
+
+    def test_every_benchmark_consumes_its_adapter(self):
+        """Each bench file takes the campaign_results fixture and reports via
+        its own figure key — the acceptance criterion that all 14 benchmarks
+        accept --campaign-results, checked at the source level."""
+        for figure in available_figures():
+            adapter = get_figure(figure)
+            source = (BENCH_DIR / adapter.bench).read_text()
+            assert re.search(r"def test_\w+\([^)]*campaign_results", source), adapter.bench
+            assert f'report_campaign(campaign_results, "{figure}")' in source, adapter.bench
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError, match="unknown figure"):
+            get_figure("fig99")
+
+    def test_duplicate_registration_rejected_unless_replace(self):
+        adapter = get_figure("fig3a")
+        with pytest.raises(ValueError, match="already registered"):
+            register_figure(adapter)
+        register_figure(adapter, replace=True)  # no-op override allowed
+        assert _REGISTRY["fig3a"] is adapter
+
+
+class TestMetricResolution:
+    def test_exact_names_resolve_in_pattern_order(self):
+        adapter = get_figure("fig3a")
+        summary = fake_summary(
+            ["false_positive_rate", "final_malicious_fraction", "initial_malicious_fraction"]
+        )
+        assert adapter.resolve_metrics(summary) == [
+            "initial_malicious_fraction",
+            "final_malicious_fraction",
+            "false_positive_rate",
+        ]
+
+    def test_glob_patterns_match_scheme_derived_names(self):
+        adapter = get_figure("fig7a")
+        summary = fake_summary(
+            ["chord_mean_latency_s", "octopus_mean_latency_s", "halo_median_latency_s",
+             "chord_correct_fraction"]
+        )
+        resolved = adapter.resolve_metrics(summary)
+        assert resolved == [
+            "chord_mean_latency_s",
+            "octopus_mean_latency_s",
+            "halo_median_latency_s",
+        ]
+
+    def test_missing_metrics_resolve_empty_not_error(self):
+        adapter = get_figure("table1")
+        assert adapter.resolve_metrics(fake_summary(["unrelated"])) == []
+
+    def test_no_resolved_metrics_yields_empty_rows_not_every_metric(self):
+        # summary_rows falls back to ALL metrics on an empty selection; the
+        # figure layer must not — a matching-kind campaign recorded before a
+        # figure's metrics existed shows nothing rather than unrelated columns.
+        headers, rows = figure_aggregate_rows("table1", fake_summary(["unrelated"]))
+        assert (headers, rows) == ([], [])
+
+    def test_no_resolved_metrics_render_note_not_every_metric(self):
+        import types
+
+        results = types.SimpleNamespace(
+            spec=types.SimpleNamespace(kind="security"),
+            summary=fake_summary(["false_positive_rate"]),  # no ca_messages_*
+        )
+        text = render_figure_aggregates("fig7b", results)
+        assert "none of this figure's metrics" in text
+        assert "false_positive_rate" not in text
+        assert "±" not in text
+
+    def test_figure_aggregate_rows_formats_mean_ci(self):
+        headers, rows = figure_aggregate_rows("fig3a", fake_summary(["final_malicious_fraction"]))
+        assert headers == ["attack_rate", "n", "final_malicious_fraction"]
+        assert len(rows) == 2
+        # seeds 0/1 produced values 1.0/2.0 -> mean 1.5 with a ±ci95 suffix
+        assert all("±" in str(row[-1]) for row in rows)
+
+
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def security_results(self, tmp_path_factory):
+        spec = CampaignSpec(
+            kind="security",
+            name="figures-test",
+            base={"n_nodes": 60, "duration": 15.0, "sample_interval": 5.0},
+            grid={"attack_rate": [1.0, 0.5]},
+            seeds=(0, 1),
+            figure="fig3a",
+        )
+        out = tmp_path_factory.mktemp("campaign") / "security"
+        run_campaign(spec, out_dir=out, jobs=1)
+        from repro.campaign import load_campaign_results
+
+        return load_campaign_results(out)
+
+    def test_matching_kind_renders_mean_ci_table(self, security_results):
+        text = render_figure_aggregates("fig3a", security_results)
+        assert "campaign aggregates (mean±ci95 over seeds)" in text
+        assert "final_malicious_fraction" in text
+        assert "attack_rate" in text
+        assert "±" in text
+
+    def test_render_includes_campaign_timing_line(self, security_results):
+        text = render_figure_aggregates("fig3a", security_results)
+        assert "campaign timing:" in text
+        assert "s/trial" in text
+
+    def test_kind_mismatch_yields_note_not_error(self, security_results):
+        text = render_figure_aggregates("fig7a", security_results)
+        assert "skipping aggregates" in text
+        assert "±" not in text
+
+    def test_none_results_render_empty(self):
+        assert render_figure_aggregates("fig3a", None) == ""
+
+    def test_custom_formatter_wins(self, security_results):
+        adapter = get_figure("fig3a")
+        custom = FigureAdapter(
+            figure="fig3a",
+            bench=adapter.bench,
+            title=adapter.title,
+            kind=adapter.kind,
+            metrics=adapter.metrics,
+            formatter=lambda a, s: f"custom:{a.figure}:{s['n_trials']}",
+        )
+        register_figure(custom, replace=True)
+        try:
+            assert render_figure_aggregates("fig3a", security_results) == "custom:fig3a:4"
+        finally:
+            register_figure(adapter, replace=True)
+
+    def test_fig7b_ca_metrics_present_in_security_campaigns(self, security_results):
+        text = render_figure_aggregates("fig7b", security_results)
+        assert "ca_messages_total" in text
+        assert "ca_messages_peak_per_s" in text

@@ -11,7 +11,14 @@ import json
 
 import pytest
 
-from repro.campaign import CampaignSpec, CampaignStore, load_campaign_results, run_campaign
+from repro.campaign import (
+    CampaignSpec,
+    CampaignStore,
+    canonical_json,
+    load_campaign_results,
+    run_campaign,
+    strip_timing,
+)
 
 
 @pytest.fixture
@@ -40,13 +47,70 @@ def test_serial_run_writes_trials_and_summary(small_spec, tmp_path):
 
 
 def test_parallel_equals_serial_on_fixed_seeds(small_spec, tmp_path):
+    """Byte-identical serial/parallel outputs — on the timing-stripped view.
+
+    Wall-clock is the one intentionally non-deterministic field, so equality
+    is asserted on canonical JSON bytes after ``strip_timing``; a companion
+    test below pins down that timing is the *only* excluded field.
+    """
     serial = run_campaign(small_spec, out_dir=tmp_path / "serial", jobs=1)
     parallel = run_campaign(small_spec, out_dir=tmp_path / "parallel", jobs=2)
-    assert serial.summary == parallel.summary
+    assert canonical_json(strip_timing(serial.summary)) == canonical_json(
+        strip_timing(parallel.summary)
+    )
     for trial in small_spec.expand():
         ser = json.loads((tmp_path / "serial" / "trials" / f"{trial.trial_id}.json").read_text())
         par = json.loads((tmp_path / "parallel" / "trials" / f"{trial.trial_id}.json").read_text())
-        assert ser == par
+        assert canonical_json(strip_timing(ser)) == canonical_json(strip_timing(par))
+
+
+def test_timing_is_the_only_field_excluded_from_determinism(small_spec, tmp_path):
+    """The stripped view differs from the full record only by 'timing'."""
+    run_campaign(small_spec, out_dir=tmp_path / "out", jobs=1)
+    for path in sorted((tmp_path / "out" / "trials").glob("*.json")):
+        record = json.loads(path.read_text())
+        stripped = strip_timing(record)
+        assert "timing" not in stripped
+        assert set(record) - set(stripped) == {"timing"}
+        assert all(stripped[k] == record[k] for k in stripped)
+    summary = json.loads((tmp_path / "out" / "summary.json").read_text())
+    assert set(summary) - set(strip_timing(summary)) == {"timing"}
+
+
+def test_trial_records_capture_wall_clock(small_spec, tmp_path):
+    report = run_campaign(small_spec, out_dir=tmp_path / "timed", jobs=1)
+    elapsed = []
+    for path in sorted((tmp_path / "timed" / "trials").glob("*.json")):
+        record = json.loads(path.read_text())
+        assert isinstance(record["timing"]["elapsed_s"], float)
+        assert record["timing"]["elapsed_s"] >= 0.0
+        # Wall-clock never leaks into the aggregated metrics.
+        assert "elapsed_s" not in record["metrics"]
+        elapsed.append(record["timing"]["elapsed_s"])
+    timing = report.summary["timing"]
+    assert timing["n"] == 4
+    assert timing["total_elapsed_s"] == pytest.approx(sum(elapsed))
+    assert timing["mean_elapsed_s"] == pytest.approx(sum(elapsed) / 4)
+    assert timing["min_elapsed_s"] == min(elapsed)
+    assert timing["max_elapsed_s"] == max(elapsed)
+    # Group metric summaries stay free of timing-derived entries.
+    for group in report.summary["groups"]:
+        assert not any("elapsed" in name for name in group["metrics"])
+
+
+def test_summary_timing_tolerates_untimed_records(small_spec, tmp_path):
+    """Records written before timing capture existed still aggregate fine."""
+    out = tmp_path / "mixed"
+    report = run_campaign(small_spec, out_dir=out, jobs=1)
+    store = CampaignStore(out)
+    victim = small_spec.expand()[0]
+    legacy = json.loads(store.trial_path(victim.trial_id).read_text())
+    del legacy["timing"]
+    store.write_trial(legacy)
+    resumed = run_campaign(small_spec, out_dir=out, jobs=1, resume=True)
+    assert resumed.n_executed == 0  # a missing timing block is not incompleteness
+    assert resumed.summary["timing"]["n"] == 3
+    assert resumed.summary["timing"]["total_elapsed_s"] < report.summary["timing"]["total_elapsed_s"]
 
 
 def test_resume_skips_completed_trials(small_spec, tmp_path):
@@ -94,6 +158,49 @@ def test_corrupt_trial_record_is_not_treated_as_complete(small_spec, tmp_path):
     assert report.executed_trial_ids == [victim.trial_id]
 
 
+def test_truncated_trial_record_reruns_without_crashing(small_spec, tmp_path):
+    """A record cut mid-write (e.g. kill -9 before the atomic rename landed,
+    or a copied half-file) must be treated as absent: the trial re-runs and
+    the resumed campaign completes with a full summary."""
+    out = tmp_path / "truncated"
+    run_campaign(small_spec, out_dir=out, jobs=1)
+    victim = small_spec.expand()[1]
+    store = CampaignStore(out)
+    full_text = store.trial_path(victim.trial_id).read_text()
+    store.trial_path(victim.trial_id).write_text(full_text[: len(full_text) // 2])
+    assert store.load_trial(victim.trial_id) is None
+    report = run_campaign(small_spec, out_dir=out, jobs=1, resume=True)
+    assert report.executed_trial_ids == [victim.trial_id]
+    assert report.n_skipped == 3
+    assert report.summary["n_trials"] == 4
+    repaired = store.load_trial(victim.trial_id)
+    assert repaired is not None and "metrics" in repaired
+
+
+def test_valid_json_without_metrics_also_reruns(small_spec, tmp_path):
+    """Truncation can also leave parseable-but-incomplete JSON (e.g. an empty
+    object) — completeness requires the 'metrics' mapping, not just parsing."""
+    out = tmp_path / "no-metrics"
+    run_campaign(small_spec, out_dir=out, jobs=1)
+    victim = small_spec.expand()[3]
+    store = CampaignStore(out)
+    store.trial_path(victim.trial_id).write_text('{"trial_id": "%s"}' % victim.trial_id)
+    report = run_campaign(small_spec, out_dir=out, jobs=1, resume=True)
+    assert report.executed_trial_ids == [victim.trial_id]
+
+
+def test_resume_preserves_original_trial_timing(small_spec, tmp_path):
+    """Skipped trials keep the wall-clock of the run that produced them."""
+    out = tmp_path / "keep-timing"
+    run_campaign(small_spec, out_dir=out, jobs=1)
+    store = CampaignStore(out)
+    first = small_spec.expand()[0]
+    before = store.load_trial(first.trial_id)["timing"]["elapsed_s"]
+    report = run_campaign(small_spec, out_dir=out, jobs=1, resume=True)
+    assert report.n_skipped == 4
+    assert store.load_trial(first.trial_id)["timing"]["elapsed_s"] == before
+
+
 def test_load_campaign_results_round_trip(small_spec, tmp_path):
     out = tmp_path / "loaded"
     report = run_campaign(small_spec, out_dir=out, jobs=1)
@@ -102,6 +209,9 @@ def test_load_campaign_results_round_trip(small_spec, tmp_path):
     assert len(results.records) == 4
     assert results.summary == report.summary
     assert len(results.metric_values("final_malicious_fraction")) == 4
+    elapsed = results.elapsed_values()
+    assert len(elapsed) == 4 and all(e >= 0.0 for e in elapsed)
+    assert sum(elapsed) == pytest.approx(results.summary["timing"]["total_elapsed_s"])
 
 
 def test_bad_jobs_rejected(small_spec, tmp_path):

@@ -106,3 +106,34 @@ def test_from_dict_rejects_unknown_keys():
 
 def test_all_builtin_kinds_registered():
     assert set(available_kinds()) >= {"security", "anonymity", "efficiency", "timing", "ablation"}
+
+
+class TestFigureField:
+    def test_round_trips_through_dict_and_json(self, tmp_path):
+        spec = make_spec(figure="fig3a", grid={"attack_rate": [1.0, 0.5]})
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        loaded = CampaignSpec.from_json_file(path)
+        assert loaded.figure == "fig3a"
+        assert loaded.to_dict() == spec.to_dict()
+
+    def test_absent_by_default_for_backward_compatible_spec_json(self):
+        # Old spec.json files predate the field; new untagged specs must keep
+        # writing the identical document.
+        spec = make_spec()
+        assert spec.figure == ""
+        assert "figure" not in spec.to_dict()
+        assert CampaignSpec.from_dict(spec.to_dict()).figure == ""
+
+    def test_does_not_change_trial_ids(self):
+        untagged = make_spec()
+        tagged = make_spec(figure="fig3a")
+        assert [t.trial_id for t in tagged.expand()] == [t.trial_id for t in untagged.expand()]
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError, match="unknown figure"):
+            make_spec(figure="fig99").expand()
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="produced by kind"):
+            make_spec(figure="fig7a").expand()  # fig7a is an efficiency figure

@@ -120,6 +120,41 @@ class TestSimulationEngine:
         engine.run()
         assert fired == [1]
 
+    def test_stop_then_rerun_fires_remaining_events_at_their_times(self):
+        """stop() must not advance the clock past still-pending events: a
+        follow-up run() fires them at their originally scheduled times."""
+        engine = SimulationEngine()
+        fired = []
+        engine.schedule(1.0, lambda: (fired.append(("a", engine.now)), engine.stop()))
+        engine.schedule(2.0, lambda: fired.append(("b", engine.now)))
+        engine.schedule(3.0, lambda: fired.append(("c", engine.now)))
+        engine.run(until=10.0)
+        assert fired == [("a", 1.0)]
+        assert engine.now == 1.0  # not stranded at until=10
+        assert engine.pending == 2
+        engine.run(until=10.0)
+        assert fired == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+        assert engine.now == 10.0  # queue drained -> clock does advance
+
+    def test_max_events_exit_does_not_advance_clock_past_pending(self):
+        engine = SimulationEngine()
+        times = []
+        for i in range(5):
+            engine.schedule(float(i + 1), lambda: times.append(engine.now))
+        assert engine.run(until=10.0, max_events=2) == 2
+        assert engine.now == 2.0
+        assert engine.run(until=10.0) == 3
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert engine.now == 10.0
+
+    def test_run_until_advances_clock_when_only_cancelled_events_remain(self):
+        engine = SimulationEngine()
+        event = engine.schedule(3.0, lambda: None)
+        event.cancel()
+        engine.run(until=5.0)
+        assert engine.now == 5.0
+        assert engine.pending == 0
+
     def test_events_scheduled_during_run_execute(self):
         engine = SimulationEngine()
         fired = []
@@ -149,6 +184,31 @@ class TestSimulationEngine:
         engine.schedule_periodic(5.0, tick, start=5.0, stop_predicate=lambda: len(ticks) >= 3)
         engine.run(until=100.0)
         assert len(ticks) == 3
+
+    def test_periodic_stop_predicate_checked_before_first_firing(self):
+        """A node that dies between scheduling and the first tick must not run
+        one last maintenance round."""
+        engine = SimulationEngine()
+        alive = [True]
+        ticks = []
+        engine.schedule_periodic(5.0, lambda: ticks.append(engine.now), start=5.0,
+                                 stop_predicate=lambda: not alive[0])
+        alive[0] = False  # dies before the first firing
+        engine.run(until=30.0)
+        assert ticks == []
+
+    def test_periodic_stops_mid_stream_when_predicate_flips(self):
+        engine = SimulationEngine()
+        alive = [True]
+        ticks = []
+
+        def tick():
+            ticks.append(engine.now)
+
+        engine.schedule_periodic(5.0, tick, start=5.0, stop_predicate=lambda: not alive[0])
+        engine.schedule(12.0, lambda: alive.__setitem__(0, False))
+        engine.run(until=60.0)
+        assert ticks == [5.0, 10.0]  # the 15.0 tick sees the death and never fires
 
     def test_periodic_jitter_requires_rng(self):
         engine = SimulationEngine()

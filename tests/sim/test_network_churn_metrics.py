@@ -10,7 +10,7 @@ from repro.sim.bandwidth import BandwidthAccountant, MessageSizeModel
 from repro.sim.churn import ChurnConfig, ChurnProcess
 from repro.sim.engine import SimulationEngine
 from repro.sim.latency import ConstantLatencyModel
-from repro.sim.metrics import Histogram, MetricsRegistry, TimeSeries
+from repro.sim.metrics import Histogram, MetricsRegistry, TimeSeries, percentile
 from repro.sim.network import SimulatedNetwork
 from repro.sim.rng import RandomSource
 from repro.sim.trace import TraceLog
@@ -184,6 +184,31 @@ class TestMetrics:
         fracs = [f for _, f in cdf]
         assert values == sorted(values)
         assert fracs[-1] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("n_samples", [1, 2, 3, 50])
+    def test_histogram_cdf_agrees_with_canonical_percentile(self, n_samples):
+        """cdf() must be the percentile helper evaluated on a fraction grid —
+        the old order-statistic indexing skipped/duplicated samples at small n."""
+        samples = [float(7 * i % 13) for i in range(n_samples)]
+        hist = Histogram()
+        hist.extend(samples)
+        for value, frac in hist.cdf(n_points=50):
+            assert value == pytest.approx(percentile(samples, 100.0 * frac))
+
+    def test_histogram_cdf_small_sample_endpoints(self):
+        """With n=2, the first point is (near) the min and the last the max;
+        the buggy indexing collapsed both onto one sample."""
+        hist = Histogram()
+        hist.extend([1.0, 3.0])
+        cdf = hist.cdf(n_points=4)
+        assert cdf[0][0] == pytest.approx(1.5)  # 25th pct interpolates toward min
+        assert cdf[-1] == (3.0, 1.0)
+        assert len({v for v, _ in cdf}) > 1
+
+    def test_histogram_cdf_single_sample(self):
+        hist = Histogram()
+        hist.record(42.0)
+        assert hist.cdf(n_points=3) == [(42.0, pytest.approx(1 / 3)), (42.0, pytest.approx(2 / 3)), (42.0, 1.0)]
 
     def test_counter_rejects_decrement(self):
         registry = MetricsRegistry()
