@@ -5,9 +5,15 @@ parameter-grid campaigns:
 
 * :mod:`repro.campaign.spec` — declarative spec and grid expansion;
 * :mod:`repro.campaign.registry` — experiment kind → pickleable entry point;
-* :mod:`repro.campaign.runner` — serial / process-pool execution with resume;
+* :mod:`repro.campaign.runner` — campaign lifecycle: expand, resume,
+  schedule, delegate to a backend, aggregate;
+* :mod:`repro.campaign.backends` — interchangeable execution strategies
+  (serial / process pool / shared file queue + ``campaign-worker`` loop);
+* :mod:`repro.campaign.scheduling` — longest-expected-first dispatch from
+  per-grid-cell elapsed history;
 * :mod:`repro.campaign.aggregate` — mean/std/CI summaries per grid cell;
-* :mod:`repro.campaign.persistence` — the JSON results-directory layout;
+* :mod:`repro.campaign.persistence` — the JSON results-directory layout,
+  including the queue/claim files behind the file-queue backend;
 * :mod:`repro.campaign.figures` — figure adapters mapping every paper
   figure/table benchmark to the campaign kind and metrics it reports.
 
@@ -43,6 +49,15 @@ from .figures import (
     register_figure,
     render_figure_aggregates,
 )
+from .backends import (
+    Backend,
+    FileQueueBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    available_backends,
+    make_backend,
+    run_worker,
+)
 from .persistence import CampaignResults, CampaignStore, load_campaign_results
 from .registry import (
     ExperimentAdapter,
@@ -50,31 +65,48 @@ from .registry import (
     get_experiment,
     register_experiment,
 )
-from .runner import CampaignReport, execute_trial, run_campaign
-from .spec import CampaignSpec, TrialSpec, canonical_json
+from .runner import (
+    CampaignExecutionError,
+    CampaignReport,
+    execute_trial,
+    run_campaign,
+)
+from .scheduling import load_timing_history, schedule_trials
+from .spec import CampaignSpec, TrialSpec, canonical_json, cost_key
 
 __all__ = [
+    "Backend",
+    "CampaignExecutionError",
     "CampaignReport",
     "CampaignResults",
     "CampaignSpec",
     "CampaignStore",
     "ExperimentAdapter",
     "FigureAdapter",
+    "FileQueueBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
     "TrialSpec",
     "aggregate_records",
+    "available_backends",
     "available_figures",
     "available_kinds",
     "canonical_json",
+    "cost_key",
     "execute_trial",
     "figure_aggregate_rows",
     "get_experiment",
     "get_figure",
     "group_key",
     "load_campaign_results",
+    "load_timing_history",
+    "make_backend",
     "register_experiment",
     "register_figure",
     "render_figure_aggregates",
     "run_campaign",
+    "run_worker",
+    "schedule_trials",
     "strip_timing",
     "summarize",
     "summarize_timing",

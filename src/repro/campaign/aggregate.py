@@ -28,7 +28,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from .spec import CampaignSpec, canonical_json
+from .spec import CampaignSpec, canonical_json, cost_key
 
 
 def summarize(values: Sequence[float]) -> Dict[str, float]:
@@ -68,18 +68,29 @@ def strip_timing(data: Mapping[str, object]) -> Dict[str, object]:
     return {k: v for k, v in data.items() if k != "timing"}
 
 
-def summarize_timing(records: Sequence[Mapping[str, object]]) -> Dict[str, float]:
+def summarize_timing(records: Sequence[Mapping[str, object]]) -> Dict[str, object]:
     """Fold per-trial ``timing.elapsed_s`` values into totals for the summary.
 
     Records written before timing capture existed (or hand-crafted ones)
     simply don't contribute; ``n`` counts only timed trials so the mean stays
     honest when old and new records are mixed in one directory.
+
+    Besides the campaign-wide totals, the block carries a per-grid-cell
+    breakdown under ``cells`` (keyed by :func:`repro.campaign.spec.cost_key`).
+    That is the elapsed history :func:`repro.campaign.scheduling.schedule_trials`
+    reads on the next run to dispatch longest-expected-first.  Everything here
+    lives under the summary's top-level ``timing`` key, so :func:`strip_timing`
+    removes it wholesale and the determinism contract is untouched.
     """
     elapsed: List[float] = []
+    by_cell: Dict[str, List[float]] = {}
     for record in records:
         timing = record.get("timing")
         if isinstance(timing, Mapping) and isinstance(timing.get("elapsed_s"), (int, float)):
-            elapsed.append(float(timing["elapsed_s"]))
+            seconds = float(timing["elapsed_s"])
+            elapsed.append(seconds)
+            key = cost_key(str(record.get("kind", "")), record.get("params", {}) or {})
+            by_cell.setdefault(key, []).append(seconds)
     if not elapsed:
         return {"n": 0}
     return {
@@ -88,6 +99,14 @@ def summarize_timing(records: Sequence[Mapping[str, object]]) -> Dict[str, float
         "mean_elapsed_s": sum(elapsed) / len(elapsed),
         "min_elapsed_s": min(elapsed),
         "max_elapsed_s": max(elapsed),
+        "cells": {
+            key: {
+                "n": len(values),
+                "mean_elapsed_s": sum(values) / len(values),
+                "max_elapsed_s": max(values),
+            }
+            for key, values in sorted(by_cell.items())
+        },
     }
 
 

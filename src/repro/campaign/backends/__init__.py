@@ -1,0 +1,71 @@
+"""Pluggable campaign execution backends.
+
+Three interchangeable strategies implement the :class:`Backend` contract
+(execute pending trials, persist each record before yielding it):
+
+* :class:`SerialBackend` — in-process, spec order; the determinism and
+  debugging baseline (``jobs=1``).
+* :class:`ProcessPoolBackend` — local ``ProcessPoolExecutor`` fan-out.
+* :class:`FileQueueBackend` — a shared on-disk job queue under
+  ``<out_dir>/queue/`` that independent ``repro campaign-worker`` processes
+  (same machine, SSH, or a network filesystem) cooperatively drain.
+
+All three produce byte-identical records and summaries on the
+timing-stripped view — the differential suite in
+``tests/campaign/test_backends.py`` enforces it.  ``make_backend`` is the
+string → instance factory the runner and CLI share.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type, Union
+
+from .base import Backend, execute_trial
+from .pool import ProcessPoolBackend
+from .queue import FileQueueBackend, default_worker_id, run_worker
+from .serial import SerialBackend
+
+_BACKENDS: Dict[str, Type[Backend]] = {
+    SerialBackend.name: SerialBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+    FileQueueBackend.name: FileQueueBackend,
+}
+
+
+def available_backends() -> Tuple[str, ...]:
+    return tuple(sorted(_BACKENDS))
+
+
+def make_backend(backend: Union[str, Backend, None], jobs: int = 1) -> Backend:
+    """Resolve a backend name (or pass an instance through) for ``run_campaign``.
+
+    ``None`` keeps the historical behaviour: serial for ``jobs=1``, a process
+    pool otherwise.  ``jobs`` only parameterises the pool backend — the queue
+    backend's parallelism is however many workers join the queue.
+    """
+    if isinstance(backend, Backend):
+        return backend
+    if backend is None:
+        backend = "serial" if jobs == 1 else "pool"
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {sorted(_BACKENDS)}"
+        )
+    if backend == ProcessPoolBackend.name:
+        # --backend pool --jobs 1 is a 1-worker pool: still subprocess
+        # isolation, just no concurrency.
+        return ProcessPoolBackend(jobs=jobs)
+    return _BACKENDS[backend]()
+
+
+__all__ = [
+    "Backend",
+    "FileQueueBackend",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "available_backends",
+    "default_worker_id",
+    "execute_trial",
+    "make_backend",
+    "run_worker",
+]

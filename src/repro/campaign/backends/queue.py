@@ -1,0 +1,223 @@
+"""File-queue execution: cooperating worker processes over a shared directory.
+
+The producer (``run_campaign(..., backend="queue")``) persists every pending
+trial as a claimable job file under ``<out_dir>/queue/pending/`` in dispatch
+order, then *itself* enters the worker loop — so a queue campaign always
+completes even when no external worker ever shows up.  Any number of extra
+workers (``python -m repro campaign-worker <out_dir>``, on this machine, over
+SSH, or anywhere that mounts the same filesystem) join by running the same
+loop:
+
+    claim (atomic rename into ``claims/``) → execute → write record → drop
+    claim → next
+
+No sockets, no coordinator: the directory *is* the queue, and atomic rename
+is the only synchronisation primitive (see
+:mod:`repro.campaign.persistence`).  Fault tolerance falls out of the claim
+files: a worker that dies mid-trial leaves a claim that ages past the TTL and
+is swept back into ``pending/`` for someone else; a worker that dies between
+writing the record and dropping its claim leaves a claim whose record already
+exists, which the sweep simply clears.  Because trials are deterministic, the
+pathological case — a claim stolen from a worker that was merely slow — ends
+with two byte-identical records, not a conflict.
+
+The producer yields each of its trials' records exactly once, in completion
+order, whether it executed the trial locally or harvested a record written by
+a remote worker.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple, Union
+
+from ..persistence import CampaignStore
+from ..spec import TrialSpec
+from .base import Backend, execute_trial
+
+#: how long a claim may sit unreaped before it is presumed orphaned.
+DEFAULT_CLAIM_TTL_S = 300.0
+#: how long an idle worker sleeps between queue polls.
+DEFAULT_POLL_INTERVAL_S = 0.2
+
+
+def default_worker_id() -> str:
+    """A claim owner label unique across hosts sharing the queue directory."""
+    return f"{socket.gethostname()}-pid{os.getpid()}"
+
+
+def claim_and_execute_next(
+    store: CampaignStore, worker_id: str
+) -> Tuple[Optional[Dict[str, object]], bool]:
+    """Claim the first claimable pending job and return ``(record, ran)``.
+
+    ``record`` is ``None`` when every pending job was claimed by someone else
+    first (or the queue is empty).  Jobs whose record already exists —
+    enqueued twice across crashed runs, or re-executed after a claim steal —
+    are not re-run: their claim is cleared and the existing record returned
+    with ``ran=False``, so callers can account executions honestly.
+    """
+    for path in store.list_pending():
+        job = store.claim_job(path, worker_id)
+        if job is None:
+            continue  # lost the rename race; try the next job
+        trial_id = str(job["trial_id"])
+        record = store.load_trial(trial_id)
+        ran = False
+        if record is None:
+            try:
+                record = execute_trial(
+                    {"trial_id": trial_id, "kind": job["kind"], "params": job["params"]}
+                )
+                store.write_trial(record)
+            except BaseException:
+                # Covers the record write too (ENOSPC, mount errors): put the
+                # job straight back so recovery (--resume, or another worker)
+                # doesn't have to wait out the claim TTL first.
+                store.requeue_claim(trial_id)
+                raise
+            ran = True
+        store.complete_job(trial_id)
+        return record, ran
+    return None, False
+
+
+class FileQueueBackend(Backend):
+    """Run trials through the shared on-disk job queue, participating in it."""
+
+    name = "queue"
+
+    def __init__(
+        self,
+        worker_id: Optional[str] = None,
+        claim_ttl_s: float = DEFAULT_CLAIM_TTL_S,
+        poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+    ) -> None:
+        if claim_ttl_s <= 0:
+            raise ValueError("claim_ttl_s must be positive")
+        self.worker_id = worker_id or default_worker_id()
+        self.claim_ttl_s = claim_ttl_s
+        self.poll_interval_s = poll_interval_s
+
+    def prepare(self, store: CampaignStore) -> None:
+        # Re-open the queue as the very first campaign action: workers only
+        # treat "drained" as "campaign finished" while the enqueue-complete
+        # marker exists, so clearing it here (before the runner's resume
+        # probe, which scales with the campaign size) keeps concurrently
+        # started workers from exiting on a previous run's finished state.
+        store.ensure_queue_layout()
+        store.clear_enqueue_complete()
+
+    def submit(
+        self, trials: Sequence[TrialSpec], store: CampaignStore
+    ) -> Iterator[Dict[str, object]]:
+        store.ensure_queue_layout()
+        store.clear_enqueue_complete()  # no-op unless submit is called directly
+        # One campaign directory holds one spec: jobs left by an earlier,
+        # since-edited spec (e.g. a failing trial requeued before its grid
+        # cell was removed) must not keep getting claimed and executed.
+        store.purge_foreign_jobs({t.trial_id for t in trials})
+        # The runner decided these trials must run (no record, or a run
+        # without --resume): a leftover record would otherwise make the queue
+        # serve stale results where serial/pool re-execute.  Discard BEFORE
+        # snapshotting the queue: any record appearing after this point was
+        # written by a live worker running current code and is fresh by
+        # definition, so the worst race outcome is a redundant (and
+        # determinism-tolerated) re-execution — never a lost trial.
+        for trial in trials:
+            store.discard_trial(trial.trial_id)
+        queued = store.queued_trial_ids()  # one snapshot, not a scan per trial
+        for order, trial in enumerate(trials):
+            store.enqueue_trial(order, trial.to_dict(), known_queued=queued)
+        store.mark_enqueue_complete(len(trials))
+
+        wanted = [t.trial_id for t in trials]
+        outstanding = set(wanted)
+        while outstanding:
+            record, _ran = claim_and_execute_next(store, self.worker_id)
+            if record is not None:
+                trial_id = str(record["trial_id"])
+                if trial_id in outstanding:
+                    outstanding.discard(trial_id)
+                    yield record
+                continue  # keep draining while there is claimable work
+
+            # Nothing claimable: harvest records produced by other workers.
+            # One directory listing bounds the cost per poll; only names that
+            # actually appeared are opened and parsed.
+            harvested = False
+            present = {p.stem for p in store.trials_dir.glob("*.json")}
+            for trial_id in wanted:
+                if trial_id not in outstanding or trial_id not in present:
+                    continue
+                record = store.load_trial(trial_id)
+                if record is not None:
+                    outstanding.discard(trial_id)
+                    harvested = True
+                    yield record
+            if not outstanding:
+                break
+            # Requeue orphaned claims (dead workers) so someone — possibly
+            # this very loop on its next pass — can pick them up again.
+            if store.sweep_claims(self.claim_ttl_s):
+                continue
+            if not harvested:
+                time.sleep(self.poll_interval_s)
+
+
+#: ``progress(event, trial_id, n_executed)`` with event in {"run", "skip"}.
+WorkerProgress = Callable[[str, str, int], None]
+
+
+def run_worker(
+    out_dir: Union[str, Path],
+    worker_id: Optional[str] = None,
+    claim_ttl_s: float = DEFAULT_CLAIM_TTL_S,
+    poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+    max_trials: Optional[int] = None,
+    wait_for_queue_s: float = 30.0,
+    progress: Optional[WorkerProgress] = None,
+) -> int:
+    """The standalone worker loop behind ``repro campaign-worker``.
+
+    Claims, executes and records jobs from ``out_dir``'s queue until it is
+    fully drained (no pending jobs *and* no live claims — while another
+    worker still holds a claim this worker keeps polling, so it can take over
+    if that claim expires), or until ``max_trials`` have been executed.
+    Returns the number of trials this worker executed.
+
+    A worker may be started before the producer: ``wait_for_queue_s`` bounds
+    how long it waits for ``out_dir/queue/`` to appear before giving up.  The
+    same budget covers an *empty* queue whose producer is still enqueueing:
+    "drained" only means "campaign finished" once the producer's
+    enqueue-complete marker is present, so a worker racing the producer's
+    enqueue loop keeps polling instead of exiting after zero trials.
+    """
+    store = CampaignStore(out_dir)
+    worker = worker_id or default_worker_id()
+
+    deadline = time.monotonic() + wait_for_queue_s
+    while not store.pending_dir.is_dir():
+        if time.monotonic() >= deadline:
+            return 0
+        time.sleep(min(poll_interval_s, 0.1))
+
+    executed = 0
+    while max_trials is None or executed < max_trials:
+        record, ran = claim_and_execute_next(store, worker)
+        if record is not None:
+            if ran:
+                executed += 1
+            if progress:
+                progress("run" if ran else "skip", str(record["trial_id"]), executed)
+            continue
+        store.sweep_claims(claim_ttl_s)
+        if store.queue_drained() and (
+            store.enqueue_complete() or time.monotonic() >= deadline
+        ):
+            break
+        time.sleep(poll_interval_s)
+    return executed

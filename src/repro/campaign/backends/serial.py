@@ -1,0 +1,30 @@
+"""In-process, one-at-a-time execution — the determinism/debugging baseline."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Sequence
+
+from ..persistence import CampaignStore
+from ..spec import TrialSpec
+from .base import Backend, execute_trial
+
+
+class SerialBackend(Backend):
+    """Run every trial in the calling process, in the order given.
+
+    This is the ``jobs=1`` path: flat tracebacks, working ``pdb``/profilers,
+    and the reference output the parallel backends are compared against.
+    ``reorders`` is False — with a single worker the makespan is the same in
+    any order, so the runner keeps spec order for predictable debugging.
+    """
+
+    name = "serial"
+    reorders = False
+
+    def submit(
+        self, trials: Sequence[TrialSpec], store: CampaignStore
+    ) -> Iterator[Dict[str, object]]:
+        for trial in trials:
+            record = execute_trial(trial.to_dict())
+            store.write_trial(record)
+            yield record

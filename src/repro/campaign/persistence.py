@@ -7,6 +7,13 @@
       summary.json          # aggregated metrics (see aggregate.py)
       trials/
         <trial_id>.json     # one record per completed trial
+      queue/                # file-queue backend only (see backends/queue.py)
+        enqueue-complete.json       # producer is done enqueueing; an empty
+                                    # queue now means "campaign finished"
+        pending/
+          <order>-<trial_id>.json   # enqueued job, claimable by any worker
+        claims/
+          <trial_id>.json           # job claimed by a live (or dead) worker
 
 Trial files are written atomically (tmp file + ``os.replace``) so a killed
 run never leaves a half-written record; resume support treats only files
@@ -21,12 +28,25 @@ Each record also carries a ``timing`` block (``{"elapsed_s": ...}``, written
 by the runner) with the trial's wall-clock cost.  It is informational only:
 resumed trials keep the timing of the run that actually produced them, and
 determinism comparisons go through ``aggregate.strip_timing``.
+
+The queue layout exists so independent worker processes — possibly on other
+machines sharing the directory over a network filesystem — can cooperate on
+one campaign with no coordinator: ``os.rename`` of a pending job file into
+``claims/`` is the atomic claim primitive (exactly one renamer succeeds; the
+loser gets ``FileNotFoundError`` and moves on).  Pending filenames embed the
+producer's dispatch order (zero-padded), so a plain sorted directory listing
+is the schedule.  Claim files carry ``claimed_at``/``worker`` metadata; a
+claim older than the TTL whose trial has no record is presumed orphaned by a
+dead worker and is renamed back into ``pending/`` — and because trials are
+deterministic functions of their parameters, the worst case of a *slow* (not
+dead) worker losing its claim is two workers writing byte-identical records.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set, Union
@@ -50,9 +70,26 @@ class CampaignStore:
         self.trials_dir = self.out_dir / "trials"
         self.spec_path = self.out_dir / "spec.json"
         self.summary_path = self.out_dir / "summary.json"
+        self.queue_dir = self.out_dir / "queue"
+        self.pending_dir = self.queue_dir / "pending"
+        self.claims_dir = self.queue_dir / "claims"
+        # Present only once the producer has finished enqueueing: workers may
+        # not treat an empty queue as a finished campaign before this exists.
+        self.enqueue_complete_path = self.queue_dir / "enqueue-complete.json"
+        # Sweeper-local claim watch: claim file name -> (identity token,
+        # local monotonic first-seen).  Claim timestamps are written by the
+        # *claiming* host's clock, which on a multi-machine filesystem may be
+        # skewed relative to ours — observing a claim sit unchanged for a TTL
+        # on OUR clock is the skew-proof way to call it orphaned.
+        self._claim_watch: Dict[str, tuple] = {}
 
     def ensure_layout(self) -> None:
         self.trials_dir.mkdir(parents=True, exist_ok=True)
+
+    def ensure_queue_layout(self) -> None:
+        self.ensure_layout()
+        self.pending_dir.mkdir(parents=True, exist_ok=True)
+        self.claims_dir.mkdir(parents=True, exist_ok=True)
 
     # --------------------------------------------------------------- spec
     def write_spec(self, spec: CampaignSpec) -> None:
@@ -68,6 +105,13 @@ class CampaignStore:
 
     def write_trial(self, record: Dict[str, object]) -> None:
         _write_json_atomic(self.trial_path(str(record["trial_id"])), record)
+
+    def discard_trial(self, trial_id: str) -> None:
+        """Delete a trial's record (it is about to be re-executed)."""
+        try:
+            self.trial_path(trial_id).unlink()
+        except FileNotFoundError:
+            pass
 
     def load_trial(self, trial_id: str) -> Optional[Dict[str, object]]:
         """The trial's record, or ``None`` if absent or unreadable."""
@@ -99,6 +143,250 @@ class CampaignStore:
             if record is not None:
                 records.append(record)
         return records
+
+    # --------------------------------------------------------------- queue
+    # The job queue used by the file-queue backend (backends/queue.py).  All
+    # multi-process coordination reduces to atomic renames within queue/.
+
+    def pending_job_path(self, order: int, trial_id: str) -> Path:
+        return self.pending_dir / f"{int(order):06d}-{trial_id}.json"
+
+    def claim_path(self, trial_id: str) -> Path:
+        return self.claims_dir / f"{trial_id}.json"
+
+    @staticmethod
+    def _job_trial_id(path: Path) -> str:
+        """Trial id from a pending filename ``<order>-<trial_id>.json``."""
+        return path.stem.partition("-")[2]
+
+    def enqueue_trial(
+        self,
+        order: int,
+        trial: Dict[str, object],
+        known_queued: Optional[Set[str]] = None,
+    ) -> bool:
+        """Add one trial-dict job to ``pending/`` unless already queued/claimed/done.
+
+        Returns ``True`` if a job file was written.  The job carries its
+        dispatch ``order`` in both filename (for cheap sorted listing) and
+        body (so an expired claim can be renamed back to the right slot).
+        A caller enqueueing a batch can pass ``known_queued`` — one upfront
+        snapshot of the pending/claimed trial ids — to replace the per-call
+        directory scan that would otherwise make bulk enqueue O(n²).
+        """
+        trial_id = str(trial["trial_id"])
+        if self.load_trial(trial_id) is not None:
+            return False
+        if known_queued is not None:
+            if trial_id in known_queued:
+                return False
+        elif self.claim_path(trial_id).exists() or (
+            self.pending_dir.is_dir()
+            and next(self.pending_dir.glob(f"*-{trial_id}.json"), None)
+        ):
+            return False
+        job = dict(trial)
+        job["order"] = int(order)
+        _write_json_atomic(self.pending_job_path(order, trial_id), job)
+        return True
+
+    def queued_trial_ids(self) -> Set[str]:
+        """One snapshot of every trial id currently pending or claimed."""
+        ids = {self._job_trial_id(p) for p in self.list_pending()}
+        ids.update(p.stem for p in self.list_claims())
+        return ids
+
+    def purge_foreign_jobs(self, keep_ids: Set[str]) -> List[str]:
+        """Drop queued jobs/claims whose trial is not in ``keep_ids``.
+
+        A campaign directory holds exactly one spec; job files left by an
+        earlier (edited or failed) spec would otherwise be claimed and
+        executed forever — a requeued-on-failure job from a since-removed
+        grid cell would poison every later queue run.  Returns the purged
+        trial ids.
+        """
+        purged: List[str] = []
+        for path in self.list_pending():
+            trial_id = self._job_trial_id(path)
+            if trial_id in keep_ids:
+                continue
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue  # claimed (or purged) by someone else meanwhile
+            purged.append(trial_id)
+        for claim in self.list_claims():
+            if claim.stem in keep_ids:
+                continue
+            try:
+                claim.unlink()
+            except FileNotFoundError:
+                continue
+            purged.append(claim.stem)
+        return purged
+
+    def list_pending(self) -> List[Path]:
+        """Pending job files in dispatch order (filename-sorted)."""
+        if not self.pending_dir.is_dir():
+            return []
+        return sorted(self.pending_dir.glob("*.json"))
+
+    def list_claims(self) -> List[Path]:
+        if not self.claims_dir.is_dir():
+            return []
+        return sorted(self.claims_dir.glob("*.json"))
+
+    def claim_job(self, pending_path: Path, worker_id: str) -> Optional[Dict[str, object]]:
+        """Atomically claim one pending job; ``None`` if another worker won.
+
+        The claim is the rename itself — exactly one process moves the file
+        into ``claims/``.  The winner then rewrites the claim file with
+        ``claimed_at``/``worker`` so stale claims can be aged out; a crash
+        inside that tiny window just leaves a claim whose age falls back to
+        the file's mtime.
+        """
+        trial_id = self._job_trial_id(pending_path)
+        claim = self.claim_path(trial_id)
+        try:
+            os.rename(pending_path, claim)
+        except (FileNotFoundError, PermissionError):
+            return None  # lost the race (PermissionError: Windows semantics)
+        try:
+            # Rename preserves the *enqueue* mtime; stamp the claim time now
+            # so the mtime-based expiry fallback can't see a fresh claim as
+            # already orphaned while the metadata rewrite below is in flight.
+            os.utime(claim, None)
+        except OSError:
+            pass
+        try:
+            with open(claim, "r", encoding="utf-8") as handle:
+                job = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        job["claimed_at"] = time.time()
+        job["worker"] = worker_id
+        _write_json_atomic(claim, job)
+        return job
+
+    def complete_job(self, trial_id: str) -> None:
+        """Drop the claim of a trial whose record has been written."""
+        try:
+            self.claim_path(trial_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    def claim_age_s(self, claim_path: Path, now: Optional[float] = None) -> float:
+        """Seconds since the claim was taken (mtime fallback for odd files).
+
+        Clamped to >= 0: a negative age just means the claiming host's clock
+        runs ahead of ours, not that the claim comes from the future.
+        """
+        now = time.time() if now is None else now
+        try:
+            with open(claim_path, "r", encoding="utf-8") as handle:
+                job = json.load(handle)
+            claimed_at = job.get("claimed_at")
+            if isinstance(claimed_at, (int, float)):
+                return max(now - float(claimed_at), 0.0)
+        except (OSError, ValueError):
+            pass
+        try:
+            return max(now - claim_path.stat().st_mtime, 0.0)
+        except OSError:
+            return 0.0
+
+    def _claim_expired(self, claim_path: Path, claim_ttl_s: float) -> bool:
+        """Whether a claim is presumed orphaned, robust to cross-host skew.
+
+        Two independent criteria, either suffices:
+
+        * the claim's own timestamp says it is older than the TTL (fast path
+          for claims that were already stale before we started looking; with
+          a behind-skewed claimer clock this can fire early, which costs a
+          redundant — deterministically identical — execution, never a wrong
+          result);
+        * *this process* has watched the claim sit unchanged for a full TTL
+          on its own monotonic clock (the skew-proof backstop: a dead
+          worker's claim is reclaimed even if its clock ran arbitrarily
+          ahead, so a campaign can never hang on it forever).
+        """
+        if self.claim_age_s(claim_path) > claim_ttl_s:
+            return True
+        try:
+            stat = claim_path.stat()
+            token = (stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            return False  # vanished: nothing to expire
+        name = claim_path.name
+        seen = self._claim_watch.get(name)
+        local_now = time.monotonic()
+        if seen is None or seen[0] != token:
+            self._claim_watch[name] = (token, local_now)
+            return False
+        return local_now - seen[1] > claim_ttl_s
+
+    def sweep_claims(self, claim_ttl_s: float) -> List[str]:
+        """Clear finished claims and requeue expired ones; returns requeued ids.
+
+        A claim whose trial already has a record is left over from a worker
+        that died between writing the record and unlinking the claim — drop
+        it.  A claim past the TTL with no record (see :meth:`_claim_expired`
+        for the skew-robust criteria) is presumed orphaned and renamed back
+        into ``pending/`` for any worker to re-claim (the rename keeps this
+        race-safe: concurrent sweepers can't requeue one claim twice).
+        """
+        requeued: List[str] = []
+        for claim in self.list_claims():
+            trial_id = claim.stem
+            if self.load_trial(trial_id) is not None:
+                self.complete_job(trial_id)
+                self._claim_watch.pop(claim.name, None)
+                continue
+            if not self._claim_expired(claim, claim_ttl_s):
+                continue
+            if self.requeue_claim(trial_id):
+                self._claim_watch.pop(claim.name, None)
+                requeued.append(trial_id)
+        return requeued
+
+    def requeue_claim(self, trial_id: str) -> bool:
+        """Move a claim back into ``pending/`` (expired, or its trial failed).
+
+        Returns ``False`` when there was nothing to requeue — the claim is
+        gone (a concurrent sweeper moved it, or the worker finished after
+        all).  Race-safe for the same reason claiming is: only one renamer
+        of the claim file succeeds.
+        """
+        claim = self.claim_path(trial_id)
+        try:
+            with open(claim, "r", encoding="utf-8") as handle:
+                job = json.load(handle)
+            order = int(job.get("order", 0))
+        except (OSError, ValueError, TypeError):
+            order = 0
+        try:
+            os.rename(claim, self.pending_job_path(order, trial_id))
+        except (FileNotFoundError, PermissionError):
+            return False
+        return True
+
+    def queue_drained(self) -> bool:
+        """True when no pending jobs and no claims remain."""
+        return not self.list_pending() and not self.list_claims()
+
+    def mark_enqueue_complete(self, n_trials: int) -> None:
+        """Producer signal: every job of the campaign is now in the queue."""
+        _write_json_atomic(self.enqueue_complete_path, {"n_trials": int(n_trials)})
+
+    def clear_enqueue_complete(self) -> None:
+        """Re-open the queue before (re-)enqueueing a batch of jobs."""
+        try:
+            self.enqueue_complete_path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def enqueue_complete(self) -> bool:
+        return self.enqueue_complete_path.exists()
 
     # ------------------------------------------------------------- summary
     def write_summary(self, summary: Dict[str, object]) -> None:

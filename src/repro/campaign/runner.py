@@ -1,64 +1,69 @@
-"""Campaign execution: serial or process-pool fan-out with resume support.
+"""Campaign execution: pluggable backends, timing-aware scheduling, resume.
 
-``execute_trial`` is the worker entry point.  It is a module-level function
-taking and returning plain dicts, so submitting it to a
-``concurrent.futures.ProcessPoolExecutor`` never trips over pickling: the
-experiment objects themselves are built *inside* the worker process from the
-parameter dict, via the adapter registry.
+``run_campaign`` owns the campaign lifecycle — expand the spec, skip trials
+already recorded (``resume=True``), schedule the rest, hand them to an
+execution backend, and aggregate everything into ``summary.json``.  *How*
+trials run is delegated to :mod:`repro.campaign.backends`:
+
+* ``backend="serial"`` — in this process, one at a time (the ``jobs=1``
+  default; flat tracebacks, working ``pdb``);
+* ``backend="pool"`` — a local ``ProcessPoolExecutor`` of ``jobs`` workers
+  (the default whenever ``jobs > 1``);
+* ``backend="queue"`` — a shared on-disk job queue under
+  ``<out_dir>/queue/`` that any number of ``repro campaign-worker``
+  processes, on any machine sharing the filesystem, cooperatively drain.
 
 Every trial is seeded from its own parameters, so results do not depend on
-which worker ran it or in what order trials completed — serial (``jobs=1``)
-and parallel runs of the same spec produce byte-identical trial records and
-aggregates once the per-trial ``timing`` block (wall-clock seconds, the one
-intentionally non-deterministic field) is stripped; see
-:func:`repro.campaign.aggregate.strip_timing`.  ``jobs=1`` bypasses the pool entirely, which keeps tracebacks
-flat and makes ``pdb``/profiling work, hence its role as the determinism and
-debugging fallback.
+which backend, worker, or completion order produced them — all three
+backends yield byte-identical trial records and aggregates once the
+per-trial ``timing`` block (wall-clock seconds, the one intentionally
+non-deterministic field) is stripped; see
+:func:`repro.campaign.aggregate.strip_timing`.
+
+For the parallel backends, pending trials are dispatched
+longest-expected-first (:func:`repro.campaign.scheduling.schedule_trials`),
+fed by the per-grid-cell elapsed history a previous run of the directory left
+in ``summary.json``'s ``timing.cells`` block — scheduling changes only the
+makespan, never the outputs.
+
+Records are persisted (and accounted on the report) as each one lands, so a
+trial that raises mid-campaign never discards finished work: the failure
+surfaces as :class:`CampaignExecutionError` carrying the partial report, with
+a best-effort summary of everything that did complete already on disk.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
 from .aggregate import aggregate_records
+from .backends import Backend, execute_trial, make_backend
 from .persistence import CampaignStore
-from .registry import get_experiment
-from .spec import CampaignSpec, TrialSpec
+from .scheduling import load_timing_history, schedule_trials
+from .spec import CampaignSpec
+
+__all__ = [
+    "CampaignExecutionError",
+    "CampaignReport",
+    "ProgressCallback",
+    "execute_trial",
+    "run_campaign",
+]
 
 #: ``progress(event, trial_id, done, total)`` with event in {"run", "skip"}.
 ProgressCallback = Callable[[str, str, int, int], None]
 
 
-def execute_trial(trial: Dict[str, object]) -> Dict[str, object]:
-    """Run one trial (dict form of :class:`TrialSpec`) and return its record."""
-    adapter = get_experiment(str(trial["kind"]))
-    started = time.perf_counter()
-    result = adapter.run(trial["params"])
-    elapsed = time.perf_counter() - started
-    # to_dict() embeds scalar_metrics() for standalone use; the record keeps
-    # the metrics once, at top level, so the two copies can never drift.
-    detail = result.to_dict()
-    metrics = detail.pop("metrics", None) or result.scalar_metrics()
-    return {
-        "trial_id": trial["trial_id"],
-        "kind": trial["kind"],
-        "params": dict(trial["params"]),
-        "metrics": metrics,
-        "detail": detail,
-        # Wall-clock lives under its own key, never inside "metrics": the
-        # determinism guarantee (serial == parallel) covers a record with
-        # "timing" stripped — see aggregate.strip_timing.
-        "timing": {"elapsed_s": elapsed},
-    }
-
-
 @dataclass
 class CampaignReport:
-    """What one ``run_campaign`` invocation did."""
+    """What one ``run_campaign`` invocation did.
+
+    ``executed_trial_ids`` counts every record this invocation accounted for
+    — including, under the queue backend, trials physically executed by a
+    cooperating ``campaign-worker`` process.  Ids end up in spec order.
+    """
 
     spec: CampaignSpec
     out_dir: Path
@@ -75,26 +80,53 @@ class CampaignReport:
         return len(self.skipped_trial_ids)
 
 
+class CampaignExecutionError(RuntimeError):
+    """A trial failed mid-campaign.
+
+    Carries the partial :class:`CampaignReport`: everything executed before
+    the failure is persisted under ``trials/``, accounted in
+    ``report.executed_trial_ids``, and already folded into a best-effort
+    ``summary.json`` — re-running with ``resume=True`` picks up from there.
+    The original worker exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, report: CampaignReport) -> None:
+        super().__init__(message)
+        self.report = report
+
+
 def run_campaign(
     spec: CampaignSpec,
     out_dir: Union[str, Path],
     jobs: int = 1,
     resume: bool = False,
     progress: Optional[ProgressCallback] = None,
+    backend: Union[str, Backend, None] = None,
 ) -> CampaignReport:
     """Expand ``spec``, run every trial, and write records + summary.
 
     With ``resume=True``, trials whose records already exist under
     ``out_dir/trials/`` are skipped (memoization across runs); the summary is
-    recomputed from *all* records either way.  ``jobs`` > 1 fans pending
-    trials out over a process pool of that many workers.
+    recomputed from *all* records either way.  ``backend`` picks the
+    execution strategy by name (``"serial"``, ``"pool"``, ``"queue"``) or as
+    a :class:`~repro.campaign.backends.Backend` instance; by default ``jobs``
+    keeps its historical meaning — serial when 1, a process pool of that many
+    workers otherwise.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    executor = make_backend(backend, jobs=jobs)
     trials = spec.expand()
     store = CampaignStore(out_dir)
+    # Per-cell elapsed history from a previous run of this directory, read
+    # before write_spec/summary updates can touch anything.
+    history = load_timing_history(store.load_summary()) if executor.reorders else {}
     store.ensure_layout()
     store.write_spec(spec)
+    # Let the backend stake out its state before the resume probe below
+    # (which scales with the campaign): the queue backend re-opens its
+    # on-disk queue here so concurrently started workers keep polling.
+    executor.prepare(store)
 
     # Probe only this spec's trial ids — not every file in trials/ — so resume
     # cost scales with the campaign, not with whatever else shares the directory.
@@ -114,48 +146,36 @@ def run_campaign(
             progress("skip", trial_id, finished, total)
 
     report = CampaignReport(spec=spec, out_dir=store.out_dir, skipped_trial_ids=skipped)
+    spec_order = {t.trial_id: i for i, t in enumerate(trials)}
 
-    if pending:
-        if jobs == 1:
-            for trial in pending:
-                record = execute_trial(trial.to_dict())
-                store.write_trial(record)
-                finished += 1
-                report.executed_trial_ids.append(trial.trial_id)
-                if progress:
-                    progress("run", trial.trial_id, finished, total)
-        else:
-            _run_parallel(pending, store, report, jobs, progress, finished, total)
-
-    records = store.load_trials([t.trial_id for t in trials])
-    report.summary = aggregate_records(records, spec=spec)
-    store.write_summary(report.summary)
+    # The backend always runs, even with nothing pending: the queue backend
+    # reconciles its on-disk queue (purging jobs a since-edited spec left
+    # behind, re-sealing the enqueue-complete marker) as part of submit.
+    ordered = schedule_trials(pending, history) if executor.reorders else pending
+    try:
+        # Backends persist each record before yielding it, and ids are
+        # appended per result — so a later trial raising can never
+        # discard the accounting of records already on disk.
+        for record in executor.submit(ordered, store):
+            finished += 1
+            trial_id = str(record["trial_id"])
+            report.executed_trial_ids.append(trial_id)
+            if progress:
+                progress("run", trial_id, finished, total)
+    except Exception as exc:
+        raise CampaignExecutionError(
+            f"campaign {spec.name!r} failed after {report.n_executed} of "
+            f"{len(pending)} pending trial(s): {exc}",
+            report,
+        ) from exc
+    finally:
+        # Success, failure, even KeyboardInterrupt: executed ids end up in
+        # spec order (not completion order) and whatever records exist are
+        # folded into an on-disk summary — the partial report carried by
+        # CampaignExecutionError is finalized here too, since the finally
+        # block runs before the exception reaches the caller.
+        report.executed_trial_ids.sort(key=spec_order.__getitem__)
+        records = store.load_trials([t.trial_id for t in trials])
+        report.summary = aggregate_records(records, spec=spec)
+        store.write_summary(report.summary)
     return report
-
-
-def _run_parallel(
-    pending: List[TrialSpec],
-    store: CampaignStore,
-    report: CampaignReport,
-    jobs: int,
-    progress: Optional[ProgressCallback],
-    finished: int,
-    total: int,
-) -> None:
-    """Fan ``pending`` out over a process pool, persisting as results land."""
-    executed = []
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = {pool.submit(execute_trial, t.to_dict()): t.trial_id for t in pending}
-        outstanding = set(futures)
-        while outstanding:
-            complete, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-            for future in complete:
-                record = future.result()  # propagate worker exceptions
-                store.write_trial(record)
-                finished += 1
-                executed.append(futures[future])
-                if progress:
-                    progress("run", futures[future], finished, total)
-    # Report executed ids in spec order, not completion order.
-    order = {t.trial_id: i for i, t in enumerate(pending)}
-    report.executed_trial_ids.extend(sorted(executed, key=order.__getitem__))

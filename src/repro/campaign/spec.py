@@ -36,6 +36,20 @@ def canonical_json(data: object) -> str:
     return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
+def cost_key(kind: str, params: Mapping[str, object]) -> str:
+    """Stable identity of a grid cell for timing purposes: kind + params − seed.
+
+    Trials of the same cell differ only by seed and therefore cost roughly the
+    same wall-clock, so per-cell elapsed history (``summary.json``'s
+    ``timing.cells`` block) is keyed by this string and consulted by
+    :func:`repro.campaign.scheduling.schedule_trials` to dispatch
+    longest-expected-first.  The key is canonical JSON, so it survives
+    round-trips through summary files and is identical across processes.
+    """
+    cell = {k: v for k, v in params.items() if k != "seed"}
+    return canonical_json({"kind": kind, "cell": cell})
+
+
 @dataclass(frozen=True)
 class TrialSpec:
     """One independent unit of work: an experiment kind plus its parameters.
@@ -51,6 +65,11 @@ class TrialSpec:
 
     def to_dict(self) -> Dict[str, object]:
         return {"trial_id": self.trial_id, "kind": self.kind, "params": dict(self.params)}
+
+    @property
+    def cost_key(self) -> str:
+        """The trial's grid-cell timing key (see :func:`cost_key`)."""
+        return cost_key(self.kind, self.params)
 
 
 @dataclass

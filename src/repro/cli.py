@@ -8,13 +8,17 @@ Usage (after ``pip install -e .``)::
     python -m repro timing
     python -m repro ablation
     python -m repro campaign   --spec campaign.json --jobs 4 --out results/ --resume
+    python -m repro campaign   --spec campaign.json --backend queue --out results/
+    python -m repro campaign-worker results/          # in other terminals/hosts
 
 Each single-run subcommand builds the corresponding harness from
 :mod:`repro.experiments`, runs it, and prints the regenerated rows/series in
 the same form the benchmarks use.  ``campaign`` fans a whole
-multi-seed / parameter-grid sweep out over worker processes via
-:mod:`repro.campaign`; the grid can come from a JSON spec file or be given
-inline::
+multi-seed / parameter-grid sweep out over an execution backend
+(``--backend serial|pool|queue``) via :mod:`repro.campaign`;
+``campaign-worker`` joins the on-disk job queue of a ``--backend queue``
+campaign from any process or machine sharing the results directory.  The
+grid can come from a JSON spec file or be given inline::
 
     python -m repro campaign --kind security \
         --param n_nodes=150 --param duration=400 \
@@ -107,6 +111,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--seeds", default="0", help="seed list: '0,1,2' or a range '0-7'")
     campaign.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
+    campaign.add_argument(
+        "--backend",
+        default="",
+        choices=["", "serial", "pool", "queue"],
+        help=(
+            "execution backend (default: serial when --jobs 1, else a process "
+            "pool); 'queue' persists claimable job files under <out>/queue/ and "
+            "cooperates with any number of 'repro campaign-worker' processes"
+        ),
+    )
+    campaign.add_argument(
+        "--claim-ttl", type=float, default=300.0,
+        help="queue backend: seconds before an unfinished claim is presumed orphaned and requeued",
+    )
     campaign.add_argument("--out", default="campaign-results", help="results directory")
     campaign.add_argument("--resume", action="store_true",
                           help="skip trials whose records already exist in --out")
@@ -115,6 +133,30 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--list-figures", action="store_true",
                           help="list figure adapters (figure -> kind, benchmark, metrics) and exit")
     campaign.add_argument("--quiet", action="store_true", help="suppress per-trial progress lines")
+
+    worker = sub.add_parser(
+        "campaign-worker",
+        help="drain a file-queue campaign's job queue (claim -> execute -> record)",
+        description=(
+            "Join the shared on-disk job queue of a campaign started with "
+            "'repro campaign --backend queue'. Any number of workers — on this "
+            "machine, over SSH, or anywhere sharing the results directory via a "
+            "network filesystem — may run concurrently; each atomically claims "
+            "pending job files, executes them, writes trial records, and exits "
+            "once the queue is drained."
+        ),
+    )
+    worker.add_argument("out_dir", help="the campaign results directory (the producer's --out)")
+    worker.add_argument("--worker-id", default="", help="claim owner label (default: <host>-pid<pid>)")
+    worker.add_argument("--poll-interval", type=float, default=0.2,
+                        help="seconds between queue polls when idle")
+    worker.add_argument("--claim-ttl", type=float, default=300.0,
+                        help="seconds before another worker's unfinished claim is presumed orphaned and requeued")
+    worker.add_argument("--max-trials", type=int, default=None,
+                        help="exit after executing this many trials (default: until drained)")
+    worker.add_argument("--wait-for-queue", type=float, default=30.0,
+                        help="seconds to wait for the producer to create the queue before giving up")
+    worker.add_argument("--quiet", action="store_true", help="suppress per-trial progress lines")
     return parser
 
 
@@ -269,7 +311,9 @@ def _run_ablation(args) -> int:
 
 def _run_campaign(args) -> int:
     from .campaign import (
+        CampaignExecutionError,
         CampaignSpec,
+        FileQueueBackend,
         available_figures,
         available_kinds,
         get_experiment,
@@ -319,7 +363,39 @@ def _run_campaign(args) -> int:
             verb = "ran " if event == "run" else "skip"
             print(f"[{done}/{total}] {verb} {trial_id}")
 
-    report = run_campaign(spec, out_dir=args.out, jobs=args.jobs, resume=args.resume, progress=progress)
+    # --backend queue gets its claim TTL from the CLI; the other names go
+    # through by string and take their defaults.  --jobs only means anything
+    # for the pool backend — reject contradictory combinations rather than
+    # silently running 1-wide.
+    if args.backend in ("serial", "queue") and args.jobs != 1:
+        hint = (
+            "start more 'repro campaign-worker' processes instead"
+            if args.backend == "queue"
+            else "drop --backend serial to use the process pool"
+        )
+        raise SystemExit(
+            f"repro campaign: --jobs has no effect with --backend {args.backend}; {hint}"
+        )
+    if args.backend == "queue":
+        if args.claim_ttl <= 0:
+            raise SystemExit("repro campaign: --claim-ttl must be positive")
+        backend = FileQueueBackend(claim_ttl_s=args.claim_ttl)
+    else:
+        backend = args.backend or None
+    try:
+        report = run_campaign(
+            spec,
+            out_dir=args.out,
+            jobs=args.jobs,
+            resume=args.resume,
+            progress=progress,
+            backend=backend,
+        )
+    except CampaignExecutionError as exc:
+        raise SystemExit(
+            f"repro campaign: {exc} — completed trials are kept in {args.out!r}; "
+            "re-run with --resume to continue"
+        )
     print(
         f"campaign {spec.name!r} ({spec.kind}): {report.n_executed} trial(s) executed, "
         f"{report.n_skipped} skipped, results in {report.out_dir}"
@@ -337,6 +413,38 @@ def _run_campaign(args) -> int:
     return 0
 
 
+def _run_campaign_worker(args) -> int:
+    from .campaign import run_worker
+
+    if args.max_trials is not None and args.max_trials < 1:
+        raise SystemExit("repro campaign-worker: --max-trials must be >= 1")
+    if args.claim_ttl <= 0:
+        raise SystemExit("repro campaign-worker: --claim-ttl must be positive")
+
+    def progress(event: str, trial_id: str, n_executed: int) -> None:
+        if not args.quiet:
+            verb = "ran " if event == "run" else "skip"
+            print(f"[worker {n_executed}] {verb} {trial_id}", flush=True)
+
+    try:
+        executed = run_worker(
+            args.out_dir,
+            worker_id=args.worker_id or None,
+            claim_ttl_s=args.claim_ttl,
+            poll_interval_s=args.poll_interval,
+            max_trials=args.max_trials,
+            wait_for_queue_s=args.wait_for_queue,
+            progress=progress,
+        )
+    except Exception as exc:  # a failing trial: its job was already requeued
+        raise SystemExit(
+            f"repro campaign-worker: trial failed ({exc}); "
+            "the job went back to the queue"
+        )
+    print(f"campaign-worker: executed {executed} trial(s) from {args.out_dir}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -348,6 +456,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "timing": _run_timing,
         "ablation": _run_ablation,
         "campaign": _run_campaign,
+        "campaign-worker": _run_campaign_worker,
     }
     return handlers[args.command](args)
 

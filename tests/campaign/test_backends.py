@@ -1,0 +1,393 @@
+"""Backend differential equivalence, queue fault injection, partial reports.
+
+The differential suite is the determinism contract from PR 1/2 — serial and
+parallel runs are byte-identical under ``strip_timing`` — now enforced across
+all three execution backends: the same small multi-seed spec runs through
+serial, process-pool and file-queue execution and every trial record plus the
+summary must agree exactly on the timing-stripped view.
+
+The fault-injection tests exercise the file-queue failure modes: a worker
+dying mid-campaign (record deleted, stale claim left behind), a claim
+orphaned inside ``queue/claims/``, and a partially-populated ``trials/``
+directory — ``resume=True`` plus a fresh worker must finish the campaign
+without re-running finished trials and must reclaim expired claims.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignExecutionError,
+    CampaignSpec,
+    CampaignStore,
+    FileQueueBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    available_backends,
+    canonical_json,
+    make_backend,
+    run_campaign,
+    run_worker,
+    strip_timing,
+)
+from repro.campaign.backends.queue import claim_and_execute_next
+
+
+@pytest.fixture
+def small_spec() -> CampaignSpec:
+    return CampaignSpec(
+        kind="security",
+        name="backend-test",
+        base={"n_nodes": 60, "duration": 15.0, "sample_interval": 5.0},
+        grid={"attack_rate": [1.0, 0.5]},
+        seeds=(0, 1),
+    )
+
+
+def _stripped_outputs(out_dir):
+    """(summary, {trial_id: record}) of a results dir, timing-stripped, as canonical JSON."""
+    summary = canonical_json(strip_timing(json.loads((out_dir / "summary.json").read_text())))
+    records = {
+        path.stem: canonical_json(strip_timing(json.loads(path.read_text())))
+        for path in sorted((out_dir / "trials").glob("*.json"))
+    }
+    return summary, records
+
+
+# --------------------------------------------------------- differential suite
+
+
+def test_backend_registry_names():
+    assert available_backends() == ("pool", "queue", "serial")
+    assert isinstance(make_backend(None, jobs=1), SerialBackend)
+    assert isinstance(make_backend(None, jobs=3), ProcessPoolBackend)
+    assert isinstance(make_backend("queue"), FileQueueBackend)
+    passthrough = FileQueueBackend(claim_ttl_s=1.0)
+    assert make_backend(passthrough) is passthrough
+    with pytest.raises(ValueError, match="unknown backend"):
+        make_backend("carrier-pigeon")
+
+
+@pytest.mark.parametrize("backend", ["pool", "queue"])
+def test_differential_backend_equivalence(small_spec, tmp_path, backend):
+    """Serial, pool and queue runs of one spec are byte-identical under strip_timing."""
+    reference = run_campaign(small_spec, out_dir=tmp_path / "serial", backend="serial")
+    report = run_campaign(
+        small_spec, out_dir=tmp_path / backend, jobs=2, backend=backend
+    )
+    assert report.n_executed == 4 and report.n_skipped == 0
+    # Same ids, in spec order, regardless of completion order.
+    assert report.executed_trial_ids == reference.executed_trial_ids
+
+    ref_summary, ref_records = _stripped_outputs(tmp_path / "serial")
+    got_summary, got_records = _stripped_outputs(tmp_path / backend)
+    assert got_records == ref_records
+    assert got_summary == ref_summary
+
+
+def test_queue_backend_drains_its_own_queue(small_spec, tmp_path):
+    """A --backend queue run with no external workers still completes and
+    leaves an empty queue behind."""
+    out = tmp_path / "solo-queue"
+    report = run_campaign(small_spec, out_dir=out, backend="queue")
+    assert report.n_executed == 4
+    store = CampaignStore(out)
+    assert store.queue_drained()
+    assert not list(store.pending_dir.glob("*")) and not list(store.claims_dir.glob("*"))
+
+
+def test_queue_rerun_without_resume_reexecutes_like_other_backends(small_spec, tmp_path):
+    """A second run without --resume must re-execute under the queue backend
+    too — leftover records may not be served as fresh results."""
+    out = tmp_path / "rerun-queue"
+    run_campaign(small_spec, out_dir=out, backend="queue")
+    store = CampaignStore(out)
+    victim = small_spec.expand()[0]
+    tampered = json.loads(store.trial_path(victim.trial_id).read_text())
+    tampered["metrics"] = {"stale_sentinel": 1.0}
+    store.write_trial(tampered)
+
+    report = run_campaign(small_spec, out_dir=out, backend="queue")
+    assert report.n_executed == 4 and report.n_skipped == 0
+    fresh = store.load_trial(victim.trial_id)
+    assert "stale_sentinel" not in fresh["metrics"]  # really re-executed
+
+
+def test_jobs_one_default_still_serial(small_spec, tmp_path):
+    report = run_campaign(small_spec, out_dir=tmp_path / "default", jobs=1)
+    assert report.n_executed == 4
+    assert not (tmp_path / "default" / "queue").exists()
+
+
+# ------------------------------------------------------- queue claim protocol
+
+
+def test_enqueue_is_idempotent_and_claims_are_exclusive(small_spec, tmp_path):
+    store = CampaignStore(tmp_path / "q")
+    store.ensure_queue_layout()
+    trial = small_spec.expand()[0]
+    assert store.enqueue_trial(0, trial.to_dict()) is True
+    assert store.enqueue_trial(0, trial.to_dict()) is False  # already pending
+    [pending] = store.list_pending()
+    assert store._job_trial_id(pending) == trial.trial_id
+
+    job = store.claim_job(pending, "worker-a")
+    assert job is not None and job["worker"] == "worker-a"
+    assert store.claim_job(pending, "worker-b") is None  # rename already won
+    assert store.enqueue_trial(0, trial.to_dict()) is False  # claimed
+    assert not store.list_pending() and len(store.list_claims()) == 1
+
+    # Completing drops the claim; with a record on disk the trial can never
+    # be enqueued again.
+    store.write_trial({"trial_id": trial.trial_id, "metrics": {"m": 1.0}})
+    store.complete_job(trial.trial_id)
+    assert store.queue_drained()
+    assert store.enqueue_trial(0, trial.to_dict()) is False
+
+
+def test_sweep_requeues_expired_claims_and_clears_finished_ones(small_spec, tmp_path):
+    store = CampaignStore(tmp_path / "q")
+    store.ensure_queue_layout()
+    t_dead, t_done = small_spec.expand()[:2]
+
+    # t_dead: claimed long ago by a worker that died mid-trial.
+    store.enqueue_trial(3, t_dead.to_dict())
+    job = store.claim_job(store.list_pending()[0], "dead-worker")
+    assert job is not None
+    stale = dict(job, claimed_at=time.time() - 3600.0)
+    store.claim_path(t_dead.trial_id).write_text(json.dumps(stale))
+
+    # t_done: worker died after writing the record but before dropping the claim.
+    store.enqueue_trial(4, t_done.to_dict())
+    assert store.claim_job(store.list_pending()[0], "other-worker") is not None
+    store.write_trial({"trial_id": t_done.trial_id, "metrics": {"m": 1.0}})
+
+    assert store.sweep_claims(claim_ttl_s=60.0) == [t_dead.trial_id]
+    [requeued] = store.list_pending()
+    assert store._job_trial_id(requeued) == t_dead.trial_id
+    assert requeued.name.startswith("000003-")  # original dispatch slot kept
+    assert store.list_claims() == []
+
+    # A fresh (young) claim is left alone.
+    assert store.claim_job(requeued, "live-worker") is not None
+    assert store.sweep_claims(claim_ttl_s=60.0) == []
+    assert len(store.list_claims()) == 1
+
+
+def test_sweep_reclaims_ahead_skewed_claims_by_local_observation(small_spec, tmp_path):
+    """A dead worker whose clock ran ahead writes claimed_at 'in the future';
+    wall-clock age never exceeds the TTL, but a sweeper that watches the
+    claim sit unchanged for a full TTL on its own clock reclaims it anyway —
+    the campaign can't hang on cross-host clock skew."""
+    store = CampaignStore(tmp_path / "q")
+    store.ensure_queue_layout()
+    trial = small_spec.expand()[0]
+    store.enqueue_trial(5, trial.to_dict())
+    job = store.claim_job(store.list_pending()[0], "skewed-dead-worker")
+    ahead = dict(job, claimed_at=time.time() + 3600.0)  # clock an hour ahead
+    store.claim_path(trial.trial_id).write_text(json.dumps(ahead))
+
+    ttl = 0.05
+    assert store.sweep_claims(claim_ttl_s=ttl) == []  # first sight: start watching
+    time.sleep(ttl * 3)
+    assert store.sweep_claims(claim_ttl_s=ttl) == [trial.trial_id]
+    [requeued] = store.list_pending()
+    assert requeued.name.startswith("000005-")
+
+
+def test_claim_and_execute_skips_trials_already_recorded(small_spec, tmp_path):
+    """A claim whose trial already has a record is cleared, not re-run."""
+    out = tmp_path / "dup"
+    run_campaign(small_spec, out_dir=out, backend="serial")
+    store = CampaignStore(out)
+    trial = small_spec.expand()[0]
+    before = store.trial_path(trial.trial_id).read_text()
+    store.ensure_queue_layout()
+    # enqueue_trial refuses recorded trials, so forge the stale job file a
+    # crashed earlier producer could have left behind.
+    job = dict(trial.to_dict(), order=0)
+    store.pending_job_path(0, trial.trial_id).write_text(json.dumps(job))
+    record, ran = claim_and_execute_next(store, "w")
+    assert record is not None and record["trial_id"] == trial.trial_id
+    assert ran is False  # nothing executed — callers must not count this
+    assert store.trial_path(trial.trial_id).read_text() == before  # untouched
+    assert store.queue_drained()
+
+
+# ------------------------------------------------------------ fault injection
+
+
+def test_resume_after_worker_death_reclaims_and_completes(small_spec, tmp_path):
+    """Worker died mid-campaign: partial trials/, stale claim. resume=True on
+    the queue backend reclaims the expired claim and finishes without
+    re-running the trials that already have records."""
+    out = tmp_path / "crashed"
+    run_campaign(small_spec, out_dir=out, backend="queue")
+    store = CampaignStore(out)
+    victim = small_spec.expand()[2]
+
+    # Forge the crash: the victim's record never landed, its job sits claimed
+    # by a long-dead worker.
+    store.trial_path(victim.trial_id).unlink()
+    store.ensure_queue_layout()
+    store.enqueue_trial(2, victim.to_dict())
+    job = store.claim_job(store.list_pending()[0], "dead-worker")
+    stale = dict(job, claimed_at=time.time() - 3600.0)
+    store.claim_path(victim.trial_id).write_text(json.dumps(stale))
+
+    report = run_campaign(
+        small_spec,
+        out_dir=out,
+        resume=True,
+        backend=FileQueueBackend(claim_ttl_s=60.0, poll_interval_s=0.01),
+    )
+    assert report.executed_trial_ids == [victim.trial_id]
+    assert report.n_skipped == 3
+    assert report.summary["n_trials"] == 4
+    assert store.queue_drained()
+
+
+def test_fresh_worker_drains_an_abandoned_queue(small_spec, tmp_path):
+    """A producer that enqueued everything and died: a fresh campaign-worker
+    alone completes every trial, then resume finds nothing left to do."""
+    out = tmp_path / "abandoned"
+    store = CampaignStore(out)
+    store.ensure_queue_layout()
+    store.write_spec(small_spec)
+    trials = small_spec.expand()
+    for order, trial in enumerate(trials):
+        store.enqueue_trial(order, trial.to_dict())
+    # One job was additionally claimed by a worker that died an hour ago.
+    job = store.claim_job(store.list_pending()[0], "dead-worker")
+    stale = dict(job, claimed_at=time.time() - 3600.0)
+    store.claim_path(str(job["trial_id"])).write_text(json.dumps(stale))
+
+    executed = run_worker(out, claim_ttl_s=0.5, poll_interval_s=0.01, wait_for_queue_s=0)
+    assert executed == len(trials)
+    assert store.queue_drained()
+    assert {t.trial_id for t in trials} == {
+        p.stem for p in store.trials_dir.glob("*.json")
+    }
+
+    report = run_campaign(small_spec, out_dir=out, resume=True, backend="queue")
+    assert report.n_executed == 0 and report.n_skipped == 4
+    assert report.summary["n_trials"] == 4
+
+
+def test_worker_times_out_when_no_queue_appears(tmp_path):
+    assert run_worker(tmp_path / "nothing-here", wait_for_queue_s=0.05) == 0
+
+
+def test_worker_does_not_mistake_mid_enqueue_queue_for_finished(small_spec, tmp_path):
+    """An empty queue without the producer's enqueue-complete marker means
+    "still being populated": the worker keeps polling (within its wait
+    budget) instead of exiting after zero trials; once the marker lands,
+    drained really does mean done."""
+    out = tmp_path / "racing"
+    store = CampaignStore(out)
+    store.ensure_queue_layout()  # what a producer does before its first enqueue
+
+    start = time.monotonic()
+    assert run_worker(out, poll_interval_s=0.01, wait_for_queue_s=0.3) == 0
+    assert time.monotonic() - start >= 0.3  # waited the full budget
+
+    store.mark_enqueue_complete(0)
+    start = time.monotonic()
+    assert run_worker(out, poll_interval_s=0.01, wait_for_queue_s=30.0) == 0
+    assert time.monotonic() - start < 5.0  # sealed + drained: immediate exit
+
+
+def test_producer_seals_the_queue_after_enqueueing(small_spec, tmp_path):
+    out = tmp_path / "sealed"
+    run_campaign(small_spec, out_dir=out, backend="queue")
+    store = CampaignStore(out)
+    assert store.enqueue_complete()
+    # A later producer run re-opens it before enqueueing and seals it again.
+    run_campaign(small_spec, out_dir=out, resume=True, backend="queue")
+    assert store.enqueue_complete()
+
+
+def test_worker_respects_max_trials(small_spec, tmp_path):
+    out = tmp_path / "capped"
+    store = CampaignStore(out)
+    store.ensure_queue_layout()
+    for order, trial in enumerate(small_spec.expand()):
+        store.enqueue_trial(order, trial.to_dict())
+    assert run_worker(out, max_trials=1, wait_for_queue_s=0) == 1
+    assert len(store.list_pending()) == 3
+
+
+# ----------------------------------------------- partial reports on failure
+
+
+@pytest.fixture
+def poisoned_spec() -> CampaignSpec:
+    """Four trials; the two with n_nodes='boom' raise inside the worker."""
+    return CampaignSpec(
+        kind="security",
+        name="poisoned",
+        base={"duration": 15.0, "sample_interval": 5.0},
+        grid={"n_nodes": [60, "boom"]},
+        seeds=(0, 1),
+    )
+
+
+def test_serial_failure_keeps_earlier_trials_in_report(poisoned_spec, tmp_path):
+    """Regression for the _run_parallel id loss: ids are appended as each
+    record is persisted, so a later raising trial cannot discard them."""
+    out = tmp_path / "serial-fail"
+    with pytest.raises(CampaignExecutionError) as err:
+        run_campaign(poisoned_spec, out_dir=out, backend="serial")
+    report = err.value.report
+    good = [t.trial_id for t in poisoned_spec.expand() if t.params["n_nodes"] == 60]
+    assert report.executed_trial_ids == good
+    assert err.value.__cause__ is not None  # original worker error is chained
+    # The partial summary covers exactly the persisted records.
+    summary = json.loads((out / "summary.json").read_text())
+    assert summary["n_trials"] == 2 and summary["n_trials_expected"] == 4
+
+
+@pytest.mark.parametrize("backend", ["pool", "queue"])
+def test_parallel_failure_accounts_every_persisted_record(poisoned_spec, tmp_path, backend):
+    """However the race falls, the partial report's executed ids are exactly
+    the records on disk, in spec order — never fewer (the old bug) and never
+    phantom ids without records."""
+    out = tmp_path / f"{backend}-fail"
+    with pytest.raises(CampaignExecutionError) as err:
+        run_campaign(poisoned_spec, out_dir=out, jobs=2, backend=backend)
+    report = err.value.report
+    on_disk = {p.stem for p in (out / "trials").glob("*.json")}
+    assert set(report.executed_trial_ids) == on_disk
+    if backend == "queue":
+        # The failing trial's claim must not linger: recovery should find the
+        # job back in pending/ immediately, not after a claim-TTL wait.
+        store = CampaignStore(out)
+        assert store.list_claims() == []
+        requeued = {store._job_trial_id(p) for p in store.list_pending()}
+        boom = {t.trial_id for t in poisoned_spec.expand() if t.params["n_nodes"] == "boom"}
+        assert boom <= requeued
+    spec_order = {t.trial_id: i for i, t in enumerate(poisoned_spec.expand())}
+    assert report.executed_trial_ids == sorted(
+        report.executed_trial_ids, key=spec_order.__getitem__
+    )
+    summary = json.loads((out / "summary.json").read_text())
+    assert summary["n_trials"] == len(on_disk)
+    # resume picks up cleanly after the poison is fixed — including under the
+    # queue backend, which must purge the requeued poisoned jobs instead of
+    # claiming and failing on them forever
+    fixed = CampaignSpec(
+        kind=poisoned_spec.kind,
+        name=poisoned_spec.name,
+        base=poisoned_spec.base,
+        grid={"n_nodes": [60]},
+        seeds=poisoned_spec.seeds,
+    )
+    resumed = run_campaign(fixed, out_dir=out, resume=True, backend=backend)
+    assert resumed.n_executed + resumed.n_skipped == 2
+    if backend == "queue":
+        store = CampaignStore(out)
+        assert store.queue_drained()  # poisoned leftovers are gone

@@ -113,6 +113,45 @@ def test_semantically_invalid_config_fails_preflight(tmp_path):
     assert not out_dir.exists()
 
 
+def test_campaign_backend_queue_from_cli(tmp_path, capsys):
+    """--backend queue completes with no external workers and drains its queue."""
+    out_dir = tmp_path / "cli-queue"
+    argv = [
+        "campaign",
+        "--kind", "timing",
+        "--param", "max_candidate_flows=50",
+        "--backend", "queue",
+        "--out", str(out_dir),
+        "--quiet",
+    ]
+    assert main(argv) == 0
+    assert "1 trial(s) executed" in capsys.readouterr().out
+    assert not list((out_dir / "queue" / "pending").glob("*"))
+    assert not list((out_dir / "queue" / "claims").glob("*"))
+
+
+def test_campaign_worker_gives_up_when_no_queue_appears(tmp_path, capsys):
+    assert main([
+        "campaign-worker", str(tmp_path / "nowhere"), "--wait-for-queue", "0",
+    ]) == 0
+    assert "executed 0 trial(s)" in capsys.readouterr().out
+
+
+def test_campaign_jobs_conflicts_with_non_pool_backends(tmp_path):
+    """--jobs would be silently ignored by serial/queue backends — reject it."""
+    for backend in ("serial", "queue"):
+        with pytest.raises(SystemExit, match="--jobs has no effect"):
+            main(["campaign", "--kind", "timing", "--jobs", "4",
+                  "--backend", backend, "--out", str(tmp_path / "never")])
+
+
+def test_campaign_worker_rejects_bad_options(tmp_path):
+    with pytest.raises(SystemExit, match="max-trials"):
+        main(["campaign-worker", str(tmp_path), "--max-trials", "0"])
+    with pytest.raises(SystemExit, match="claim-ttl"):
+        main(["campaign-worker", str(tmp_path), "--claim-ttl", "0"])
+
+
 def test_campaign_requires_kind_or_spec():
     with pytest.raises(SystemExit):
         main(["campaign", "--out", "/tmp/never-written"])

@@ -1,0 +1,176 @@
+"""schedule_trials(): cold start, warm start, and outcome invariance.
+
+Scheduling is pure dispatch ordering — the tests pin down (a) the order
+itself (spec order cold, longest-expected-first warm, unknown cells first),
+(b) that the runner really feeds per-cell history from a prior summary.json
+into the backends, and (c) the property that no ordering ever changes trial
+ids, records, or aggregates.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    CampaignStore,
+    SerialBackend,
+    canonical_json,
+    cost_key,
+    load_timing_history,
+    run_campaign,
+    schedule_trials,
+    strip_timing,
+)
+from repro.campaign.spec import TrialSpec
+
+
+def _spec(**overrides) -> CampaignSpec:
+    base = dict(
+        kind="security",
+        name="sched-test",
+        base={"n_nodes": 60, "duration": 15.0, "sample_interval": 5.0},
+        grid={"attack_rate": [1.0, 0.5, 0.25]},
+        seeds=(0, 1),
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+def test_cost_key_ignores_seed_and_is_canonical():
+    a = cost_key("security", {"n_nodes": 60, "seed": 0, "attack_rate": 1.0})
+    b = cost_key("security", {"attack_rate": 1.0, "seed": 7, "n_nodes": 60})
+    assert a == b
+    assert cost_key("security", {"n_nodes": 60}) != cost_key("anonymity", {"n_nodes": 60})
+    trial = _spec().expand()[0]
+    assert trial.cost_key == cost_key(trial.kind, trial.params)
+
+
+def test_cold_start_keeps_spec_order():
+    trials = _spec().expand()
+    assert schedule_trials(trials, None) == trials
+    assert schedule_trials(trials, {}) == trials
+
+
+def test_warm_start_orders_longest_expected_first():
+    trials = _spec().expand()
+    # Make the *last* grid cell the most expensive and the first the cheapest.
+    history = {
+        cost_key("security", dict(t.params)): 10.0 * float(t.params["attack_rate"]) ** -1
+        for t in trials
+    }
+    ordered = schedule_trials(trials, history)
+    rates = [t.params["attack_rate"] for t in ordered]
+    assert rates == [0.25, 0.25, 0.5, 0.5, 1.0, 1.0]
+    # Within one cell, spec (seed) order is preserved — the sort is stable.
+    assert [t.params["seed"] for t in ordered] == [0, 1, 0, 1, 0, 1]
+    # Ordering is a permutation: no trial added, dropped, or renamed.
+    assert sorted(t.trial_id for t in ordered) == sorted(t.trial_id for t in trials)
+
+
+def test_unknown_cells_dispatch_before_known_ones():
+    trials = _spec().expand()
+    known = cost_key("security", dict(trials[0].params))  # attack_rate=1.0 cell
+    ordered = schedule_trials(trials, {known: 99.0})
+    # The two history-less cells keep spec order up front; the known cell —
+    # however expensive — follows them.
+    assert [t.params["attack_rate"] for t in ordered] == [0.5, 0.5, 0.25, 0.25, 1.0, 1.0]
+
+
+def test_load_timing_history_reads_summary_cells(tmp_path):
+    out = tmp_path / "history"
+    run_campaign(_spec(), out_dir=out, jobs=1)
+    history = load_timing_history(CampaignStore(out).load_summary())
+    trials = _spec().expand()
+    assert set(history) == {t.cost_key for t in trials}
+    assert all(v >= 0.0 for v in history.values())
+
+
+@pytest.mark.parametrize("summary", [None, {}, {"timing": {"n": 0}}, {"timing": "junk"}])
+def test_load_timing_history_tolerates_missing_blocks(summary):
+    assert load_timing_history(summary) == {}
+
+
+class _RecordingSerialBackend(SerialBackend):
+    """Serial execution that records the dispatch order it was handed."""
+
+    reorders = True  # opt in to the runner's scheduling despite running serially
+
+    def __init__(self) -> None:
+        self.dispatch_order = []
+
+    def submit(self, trials, store):
+        self.dispatch_order = [t.trial_id for t in trials]
+        return super().submit(trials, store)
+
+
+def test_runner_feeds_summary_history_to_reordering_backends(tmp_path):
+    """A second run of a directory dispatches longest-expected-first using the
+    timing.cells history the first run left in summary.json."""
+    spec = _spec()
+    out = tmp_path / "warm"
+    run_campaign(spec, out_dir=out, jobs=1)
+
+    # Forge the history so the expected order is unambiguous regardless of
+    # real wall-clock noise: rate 0.25 slowest, then 0.5, then 1.0.
+    store = CampaignStore(out)
+    summary = store.load_summary()
+    forged = {}
+    for trial in spec.expand():
+        forged[trial.cost_key] = {
+            "n": 1,
+            "mean_elapsed_s": 10.0 / float(trial.params["attack_rate"]),
+            "max_elapsed_s": 10.0 / float(trial.params["attack_rate"]),
+        }
+    summary["timing"]["cells"] = forged
+    store.write_summary(summary)
+
+    backend = _RecordingSerialBackend()
+    run_campaign(spec, out_dir=out, backend=backend)  # resume=False: re-runs all
+    by_id = {t.trial_id: t for t in spec.expand()}
+    dispatched_rates = [by_id[i].params["attack_rate"] for i in backend.dispatch_order]
+    assert dispatched_rates == [0.25, 0.25, 0.5, 0.5, 1.0, 1.0]
+
+
+def test_serial_backend_ignores_history(tmp_path):
+    """jobs=1 keeps spec order even when a reordering history exists."""
+    spec = _spec()
+    out = tmp_path / "serial-order"
+    run_campaign(spec, out_dir=out, jobs=1)
+
+    backend = _RecordingSerialBackend()
+    backend.reorders = False
+    run_campaign(spec, out_dir=out, backend=backend)
+    assert backend.dispatch_order == [t.trial_id for t in spec.expand()]
+
+
+def test_scheduling_never_changes_records_or_aggregates(tmp_path):
+    """The invariance property: an adversarially reordered dispatch produces
+    byte-identical records and summary (timing-stripped) to a cold serial run."""
+    spec = _spec(seeds=(0, 1))
+    cold = tmp_path / "cold"
+    run_campaign(spec, out_dir=cold, jobs=1)
+
+    warm = tmp_path / "warm"
+    store = CampaignStore(warm)
+    store.ensure_layout()
+    # Plant a fake history that reverses spec order before any trial runs.
+    trials = spec.expand()
+    cells = {
+        t.cost_key: {"n": 1, "mean_elapsed_s": float(i), "max_elapsed_s": float(i)}
+        for i, t in enumerate(trials)
+    }
+    store.write_summary({"timing": {"n": 1, "cells": cells}})
+    backend = _RecordingSerialBackend()
+    run_campaign(spec, out_dir=warm, backend=backend)
+    assert backend.dispatch_order != [t.trial_id for t in trials]  # really reordered
+
+    cold_summary = canonical_json(strip_timing(json.loads((cold / "summary.json").read_text())))
+    warm_summary = canonical_json(strip_timing(json.loads((warm / "summary.json").read_text())))
+    assert warm_summary == cold_summary
+    for path in sorted((cold / "trials").glob("*.json")):
+        a = canonical_json(strip_timing(json.loads(path.read_text())))
+        b = canonical_json(strip_timing(json.loads((warm / "trials" / path.name).read_text())))
+        assert a == b
