@@ -20,7 +20,16 @@ from repro.anonymity import (
 
 
 def main() -> None:
-    n_nodes = 10_000
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=10_000,
+                        help="network size (CI smoke-runs pass a tiny value)")
+    parser.add_argument("--worlds", type=int, default=150,
+                        help="Monte-Carlo worlds per estimate")
+    args = parser.parse_args()
+
+    n_nodes = args.nodes
     alpha = 0.01
     print(f"anonymity analysis over a {n_nodes}-node network, alpha={alpha:.0%} concurrent lookups")
     print(f"{'f':>6s} {'scheme':>10s} {'H(I)':>8s} {'leak(I)':>8s} {'H(T)':>8s} {'leak(T)':>8s}")
@@ -29,8 +38,8 @@ def main() -> None:
         ring = LightweightRing(n_nodes=n_nodes, fraction_malicious=f, seed=3)
         config = AnonymityConfig(concurrent_lookup_rate=alpha, dummy_queries=6)
 
-        initiator = InitiatorAnonymityEstimator(ring, config).estimate(n_worlds=150)
-        target = TargetAnonymityEstimator(ring, config).estimate(n_worlds=150)
+        initiator = InitiatorAnonymityEstimator(ring, config).estimate(n_worlds=args.worlds)
+        target = TargetAnonymityEstimator(ring, config).estimate(n_worlds=args.worlds)
         print(
             f"{f:6.2f} {'octopus':>10s} {initiator.entropy_bits:8.2f} {initiator.information_leak_bits:8.2f}"
             f" {target.entropy_bits:8.2f} {target.information_leak_bits:8.2f}"

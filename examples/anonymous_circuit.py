@@ -55,11 +55,20 @@ def build_circuit(net: OctopusNetwork, client: int, rng) -> Circuit:
 
 
 def main() -> None:
-    net = OctopusNetwork.create(n_nodes=400, fraction_malicious=0.2, seed=11)
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=400,
+                        help="network size (CI smoke-runs pass a tiny value)")
+    parser.add_argument("--circuits", type=int, default=20,
+                        help="number of three-relay circuits to build")
+    args = parser.parse_args()
+
+    net = OctopusNetwork.create(n_nodes=args.nodes, fraction_malicious=0.2, seed=11)
     rng = RandomSource(99).stream("circuits")
     print(f"network: {len(net.ring)} nodes, {len(net.ring.malicious_ids)} colluding")
 
-    n_circuits = 20
+    n_circuits = args.circuits
     circuits = []
     for i in range(n_circuits):
         client = net.random_honest_node()

@@ -21,15 +21,24 @@ from repro.experiments.security import SecurityExperiment, SecurityExperimentCon
 
 
 def main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=150,
+                        help="network size; paper: 1000 (CI smoke-runs pass a tiny value)")
+    parser.add_argument("--duration", type=float, default=400.0,
+                        help="simulated seconds; paper: 1000")
+    args = parser.parse_args()
+
     config = SecurityExperimentConfig(
-        n_nodes=150,              # paper: 1000 (scaled down so the demo runs in seconds)
+        n_nodes=args.nodes,       # scaled down so the demo runs in seconds
         fraction_malicious=0.2,
-        duration=400.0,           # paper: 1000 s
+        duration=args.duration,
         attack="lookup-bias",
         attack_rate=1.0,
         churn_lifetime_minutes=60.0,
         seed=7,
-        sample_interval=50.0,
+        sample_interval=max(args.duration / 8.0, 1.0),
     )
     print("running the lookup bias attack against Octopus "
           f"({config.n_nodes} nodes, {config.duration:.0f} simulated seconds)...")

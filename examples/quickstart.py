@@ -9,19 +9,26 @@ This example walks through the library's primary public API:
    queries, which queries the adversary could observe);
 4. run maintenance and surveillance rounds and look at the network summary.
 
-Run with:  python examples/quickstart.py
+Run with:  python examples/quickstart.py [--nodes N]
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro import OctopusNetwork
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=300,
+                        help="network size (CI smoke-runs pass a tiny value)")
+    args = parser.parse_args()
+
     # ------------------------------------------------------------------ setup
-    # 300 nodes, 20% of which are controlled by a (currently passive)
-    # adversary — the threat model of the paper.
-    net = OctopusNetwork.create(n_nodes=300, fraction_malicious=0.2, seed=42)
+    # By default 300 nodes, 20% of which are controlled by a (currently
+    # passive) adversary — the threat model of the paper.
+    net = OctopusNetwork.create(n_nodes=args.nodes, fraction_malicious=0.2, seed=42)
     print(f"built a network with {len(net.ring)} nodes "
           f"({len(net.ring.malicious_ids)} malicious, CA + certificates issued)")
 

@@ -43,6 +43,12 @@ class LightweightRing:
         Fingers per node assumed in the greedy lookup model.  Defaults to the
         identifier width (as in Chord, where a node keeps one finger per bit;
         only ``log2 N`` of them are distinct).
+    placement:
+        Optional adversary placement strategy: a callable ``(sorted_ids,
+        n_malicious, stream, space_size) -> positions`` choosing which ring
+        positions the adversary corrupts (uniform random when ``None``).
+        :mod:`repro.scenarios.adversary` supplies clustered-eclipse,
+        join-leave and high-degree strategies through this hook.
     """
 
     def __init__(
@@ -52,6 +58,7 @@ class LightweightRing:
         seed: int = 0,
         id_bits: int = 40,
         finger_count: Optional[int] = None,
+        placement=None,
     ) -> None:
         if n_nodes < 8:
             raise ValueError("the lightweight ring needs at least 8 nodes")
@@ -69,10 +76,17 @@ class LightweightRing:
         self.ids: List[int] = sorted(ids)
 
         n_mal = int(round(fraction_malicious * n_nodes))
-        mal_positions = self.rng.sample("malicious", range(n_nodes), n_mal) if n_mal else []
+        if not n_mal:
+            mal_positions: Sequence[int] = []
+        elif placement is not None:
+            mal_positions = list(
+                placement(self.ids, n_mal, self.rng.stream("placement"), self.space.size)
+            )
+        else:
+            mal_positions = self.rng.sample("malicious", range(n_nodes), n_mal)
         self.malicious: List[bool] = [False] * n_nodes
         for pos in mal_positions:
-            self.malicious[pos] = True
+            self.malicious[pos % n_nodes] = True
 
         if finger_count is None:
             finger_count = self.space.bits

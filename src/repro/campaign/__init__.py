@@ -52,6 +52,7 @@ from .figures import (
 from .backends import (
     Backend,
     FileQueueBackend,
+    PollBackoff,
     ProcessPoolBackend,
     SerialBackend,
     available_backends,
@@ -84,6 +85,7 @@ __all__ = [
     "ExperimentAdapter",
     "FigureAdapter",
     "FileQueueBackend",
+    "PollBackoff",
     "ProcessPoolBackend",
     "SerialBackend",
     "TrialSpec",

@@ -78,12 +78,22 @@ def summarize_timing(records: Sequence[Mapping[str, object]]) -> Dict[str, objec
     Besides the campaign-wide totals, the block carries a per-grid-cell
     breakdown under ``cells`` (keyed by :func:`repro.campaign.spec.cost_key`).
     That is the elapsed history :func:`repro.campaign.scheduling.schedule_trials`
-    reads on the next run to dispatch longest-expected-first.  Everything here
-    lives under the summary's top-level ``timing`` key, so :func:`strip_timing`
-    removes it wholesale and the determinism contract is untouched.
+    reads on the next run to dispatch longest-expected-first.
+
+    Records whose ``timing`` names the executing worker (queue workers stamp
+    their claim-owner id, see ``execute_trial``) additionally roll up into a
+    ``workers`` breakdown — ``{worker_id: n / total / mean elapsed}`` — so a
+    distributed campaign shows how the wall-clock split across its workers.
+    Records without a worker label (serial and pool execution) simply don't
+    contribute and the block is omitted when nobody is labelled.
+
+    Everything here lives under the summary's top-level ``timing`` key, so
+    :func:`strip_timing` removes it wholesale and the determinism contract is
+    untouched.
     """
     elapsed: List[float] = []
     by_cell: Dict[str, List[float]] = {}
+    by_worker: Dict[str, List[float]] = {}
     for record in records:
         timing = record.get("timing")
         if isinstance(timing, Mapping) and isinstance(timing.get("elapsed_s"), (int, float)):
@@ -91,9 +101,12 @@ def summarize_timing(records: Sequence[Mapping[str, object]]) -> Dict[str, objec
             elapsed.append(seconds)
             key = cost_key(str(record.get("kind", "")), record.get("params", {}) or {})
             by_cell.setdefault(key, []).append(seconds)
+            worker = timing.get("worker")
+            if worker:
+                by_worker.setdefault(str(worker), []).append(seconds)
     if not elapsed:
         return {"n": 0}
-    return {
+    summary: Dict[str, object] = {
         "n": len(elapsed),
         "total_elapsed_s": sum(elapsed),
         "mean_elapsed_s": sum(elapsed) / len(elapsed),
@@ -108,6 +121,16 @@ def summarize_timing(records: Sequence[Mapping[str, object]]) -> Dict[str, objec
             for key, values in sorted(by_cell.items())
         },
     }
+    if by_worker:
+        summary["workers"] = {
+            worker: {
+                "n": len(values),
+                "total_elapsed_s": sum(values),
+                "mean_elapsed_s": sum(values) / len(values),
+            }
+            for worker, values in sorted(by_worker.items())
+        }
+    return summary
 
 
 def aggregate_records(

@@ -22,7 +22,7 @@ from typing import Dict, Tuple, Type, Union
 
 from .base import Backend, execute_trial
 from .pool import ProcessPoolBackend
-from .queue import FileQueueBackend, default_worker_id, run_worker
+from .queue import FileQueueBackend, PollBackoff, default_worker_id, run_worker
 from .serial import SerialBackend
 
 _BACKENDS: Dict[str, Type[Backend]] = {
@@ -61,6 +61,7 @@ def make_backend(backend: Union[str, Backend, None], jobs: int = 1) -> Backend:
 __all__ = [
     "Backend",
     "FileQueueBackend",
+    "PollBackoff",
     "ProcessPoolBackend",
     "SerialBackend",
     "available_backends",

@@ -31,8 +31,14 @@ from ..registry import get_experiment
 from ..spec import TrialSpec
 
 
-def execute_trial(trial: Dict[str, object]) -> Dict[str, object]:
-    """Run one trial (dict form of :class:`TrialSpec`) and return its record."""
+def execute_trial(trial: Dict[str, object], worker: str = "") -> Dict[str, object]:
+    """Run one trial (dict form of :class:`TrialSpec`) and return its record.
+
+    ``worker`` optionally labels the executing worker in the record's
+    ``timing`` block (queue workers pass their claim-owner id), feeding the
+    per-worker attribution in ``summary.json`` — like elapsed time itself it
+    lives under ``timing`` only, outside the determinism-compared view.
+    """
     adapter = get_experiment(str(trial["kind"]))
     started = time.perf_counter()
     result = adapter.run(trial["params"])
@@ -41,16 +47,19 @@ def execute_trial(trial: Dict[str, object]) -> Dict[str, object]:
     # the metrics once, at top level, so the two copies can never drift.
     detail = result.to_dict()
     metrics = detail.pop("metrics", None) or result.scalar_metrics()
+    # Wall-clock (and the executor label) live under "timing", never inside
+    # "metrics": the determinism guarantee (serial == parallel) covers a
+    # record with "timing" stripped — see aggregate.strip_timing.
+    timing: Dict[str, object] = {"elapsed_s": elapsed}
+    if worker:
+        timing["worker"] = worker
     return {
         "trial_id": trial["trial_id"],
         "kind": trial["kind"],
         "params": dict(trial["params"]),
         "metrics": metrics,
         "detail": detail,
-        # Wall-clock lives under its own key, never inside "metrics": the
-        # determinism guarantee (serial == parallel) covers a record with
-        # "timing" stripped — see aggregate.strip_timing.
-        "timing": {"elapsed_s": elapsed},
+        "timing": timing,
     }
 
 

@@ -29,6 +29,7 @@ a remote worker.
 from __future__ import annotations
 
 import os
+import random
 import socket
 import time
 from pathlib import Path
@@ -40,13 +41,75 @@ from .base import Backend, execute_trial
 
 #: how long a claim may sit unreaped before it is presumed orphaned.
 DEFAULT_CLAIM_TTL_S = 300.0
-#: how long an idle worker sleeps between queue polls.
+#: how long an idle worker sleeps between queue polls (backoff floor).
 DEFAULT_POLL_INTERVAL_S = 0.2
+#: idle-poll backoff ceiling: a long-idle worker never sleeps longer than this.
+DEFAULT_MAX_POLL_INTERVAL_S = 5.0
 
 
 def default_worker_id() -> str:
     """A claim owner label unique across hosts sharing the queue directory."""
     return f"{socket.gethostname()}-pid{os.getpid()}"
+
+
+class PollBackoff:
+    """Exponential idle-poll backoff with jitter for queue workers.
+
+    A fixed poll interval makes many idle workers hammer the shared
+    filesystem in lockstep; this decays the poll rate while the queue stays
+    empty and snaps back the moment work appears.  Each consecutive idle
+    poll doubles the delay (``base_s`` up to ``max_s``); :meth:`reset` — on a
+    claimed job — drops back to the floor.  Jitter spreads a ±``jitter``
+    fraction around each delay so co-started workers desynchronize; it
+    perturbs *when* a worker looks, never *what* it computes, so trial
+    records stay byte-identical.
+    """
+
+    def __init__(
+        self,
+        base_s: float,
+        max_s: float = DEFAULT_MAX_POLL_INTERVAL_S,
+        factor: float = 2.0,
+        jitter: float = 0.25,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if base_s <= 0:
+            raise ValueError("base_s must be positive")
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.base_s = float(base_s)
+        self.max_s = max(float(max_s), self.base_s)
+        self.factor = float(factor)
+        self.jitter = float(jitter)
+        self._rng = rng or random.Random()
+        self._idle_polls = 0
+
+    @property
+    def idle_polls(self) -> int:
+        """Escalation steps taken since the last reset (capped at the ceiling)."""
+        return self._idle_polls
+
+    def current_delay(self) -> float:
+        """The undithered delay the next :meth:`next_delay` is based on."""
+        return min(self.base_s * self.factor ** self._idle_polls, self.max_s)
+
+    def next_delay(self) -> float:
+        """Record one idle poll and return how long to sleep before the next."""
+        delay = self.current_delay()
+        # Stop escalating once the ceiling is reached: factor**idle_polls
+        # would otherwise overflow after enough idle polls (a worker parked
+        # on an empty queue for an hour would crash instead of waiting).
+        if delay < self.max_s and self.factor > 1.0:
+            self._idle_polls += 1
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
+
+    def reset(self) -> None:
+        """Work was found: poll at full rate again."""
+        self._idle_polls = 0
 
 
 def claim_and_execute_next(
@@ -70,7 +133,8 @@ def claim_and_execute_next(
         if record is None:
             try:
                 record = execute_trial(
-                    {"trial_id": trial_id, "kind": job["kind"], "params": job["params"]}
+                    {"trial_id": trial_id, "kind": job["kind"], "params": job["params"]},
+                    worker=worker_id,
                 )
                 store.write_trial(record)
             except BaseException:
@@ -180,6 +244,7 @@ def run_worker(
     max_trials: Optional[int] = None,
     wait_for_queue_s: float = 30.0,
     progress: Optional[WorkerProgress] = None,
+    max_poll_interval_s: Optional[float] = None,
 ) -> int:
     """The standalone worker loop behind ``repro campaign-worker``.
 
@@ -188,6 +253,12 @@ def run_worker(
     worker still holds a claim this worker keeps polling, so it can take over
     if that claim expires), or until ``max_trials`` have been executed.
     Returns the number of trials this worker executed.
+
+    Idle polling self-tunes: consecutive empty polls back off exponentially
+    from ``poll_interval_s`` up to ``max_poll_interval_s`` (with jitter so
+    co-started workers desynchronize) and snap back to the floor the moment
+    a job is claimed — a worker parked on a quiet shared filesystem costs
+    almost nothing, yet reacts quickly while work is flowing.
 
     A worker may be started before the producer: ``wait_for_queue_s`` bounds
     how long it waits for ``out_dir/queue/`` to appear before giving up.  The
@@ -198,6 +269,9 @@ def run_worker(
     """
     store = CampaignStore(out_dir)
     worker = worker_id or default_worker_id()
+    if max_poll_interval_s is None:
+        max_poll_interval_s = max(DEFAULT_MAX_POLL_INTERVAL_S, poll_interval_s)
+    backoff = PollBackoff(base_s=poll_interval_s, max_s=max_poll_interval_s)
 
     deadline = time.monotonic() + wait_for_queue_s
     while not store.pending_dir.is_dir():
@@ -209,6 +283,7 @@ def run_worker(
     while max_trials is None or executed < max_trials:
         record, ran = claim_and_execute_next(store, worker)
         if record is not None:
+            backoff.reset()
             if ran:
                 executed += 1
             if progress:
@@ -219,5 +294,5 @@ def run_worker(
             store.enqueue_complete() or time.monotonic() >= deadline
         ):
             break
-        time.sleep(poll_interval_s)
+        time.sleep(backoff.next_delay())
     return executed

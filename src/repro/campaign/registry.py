@@ -22,6 +22,7 @@ from ..experiments.efficiency import EfficiencyExperimentConfig, run_efficiency
 from ..experiments.results import config_from_dict
 from ..experiments.security import SecurityExperimentConfig, run_security
 from ..experiments.timing import TimingExperimentConfig, run_timing
+from ..scenarios.experiment import ScenarioConfig, run_scenario
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,12 @@ for _adapter in (
         config_cls=AblationConfig,
         entry_point=run_ablation,
         description="multi-path / dummy-query design ablation (Section 4.2)",
+    ),
+    ExperimentAdapter(
+        kind="scenario",
+        config_cls=ScenarioConfig,
+        entry_point=run_scenario,
+        description="any base experiment under named churn/workload/adversary axes (repro.scenarios)",
     ),
 ):
     register_experiment(_adapter)

@@ -58,14 +58,20 @@ class ChordRing:
         config: Optional[RingConfig] = None,
         rng: Optional[RandomSource] = None,
         ca: Optional[CertificateAuthority] = None,
+        placement=None,
     ) -> "ChordRing":
         """Build a fully-populated ring with correct routing state.
 
         Node identifiers are drawn uniformly at random from the identifier
         space; the malicious subset is a uniform sample of the requested
-        fraction.  Every node's finger table, successor list and predecessor
-        list are initialised to their *correct* values, after which churn and
-        stabilization (and attacks) take over.
+        fraction, unless ``placement`` — a callable ``(sorted_ids,
+        n_malicious, stream, space_size) -> positions`` (indices into
+        ``sorted_ids``) — chooses it instead.  Non-uniform adversary
+        placements (ID-clustered eclipse regions, high-degree targeting)
+        from :mod:`repro.scenarios.adversary` plug in here; the ring itself
+        stays strategy-agnostic.  Every node's finger table, successor list
+        and predecessor list are initialised to their *correct* values,
+        after which churn and stabilization (and attacks) take over.
         """
         config = config or RingConfig()
         rng = rng or RandomSource(config.seed)
@@ -79,7 +85,13 @@ class ChordRing:
         sorted_ids = sorted(ids)
 
         n_malicious = int(round(config.fraction_malicious * config.n_nodes))
-        malicious = set(rng.sample("ring-malicious", sorted_ids, n_malicious)) if n_malicious else set()
+        if not n_malicious:
+            malicious: Set[int] = set()
+        elif placement is not None:
+            positions = placement(sorted_ids, n_malicious, rng.stream("placement"), space.size)
+            malicious = {sorted_ids[pos % config.n_nodes] for pos in positions}
+        else:
+            malicious = set(rng.sample("ring-malicious", sorted_ids, n_malicious))
 
         for node_id in sorted_ids:
             node = ChordNode(

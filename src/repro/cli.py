@@ -7,8 +7,10 @@ Usage (after ``pip install -e .``)::
     python -m repro efficiency --nodes 207 --lookups 80
     python -m repro timing
     python -m repro ablation
+    python -m repro list-kinds                        # kinds, axes, presets
     python -m repro campaign   --spec campaign.json --jobs 4 --out results/ --resume
     python -m repro campaign   --spec campaign.json --backend queue --out results/
+    python -m repro campaign   --kind scenario --param preset=flash-crowd --out results/
     python -m repro campaign-worker results/          # in other terminals/hosts
 
 Each single-run subcommand builds the corresponding harness from
@@ -82,6 +84,17 @@ def _build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("--malicious", type=float, default=0.2)
     ablation.add_argument("--worlds", type=int, default=150)
 
+    sub.add_parser(
+        "list-kinds",
+        help="list experiment kinds, scenario axes and scenario presets",
+        description=(
+            "Print every registered experiment kind (with its description), the "
+            "scenario axis generators (churn profiles, workload models, adversary "
+            "placements) and the built-in scenario presets runnable via "
+            "'repro campaign --kind scenario --param preset=NAME'."
+        ),
+    )
+
     campaign = sub.add_parser(
         "campaign",
         help="multi-seed / parameter-grid campaign over worker processes",
@@ -149,7 +162,9 @@ def _build_parser() -> argparse.ArgumentParser:
     worker.add_argument("out_dir", help="the campaign results directory (the producer's --out)")
     worker.add_argument("--worker-id", default="", help="claim owner label (default: <host>-pid<pid>)")
     worker.add_argument("--poll-interval", type=float, default=0.2,
-                        help="seconds between queue polls when idle")
+                        help="seconds between queue polls when idle (exponential backoff floor)")
+    worker.add_argument("--max-poll-interval", type=float, default=None,
+                        help="idle-poll backoff ceiling in seconds (default: max(5, poll interval))")
     worker.add_argument("--claim-ttl", type=float, default=300.0,
                         help="seconds before another worker's unfinished claim is presumed orphaned and requeued")
     worker.add_argument("--max-trials", type=int, default=None,
@@ -309,6 +324,27 @@ def _run_ablation(args) -> int:
     return 0
 
 
+def _run_list_kinds(args) -> int:
+    from .campaign import available_kinds, get_experiment
+    from .scenarios import CHURN_PROFILES, PLACEMENTS, WORKLOADS, describe_presets
+
+    print("experiment kinds (repro campaign --kind KIND):")
+    for kind in available_kinds():
+        print(f"  {kind:12s} {get_experiment(kind).description}")
+    for title, registry in (
+        ("scenario churn profiles (--param churn=NAME)", CHURN_PROFILES),
+        ("scenario workload models (--param workload=NAME)", WORKLOADS),
+        ("scenario adversary placements (--param adversary=NAME)", PLACEMENTS),
+    ):
+        print(f"{title}:")
+        for name, description in registry.describe().items():
+            print(f"  {name:12s} {description}")
+    print("scenario presets (repro campaign --kind scenario --param preset=NAME):")
+    for name, description in describe_presets().items():
+        print(f"  {name:18s} {description}")
+    return 0
+
+
 def _run_campaign(args) -> int:
     from .campaign import (
         CampaignExecutionError,
@@ -407,6 +443,11 @@ def _run_campaign(args) -> int:
             f"{timing['n']} timed trial(s), mean {timing['mean_elapsed_s']:.2f} s, "
             f"max {timing['max_elapsed_s']:.2f} s"
         )
+        for worker, stats in (timing.get("workers") or {}).items():
+            print(
+                f"  worker {worker}: {stats['n']} trial(s), "
+                f"{stats['total_elapsed_s']:.2f} s"
+            )
     headers, rows = summary_rows(report.summary)
     if rows:
         print(format_table(headers, rows, title="aggregate (mean±ci95 over seeds)"))
@@ -420,6 +461,12 @@ def _run_campaign_worker(args) -> int:
         raise SystemExit("repro campaign-worker: --max-trials must be >= 1")
     if args.claim_ttl <= 0:
         raise SystemExit("repro campaign-worker: --claim-ttl must be positive")
+    if args.poll_interval <= 0:
+        raise SystemExit("repro campaign-worker: --poll-interval must be positive")
+    if args.max_poll_interval is not None and args.max_poll_interval < args.poll_interval:
+        raise SystemExit(
+            "repro campaign-worker: --max-poll-interval must be >= --poll-interval"
+        )
 
     def progress(event: str, trial_id: str, n_executed: int) -> None:
         if not args.quiet:
@@ -435,6 +482,7 @@ def _run_campaign_worker(args) -> int:
             max_trials=args.max_trials,
             wait_for_queue_s=args.wait_for_queue,
             progress=progress,
+            max_poll_interval_s=args.max_poll_interval,
         )
     except Exception as exc:  # a failing trial: its job was already requeued
         raise SystemExit(
@@ -455,6 +503,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "efficiency": _run_efficiency,
         "timing": _run_timing,
         "ablation": _run_ablation,
+        "list-kinds": _run_list_kinds,
         "campaign": _run_campaign,
         "campaign-worker": _run_campaign_worker,
     }

@@ -107,11 +107,14 @@ class OctopusNetwork:
         id_bits: int = 32,
         key_mode: str = FAST,
         latency_model: Optional[LatencyModel] = None,
+        placement=None,
     ) -> "OctopusNetwork":
         """Build a complete Octopus network with ``n_nodes`` peers.
 
         Parameters mirror the paper's experiment setup: 20% malicious nodes by
-        default, routing-state sizes from the configuration.
+        default, routing-state sizes from the configuration.  ``placement``
+        optionally replaces the uniform-random malicious sample with a
+        strategy callable (see :meth:`repro.chord.ring.ChordRing.build`).
         """
         config = (config or OctopusConfig()).scaled_for(n_nodes)
         rng = RandomSource(seed)
@@ -126,7 +129,7 @@ class OctopusNetwork:
             key_mode=key_mode,
             seed=seed,
         )
-        ring = ChordRing.build(config=ring_config, rng=rng, ca=ca)
+        ring = ChordRing.build(config=ring_config, rng=rng, ca=ca, placement=placement)
         return cls(ring=ring, ca=ca, config=config, rng=rng, latency_model=latency_model)
 
     # ----------------------------------------------------------------- lookups

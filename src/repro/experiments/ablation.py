@@ -93,13 +93,19 @@ class AnonymityAblation:
         ("single path, no dummies", False, False),
     )
 
-    def __init__(self, config: Optional[AblationConfig] = None) -> None:
+    def __init__(self, config: Optional[AblationConfig] = None, placement=None) -> None:
         self.config = config or AblationConfig()
+        # Scenario-subsystem injection point: optional adversary placement
+        # strategy (see LightweightRing), uniform random when None.
+        self.placement = placement
 
     def run(self) -> AblationResult:
         cfg = self.config
         ring = LightweightRing(
-            n_nodes=cfg.n_nodes, fraction_malicious=cfg.fraction_malicious, seed=cfg.seed
+            n_nodes=cfg.n_nodes,
+            fraction_malicious=cfg.fraction_malicious,
+            seed=cfg.seed,
+            placement=self.placement,
         )
         result = AblationResult(config=cfg)
         for variant, multi_path, with_dummies in self.VARIANTS:

@@ -100,17 +100,37 @@ class AnonymityExperimentResult:
 
 
 class AnonymityExperiment:
-    """Runs the full anonymity sweep."""
+    """Runs the full anonymity sweep.
 
-    def __init__(self, config: Optional[AnonymityExperimentConfig] = None) -> None:
+    ``placement`` optionally replaces the uniform-random malicious sample of
+    every ring the sweep builds with a strategy callable (see
+    :class:`~repro.anonymity.ring_model.LightweightRing`); it is the scenario
+    subsystem's injection point for clustered-eclipse and similar adversary
+    placements.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AnonymityExperimentConfig] = None,
+        placement=None,
+    ) -> None:
         self.config = config or AnonymityExperimentConfig()
+        self.placement = placement
+
+    def _ring(self, fraction_malicious: float) -> LightweightRing:
+        return LightweightRing(
+            n_nodes=self.config.n_nodes,
+            fraction_malicious=fraction_malicious,
+            seed=self.config.seed,
+            placement=self.placement,
+        )
 
     def run_octopus(self) -> List[AnonymityPoint]:
         """Octopus points: Figures 5(a) and 5(c)."""
         cfg = self.config
         points: List[AnonymityPoint] = []
         for f in cfg.fractions_malicious:
-            ring = LightweightRing(n_nodes=cfg.n_nodes, fraction_malicious=f, seed=cfg.seed)
+            ring = self._ring(f)
             for dummies in cfg.dummy_counts:
                 for alpha in cfg.concurrent_lookup_rates:
                     anon_cfg = AnonymityConfig(concurrent_lookup_rate=alpha, dummy_queries=dummies)
@@ -138,7 +158,7 @@ class AnonymityExperiment:
         cfg = self.config
         points: List[AnonymityPoint] = []
         for f in cfg.fractions_malicious:
-            ring = LightweightRing(n_nodes=cfg.n_nodes, fraction_malicious=f, seed=cfg.seed)
+            ring = self._ring(f)
             model = ComparisonAnonymityModel(ring, concurrent_lookup_rate=alpha)
             for scheme, res in model.all_schemes().items():
                 points.append(

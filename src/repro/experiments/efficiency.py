@@ -138,8 +138,11 @@ class EfficiencyExperimentResult:
 class EfficiencyExperiment:
     """Runs the latency measurements and bandwidth estimates for all schemes."""
 
-    def __init__(self, config: Optional[EfficiencyExperimentConfig] = None) -> None:
+    def __init__(self, config: Optional[EfficiencyExperimentConfig] = None, placement=None) -> None:
         self.config = config or EfficiencyExperimentConfig()
+        # Scenario-subsystem injection point: optional adversary placement
+        # strategy for the measured ring (uniform random when None).
+        self.placement = placement
 
     # ------------------------------------------------------------------ setup
     def _build_network(self) -> Tuple[OctopusNetwork, KingLatencyModel]:
@@ -155,6 +158,7 @@ class EfficiencyExperiment:
             seed=cfg.seed,
             config=octopus_cfg,
             latency_model=latency_model,
+            placement=self.placement,
         )
         return network, latency_model
 

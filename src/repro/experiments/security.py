@@ -31,10 +31,11 @@ from ..attacks.lookup_bias import LookupBiasBehavior
 from ..attacks.selective_dos import SelectiveDosBehavior
 from ..core.config import OctopusConfig
 from ..core.octopus_node import OctopusNetwork
-from ..sim.churn import ChurnConfig, ChurnProcess
+from ..sim.churn import ChurnConfig, ChurnProcess, ChurnProfile
 from ..sim.engine import SimulationEngine
 from ..sim.metrics import MetricsRegistry
 from ..sim.rng import RandomSource
+from ..sim.workload import WorkloadModel
 from .results import jsonify
 
 #: attack name -> behaviour factory
@@ -100,6 +101,10 @@ class SecurityExperimentResult:
     total_biased_lookups: int = 0
     final_malicious_fraction: float = 0.0
     initial_malicious_fraction: float = 0.0
+    #: churn activity during the run (0 when churn is disabled) — lets
+    #: scenario sweeps see how much dynamism each churn profile produced.
+    churn_departures: int = 0
+    churn_rejoins: int = 0
 
     def scalar_metrics(self) -> Dict[str, float]:
         """Flat per-trial metrics aggregated by :mod:`repro.campaign`."""
@@ -119,6 +124,8 @@ class SecurityExperimentResult:
             "identified_honest": float(self.identified_honest),
             "total_lookups": float(self.total_lookups),
             "total_biased_lookups": float(self.total_biased_lookups),
+            "churn_departures": float(self.churn_departures),
+            "churn_rejoins": float(self.churn_rejoins),
         }
 
     def to_dict(self) -> Dict[str, object]:
@@ -136,11 +143,28 @@ class SecurityExperimentResult:
 
 
 class SecurityExperiment:
-    """Runs one security-simulation configuration end to end."""
+    """Runs one security-simulation configuration end to end.
 
-    def __init__(self, config: Optional[SecurityExperimentConfig] = None) -> None:
+    The three keyword hooks are the scenario-subsystem injection points
+    (:mod:`repro.scenarios`): a churn *profile* replaces the exponential
+    session model, a *workload* replaces the uniform periodic lookups, and a
+    *placement* strategy replaces the uniform-random malicious sample.  All
+    default to ``None`` — the paper's stylized environment — and injecting
+    any of them changes nothing about how the experiment reports results.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SecurityExperimentConfig] = None,
+        churn_profile: Optional[ChurnProfile] = None,
+        workload: Optional[WorkloadModel] = None,
+        placement=None,
+    ) -> None:
         self.config = config or SecurityExperimentConfig()
         self.config.validate()
+        self.churn_profile = churn_profile
+        self.workload = workload
+        self.placement = placement
 
     # -------------------------------------------------------------------- run
     def run(self) -> SecurityExperimentResult:
@@ -151,6 +175,7 @@ class SecurityExperiment:
             fraction_malicious=cfg.fraction_malicious,
             seed=cfg.seed,
             config=octopus_cfg,
+            placement=self.placement,
         )
         engine = SimulationEngine()
         rng = RandomSource(cfg.seed + 1)
@@ -167,11 +192,11 @@ class SecurityExperiment:
         lookups_counter = metrics.counter("lookups")
         biased_counter = metrics.counter("biased-lookups")
 
-        def perform_lookup(node_id: int) -> None:
+        def perform_lookup(node_id: int, draw_key) -> None:
             node = network.ring.get(node_id)
             if node is None or not node.alive:
                 return
-            key = network.ring.random_key(rng.stream("workload"))
+            key = draw_key()
             outcome = network.lookup(node_id, key, now=engine.now)
             lookups_counter.increment()
             if outcome.biased:
@@ -184,17 +209,22 @@ class SecurityExperiment:
         honest_ids = network.ring.honest_ids(alive_only=True)
         network.schedule_protocols(engine, node_ids=honest_ids, include_lookups=False)
         if cfg.include_lookups:
-            jitter = rng.stream("lookup-jitter")
-            for node_id in honest_ids:
-                engine.schedule_periodic(
-                    octopus_cfg.lookup_interval,
-                    lambda nid=node_id: perform_lookup(nid),
-                    start=jitter.uniform(0.0, octopus_cfg.lookup_interval),
-                )
+            workload = self.workload or WorkloadModel()
+            workload.schedule(
+                engine,
+                honest_ids,
+                octopus_cfg.lookup_interval,
+                network.ring.space.size,
+                rng,
+                perform_lookup,
+            )
 
         # --------------------------------------------------------------- churn
         churn_config = ChurnConfig.from_minutes(cfg.churn_lifetime_minutes)
-        if churn_config.enabled:
+        churn: Optional[ChurnProcess] = None
+        # A profile can opt in even when the exponential model would be off
+        # (trace replay runs from an explicit event list, not a mean lifetime).
+        if churn_config.enabled or self.churn_profile is not None:
             def rejoin(nid: int) -> None:
                 # Revoked nodes never rejoin; everyone else comes back with a
                 # freshly rebuilt routing state and a recorded join time.
@@ -208,7 +238,11 @@ class SecurityExperiment:
                 rng.spawn("churn"),
                 on_leave=network.ring.mark_dead,
                 on_join=rejoin,
+                profile=self.churn_profile,
             )
+            # Profiles that treat adversarial nodes differently (join-leave
+            # attack churn) learn the split here.
+            churn.profile.bind_population(set(network.ring.malicious_ids))
             churn.start(list(network.ring.nodes))
 
         # ------------------------------------------------------------ sampling
@@ -233,6 +267,9 @@ class SecurityExperiment:
         result.total_lookups = int(lookups_counter.value)
         result.total_biased_lookups = int(biased_counter.value)
         result.final_malicious_fraction = network.remaining_malicious_fraction()
+        if churn is not None:
+            result.churn_departures = len(churn.log.departures)
+            result.churn_rejoins = len(churn.log.rejoins)
         result.ca_workload_series = [
             (t, float(count))
             for t, count in network.ca.workload_buckets(bucket_seconds=cfg.sample_interval, horizon=cfg.duration)

@@ -1,0 +1,91 @@
+"""Declarative workload & adversary scenarios.
+
+The paper evaluates Octopus in one stylized environment: exponential churn,
+uniform lookup targets, a uniformly random 20% adversary.  This package
+turns each of those choices into a pluggable *axis* and a scenario into a
+named point in the cross product:
+
+* **churn profiles** (:mod:`~repro.scenarios.churn_profiles`) —
+  ``exponential`` · ``weibull`` · ``pareto`` · ``flash-crowd`` ·
+  ``diurnal`` · ``trace``;
+* **workload models** (:mod:`~repro.scenarios.workloads`) — ``uniform`` ·
+  ``zipf`` · ``poisson`` · ``hot-key-storm``;
+* **adversary placements** (:mod:`~repro.scenarios.adversary`) —
+  ``uniform`` · ``eclipse`` · ``join-leave`` · ``high-degree``.
+
+Each axis is a registry of seedable generator factories
+(:class:`~repro.scenarios.registry.AxisRegistry`); the experiment harnesses
+expose matching injection points (``ChurnProcess(profile=...)``,
+``SecurityExperiment(workload=..., placement=...)``, ...).  The ``scenario``
+campaign kind (:mod:`~repro.scenarios.experiment`) runs any base experiment
+under any axis combination::
+
+    python -m repro campaign --kind scenario \\
+        --param preset=flash-crowd --seeds 0-4 --out results/flash
+
+    spec = CampaignSpec(kind="scenario",
+                        base={"experiment": "security"},
+                        grid={"preset": ["paper-baseline", "heavy-tail-churn"]},
+                        seeds=(0, 1, 2, 3))
+
+Built-in presets (:mod:`~repro.scenarios.presets`) cover the headline
+questions: ``paper-baseline``, ``heavy-tail-churn``, ``flash-crowd``,
+``diurnal``, ``zipf-hotkeys``, ``hot-key-storm``, ``join-leave-attack``,
+``eclipse-20pct`` — ``repro list-kinds`` prints them all.
+"""
+
+from .adversary import (
+    PLACEMENTS,
+    EclipsePlacement,
+    HighDegreePlacement,
+    JoinLeavePlacement,
+    PlacementStrategy,
+)
+from .churn_profiles import (
+    CHURN_PROFILES,
+    AdversarialChurnWrapper,
+    DiurnalChurnProfile,
+    FlashCrowdChurnProfile,
+    ParetoChurnProfile,
+    TraceChurnProfile,
+    WeibullChurnProfile,
+)
+from .experiment import ScenarioConfig, ScenarioResult, run_scenario
+from .presets import PRESETS, available_presets, describe_presets, get_preset
+from .registry import AxisEntry, AxisRegistry
+from .workloads import (
+    WORKLOADS,
+    HotKeyStormWorkload,
+    PoissonWorkload,
+    ZipfWorkload,
+    key_for_label,
+)
+
+__all__ = [
+    "AxisEntry",
+    "AxisRegistry",
+    "AdversarialChurnWrapper",
+    "CHURN_PROFILES",
+    "DiurnalChurnProfile",
+    "EclipsePlacement",
+    "FlashCrowdChurnProfile",
+    "HighDegreePlacement",
+    "HotKeyStormWorkload",
+    "JoinLeavePlacement",
+    "PLACEMENTS",
+    "PRESETS",
+    "ParetoChurnProfile",
+    "PlacementStrategy",
+    "PoissonWorkload",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "TraceChurnProfile",
+    "WORKLOADS",
+    "WeibullChurnProfile",
+    "ZipfWorkload",
+    "available_presets",
+    "describe_presets",
+    "get_preset",
+    "key_for_label",
+    "run_scenario",
+]

@@ -1,0 +1,139 @@
+"""Adversary placement strategies beyond uniform-random corruption.
+
+The paper compromises a uniformly random 20% of the nodes.  Stronger threat
+models from the literature — *Adding Query Privacy to Robust DHTs* (Backes
+et al.) analyzes exactly such placements — let the adversary *choose* where
+its nodes sit: clustered around a victim key (eclipse), churning in and out
+to shed suspicion (join-leave), or occupying the most-referenced positions
+of the overlay (high-degree).  A strategy is a callable
+
+    strategy(sorted_ids, n_malicious, stream, space_size) -> positions
+
+returning the corrupted *positions* (indices into ``sorted_ids``); both
+:meth:`repro.chord.ring.ChordRing.build` and
+:class:`repro.anonymity.ring_model.LightweightRing` accept one, so the same
+strategy drives full simulations and analytical anonymity models alike.
+
+Registered names (see :data:`PLACEMENTS`): ``uniform``, ``eclipse``,
+``join-leave``, ``high-degree``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence, Union
+
+from .registry import AxisRegistry
+from .workloads import key_for_label
+
+
+class PlacementStrategy:
+    """Uniform-random placement — the paper's threat model."""
+
+    name = "uniform"
+
+    #: when set (join-leave), the scenario harness wraps the churn profile so
+    #: adversary-owned nodes churn this much faster than honest ones.
+    churn_session_scale: float = 0.0
+
+    def __call__(
+        self, sorted_ids: Sequence[int], n_malicious: int, stream, space_size: int
+    ) -> List[int]:
+        return stream.sample(range(len(sorted_ids)), n_malicious)
+
+
+class EclipsePlacement(PlacementStrategy):
+    """ID-clustered eclipse region around a victim key.
+
+    The adversary concentrates ``1 - spread`` of its nodes on the contiguous
+    arc of positions starting at the victim key's successor — the region
+    every lookup for that key must terminate in — and scatters the rest
+    uniformly to keep a presence elsewhere.  ``victim_key`` is either a raw
+    identifier or a string hashed onto the space.
+    """
+
+    name = "eclipse"
+
+    def __init__(self, victim_key: Union[int, str] = "victim", spread: float = 0.0) -> None:
+        if not 0.0 <= spread <= 1.0:
+            raise ValueError("spread must be in [0, 1]")
+        self.victim_key = victim_key
+        self.spread = float(spread)
+
+    def victim_id(self, space_size: int) -> int:
+        if isinstance(self.victim_key, int):
+            return self.victim_key % space_size
+        return key_for_label(str(self.victim_key), space_size)
+
+    def __call__(
+        self, sorted_ids: Sequence[int], n_malicious: int, stream, space_size: int
+    ) -> List[int]:
+        n = len(sorted_ids)
+        victim_pos = bisect.bisect_left(sorted_ids, self.victim_id(space_size)) % n
+        n_scattered = int(round(self.spread * n_malicious))
+        n_clustered = min(n_malicious - n_scattered, n)
+        clustered = [(victim_pos + i) % n for i in range(n_clustered)]
+        clustered_set = set(clustered)
+        remaining = [pos for pos in range(n) if pos not in clustered_set]
+        scattered = (
+            stream.sample(remaining, min(n_scattered, len(remaining))) if n_scattered else []
+        )
+        return clustered + scattered
+
+
+class JoinLeavePlacement(PlacementStrategy):
+    """Uniform placement plus the join-leave "churn attack" behaviour.
+
+    Placement-wise the adversary looks like the paper's uniform sample; the
+    attack is temporal: its nodes keep sessions ``session_scale`` times
+    shorter (and downtimes ``downtime_scale`` shorter) than honest nodes,
+    re-entering with fresh state before accumulated suspicion can bite.
+    The scenario harness reads these attributes and wraps the run's churn
+    profile accordingly.
+    """
+
+    name = "join-leave"
+
+    def __init__(self, session_scale: float = 0.1, downtime_scale: float = 0.5) -> None:
+        if session_scale <= 0 or downtime_scale <= 0:
+            raise ValueError("scales must be positive")
+        self.churn_session_scale = float(session_scale)
+        self.churn_downtime_scale = float(downtime_scale)
+
+
+class HighDegreePlacement(PlacementStrategy):
+    """Corrupt the overlay's most-referenced positions.
+
+    In a Chord-like overlay a node owning a large identifier gap before it
+    is the successor of many finger targets, so its in-degree — and the
+    share of traffic it can observe or bias — scales with that gap.  The
+    strategy corrupts the ``n_malicious`` positions with the largest
+    predecessor gaps (ties broken by position for determinism).
+    """
+
+    name = "high-degree"
+
+    def __call__(
+        self, sorted_ids: Sequence[int], n_malicious: int, stream, space_size: int
+    ) -> List[int]:
+        n = len(sorted_ids)
+        gaps = [
+            (sorted_ids[pos] - sorted_ids[pos - 1]) % space_size for pos in range(n)
+        ]
+        ranked = sorted(range(n), key=lambda pos: (-gaps[pos], pos))
+        return ranked[:n_malicious]
+
+
+PLACEMENTS = AxisRegistry("adversary placement")
+PLACEMENTS.register(
+    "uniform", PlacementStrategy, "the paper's uniform-random corrupted sample"
+)
+PLACEMENTS.register(
+    "eclipse", EclipsePlacement, "ID-clustered eclipse region around a victim key"
+)
+PLACEMENTS.register(
+    "join-leave", JoinLeavePlacement, "uniform placement whose nodes churn-attack (fast join/leave)"
+)
+PLACEMENTS.register(
+    "high-degree", HighDegreePlacement, "corrupt the largest-gap (most-referenced) positions"
+)

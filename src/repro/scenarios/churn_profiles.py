@@ -1,0 +1,286 @@
+"""Churn profiles beyond the paper's exponential model.
+
+The paper (Section 5.1) draws session lengths from an exponential
+distribution.  Measurement studies of deployed DHTs — Tribler/BitTorrent
+session traces in particular — consistently find *heavy-tailed* lifetimes
+(many short sessions, a few very long ones), mass-join flash crowds, and
+diurnal on/off cycles, none of which the exponential model can express.
+Each profile here plugs into :class:`repro.sim.churn.ChurnProcess` through
+the :class:`~repro.sim.churn.ChurnProfile` interface and draws all of its
+randomness from the process's ``"churn"`` stream, so scenario runs stay
+bit-for-bit reproducible.
+
+Registered names (see :data:`CHURN_PROFILES`):
+
+* ``exponential`` — the paper's model (the :mod:`repro.sim.churn` default);
+* ``weibull`` — Weibull sessions with shape < 1 (heavy tail), scaled so the
+  mean matches the configured mean lifetime;
+* ``pareto`` — Pareto sessions (power-law tail), mean-matched likewise;
+* ``flash-crowd`` — a fraction of the population starts offline and joins
+  in one burst window, then churns exponentially;
+* ``diurnal`` — deterministic day/night duty cycle with per-node phase;
+* ``trace`` — exact replay of a JSON leave/join event list.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import List, Optional, Sequence, Set
+
+from ..sim.churn import ChurnConfig, ChurnProfile, ChurnProcess
+from .registry import AxisRegistry
+
+#: effectively-never for schedules that must park an event (engine-safe inf).
+_NEVER_S = 1e18
+
+
+class WeibullChurnProfile(ChurnProfile):
+    """Weibull session lengths; ``shape < 1`` gives the heavy tail.
+
+    The scale is derived from the configured mean lifetime
+    (``mean = scale * Gamma(1 + 1/shape)``), so swapping this profile in
+    changes the *distribution* of sessions while preserving the paper's mean
+    — the comparison the heavy-tail scenarios are after.
+    """
+
+    name = "weibull"
+
+    def __init__(self, shape: float = 0.5) -> None:
+        if shape <= 0:
+            raise ValueError("weibull shape must be positive")
+        self.shape = float(shape)
+
+    def _scale(self, mean: float) -> float:
+        return mean / math.gamma(1.0 + 1.0 / self.shape)
+
+    def session_length(self, stream, now: float, node_id: int) -> float:
+        return stream.weibullvariate(self._scale(self.config.mean_lifetime_seconds), self.shape)
+
+
+class ParetoChurnProfile(ChurnProfile):
+    """Pareto (power-law) session lengths with mean-matched minimum."""
+
+    name = "pareto"
+
+    def __init__(self, alpha: float = 1.5) -> None:
+        if alpha <= 1.0:
+            raise ValueError("pareto alpha must exceed 1 (finite mean)")
+        self.alpha = float(alpha)
+
+    def session_length(self, stream, now: float, node_id: int) -> float:
+        x_min = self.config.mean_lifetime_seconds * (self.alpha - 1.0) / self.alpha
+        return x_min * stream.paretovariate(self.alpha)
+
+
+class FlashCrowdChurnProfile(ChurnProfile):
+    """A mass join: ``late_fraction`` of the nodes arrive in one burst.
+
+    Latecomers start the run offline (departing at t=0, so the DHT layer
+    sees a consistent leave) and rejoin inside
+    ``[flash_time_s, flash_time_s + flash_window_s)``; from then on everyone
+    churns with exponential sessions.  With churn otherwise disabled
+    (``mean_lifetime_seconds`` unset) the flash still happens — joined nodes
+    simply never depart again.
+    """
+
+    name = "flash-crowd"
+
+    def __init__(
+        self,
+        late_fraction: float = 0.4,
+        flash_time_s: float = 100.0,
+        flash_window_s: float = 20.0,
+    ) -> None:
+        if not 0.0 <= late_fraction <= 1.0:
+            raise ValueError("late_fraction must be in [0, 1]")
+        if flash_time_s < 0 or flash_window_s < 0:
+            raise ValueError("flash times must be non-negative")
+        self.late_fraction = float(late_fraction)
+        self.flash_time_s = float(flash_time_s)
+        self.flash_window_s = float(flash_window_s)
+
+    def enabled(self, config: ChurnConfig) -> bool:
+        return config.enabled or self.late_fraction > 0.0
+
+    def on_start(self, process: ChurnProcess, node_ids: List[int]) -> None:
+        stream = process.rng.stream("churn")
+        n_late = int(round(self.late_fraction * len(node_ids)))
+        late: Set[int] = set(stream.sample(node_ids, n_late)) if n_late else set()
+        for node_id in node_ids:
+            process.set_online(node_id, True)
+            if node_id in late:
+                process.force_depart(node_id)
+                delay = self.flash_time_s + (
+                    stream.uniform(0.0, self.flash_window_s) if self.flash_window_s else 0.0
+                )
+                process.schedule_rejoin(node_id, delay=delay)
+            elif self.config.enabled:
+                process.schedule_departure(node_id)
+
+    def session_length(self, stream, now: float, node_id: int) -> float:
+        if not self.config.enabled:
+            return _NEVER_S  # flash-only scenario: joined nodes stay up
+        return super().session_length(stream, now, node_id)
+
+
+class DiurnalChurnProfile(ChurnProfile):
+    """Day/night duty cycle: up for ``on_seconds``, down for ``off_seconds``.
+
+    Each node's cycle is phase-shifted deterministically by its id (so the
+    population doesn't blink in unison unless ``synchronized=True``), with a
+    small uniform jitter on every transition to keep event times distinct.
+    """
+
+    name = "diurnal"
+
+    def __init__(
+        self,
+        on_seconds: float = 240.0,
+        off_seconds: float = 60.0,
+        jitter_s: float = 5.0,
+        synchronized: bool = False,
+    ) -> None:
+        if on_seconds <= 0 or off_seconds <= 0:
+            raise ValueError("on/off durations must be positive")
+        self.on_seconds = float(on_seconds)
+        self.off_seconds = float(off_seconds)
+        self.jitter_s = max(float(jitter_s), 0.0)
+        self.synchronized = bool(synchronized)
+
+    def enabled(self, config: ChurnConfig) -> bool:
+        return True
+
+    @property
+    def period(self) -> float:
+        return self.on_seconds + self.off_seconds
+
+    def _phase(self, node_id: int, now: float) -> float:
+        offset = 0.0 if self.synchronized else (node_id % 9973) / 9973.0 * self.period
+        return (now + offset) % self.period
+
+    def _jitter(self, stream) -> float:
+        return stream.uniform(0.0, self.jitter_s) if self.jitter_s else 0.0
+
+    def session_length(self, stream, now: float, node_id: int) -> float:
+        local = self._phase(node_id, now)
+        if local < self.on_seconds:  # daytime: stay up until this node's night
+            return (self.on_seconds - local) + self._jitter(stream)
+        return self._jitter(stream) + 1e-3  # joined during night: leave at once
+
+    def downtime(self, stream, now: float, node_id: int) -> float:
+        local = self._phase(node_id, now)
+        if local >= self.on_seconds:  # night: sleep until this node's dawn
+            return (self.period - local) + self._jitter(stream)
+        return self._jitter(stream) + 1e-3  # departed during day: come back
+
+
+class TraceChurnProfile(ChurnProfile):
+    """Exact replay of a leave/join event list.
+
+    ``events`` is a list of ``{"t": seconds, "node": index, "op":
+    "leave"|"join"}`` — node indices address the started population in
+    order, so a trace is portable across network sizes.  Inline event lists
+    are the campaign-safe form (they are part of the trial's parameters and
+    therefore of its content-addressed id); ``path`` loads the same JSON
+    shape from a file, whose *contents* the trial id cannot see — prefer
+    ``events`` for anything you want resumable.
+    """
+
+    name = "trace"
+
+    def __init__(self, events: Sequence[dict] = (), path: str = "") -> None:
+        if path:
+            with open(path, "r", encoding="utf-8") as handle:
+                events = list(events) + list(json.load(handle))
+        self.events: List[dict] = []
+        for event in events:
+            op = str(event.get("op", ""))
+            if op not in ("leave", "join"):
+                raise ValueError(f"trace op must be 'leave' or 'join', got {op!r}")
+            self.events.append(
+                {"t": float(event["t"]), "node": int(event["node"]), "op": op}
+            )
+        self.events.sort(key=lambda e: (e["t"], e["node"]))
+
+    def enabled(self, config: ChurnConfig) -> bool:
+        return bool(self.events)
+
+    def on_start(self, process: ChurnProcess, node_ids: List[int]) -> None:
+        for node_id in node_ids:
+            process.set_online(node_id, True)
+        for event in self.events:
+            node_id = node_ids[event["node"] % len(node_ids)]
+            action = (
+                process.force_depart if event["op"] == "leave" else process.force_rejoin
+            )
+            process.engine.schedule(
+                event["t"], lambda a=action, n=node_id: a(n), name=f"trace-{event['op']}"
+            )
+
+
+class AdversarialChurnWrapper(ChurnProfile):
+    """Scales a base profile's sessions/downtimes for adversary-owned nodes.
+
+    This is the join-leave "churn attack": malicious nodes cycle through the
+    network much faster than honest ones (short sessions, short downtimes)
+    to shed accumulated suspicion and re-enter with fresh state.  Which
+    nodes are malicious arrives via :meth:`bind_population`, called by the
+    harness once the ring exists.
+    """
+
+    def __init__(
+        self,
+        base: Optional[ChurnProfile] = None,
+        session_scale: float = 0.1,
+        downtime_scale: float = 0.5,
+    ) -> None:
+        if session_scale <= 0 or downtime_scale <= 0:
+            raise ValueError("scales must be positive")
+        self.base = base or ChurnProfile()
+        self.session_scale = float(session_scale)
+        self.downtime_scale = float(downtime_scale)
+        self._malicious: Set[int] = set()
+
+    def bind(self, config: ChurnConfig) -> None:
+        super().bind(config)
+        self.base.bind(config)
+
+    def enabled(self, config: ChurnConfig) -> bool:
+        return self.base.enabled(config)
+
+    def bind_population(self, malicious_ids: Set[int]) -> None:
+        self._malicious = set(malicious_ids)
+        self.base.bind_population(malicious_ids)
+
+    def on_start(self, process: ChurnProcess, node_ids: List[int]) -> None:
+        self.base.on_start(process, node_ids)
+
+    def session_length(self, stream, now: float, node_id: int) -> float:
+        value = self.base.session_length(stream, now, node_id)
+        return value * self.session_scale if node_id in self._malicious else value
+
+    def downtime(self, stream, now: float, node_id: int) -> float:
+        value = self.base.downtime(stream, now, node_id)
+        return value * self.downtime_scale if node_id in self._malicious else value
+
+
+CHURN_PROFILES = AxisRegistry("churn profile")
+CHURN_PROFILES.register(
+    "exponential", ChurnProfile, "the paper's exponential sessions (Section 5.1)"
+)
+CHURN_PROFILES.register(
+    "weibull", WeibullChurnProfile, "heavy-tailed Weibull sessions (shape < 1), mean-matched"
+)
+CHURN_PROFILES.register(
+    "pareto", ParetoChurnProfile, "power-law Pareto sessions, mean-matched"
+)
+CHURN_PROFILES.register(
+    "flash-crowd", FlashCrowdChurnProfile, "mass join: a node fraction arrives in one burst"
+)
+CHURN_PROFILES.register(
+    "diurnal", DiurnalChurnProfile, "day/night duty cycle with per-node phase"
+)
+CHURN_PROFILES.register(
+    "trace", TraceChurnProfile, "exact replay of a JSON leave/join event list"
+)

@@ -1,0 +1,100 @@
+"""Built-in named scenarios, discoverable from the CLI (``repro list-kinds``).
+
+A preset is a dict of :class:`~repro.scenarios.experiment.ScenarioConfig`
+field defaults.  Resolution is layered: the preset fills every axis field
+the user left at its default, and the ``*_params``/``base`` dicts merge
+with explicit user keys winning — so ``--param preset=flash-crowd --param
+base={"n_nodes":60}`` runs the flash-crowd scenario on a smaller network
+without restating the rest.  The preset name itself is an ordinary trial
+parameter, so preset runs are content-addressed like everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: base-experiment defaults shared by the security-simulation presets —
+#: scaled like the CLI's security defaults so a preset runs in seconds.
+_SECURITY_BASE: Dict[str, object] = {
+    "n_nodes": 150,
+    "duration": 400.0,
+    "sample_interval": 50.0,
+}
+
+PRESETS: Dict[str, Dict[str, object]] = {
+    "paper-baseline": {
+        "description": "the paper's environment: exponential churn, uniform lookups, uniform 20% adversary",
+        "experiment": "security",
+        "base": dict(_SECURITY_BASE),
+    },
+    "heavy-tail-churn": {
+        "description": "Weibull (shape 0.45) heavy-tailed sessions, mean-matched to the paper's lambda",
+        "experiment": "security",
+        "churn": "weibull",
+        "churn_params": {"shape": 0.45},
+        "base": dict(_SECURITY_BASE),
+    },
+    "flash-crowd": {
+        "description": "40% of the network mass-joins in a burst a quarter into the run",
+        "experiment": "security",
+        "churn": "flash-crowd",
+        "churn_params": {"late_fraction": 0.4, "flash_time_s": 100.0, "flash_window_s": 30.0},
+        "base": dict(_SECURITY_BASE),
+    },
+    "diurnal": {
+        "description": "day/night duty-cycled sessions with per-node phase",
+        "experiment": "security",
+        "churn": "diurnal",
+        "churn_params": {"on_seconds": 240.0, "off_seconds": 80.0},
+        "base": dict(_SECURITY_BASE),
+    },
+    "zipf-hotkeys": {
+        "description": "Zipf-skewed key popularity (s=1.2) over a 256-key universe",
+        "experiment": "security",
+        "workload": "zipf",
+        "workload_params": {"exponent": 1.2, "n_keys": 256},
+        "base": dict(_SECURITY_BASE),
+    },
+    "hot-key-storm": {
+        "description": "uniform traffic with a 90%-intensity single-key storm mid-run",
+        "experiment": "security",
+        "workload": "hot-key-storm",
+        "workload_params": {"storm_start_s": 100.0, "storm_end_s": 250.0, "storm_intensity": 0.9},
+        "base": dict(_SECURITY_BASE),
+    },
+    "join-leave-attack": {
+        "description": "adversary nodes churn-attack: 10x shorter sessions to shed suspicion",
+        "experiment": "security",
+        "adversary": "join-leave",
+        "adversary_params": {"session_scale": 0.1},
+        "base": dict(_SECURITY_BASE),
+    },
+    "eclipse-20pct": {
+        "description": "anonymity under a 20% adversary ID-clustered around a victim key",
+        "experiment": "anonymity",
+        "adversary": "eclipse",
+        "adversary_params": {"victim_key": "victim-key", "spread": 0.25},
+        "base": {
+            "n_nodes": 2000,
+            "fractions_malicious": [0.2],
+            "dummy_counts": [2, 6],
+            "concurrent_lookup_rates": [0.01],
+            "n_worlds": 100,
+        },
+    },
+}
+
+
+def available_presets() -> Tuple[str, ...]:
+    return tuple(sorted(PRESETS))
+
+
+def get_preset(name: str) -> Dict[str, object]:
+    if name not in PRESETS:
+        raise KeyError(f"unknown scenario preset {name!r}; choose from {sorted(PRESETS)}")
+    return PRESETS[name]
+
+
+def describe_presets() -> Dict[str, str]:
+    """``{name: description}`` for CLI listings."""
+    return {name: str(PRESETS[name].get("description", "")) for name in available_presets()}

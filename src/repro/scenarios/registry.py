@@ -1,0 +1,68 @@
+"""Named, per-axis registries of scenario generator factories.
+
+Every scenario axis — churn profile, workload model, adversary placement —
+is a small registry of named factories.  A factory takes the axis's plain
+JSON parameter dict (as it appears in campaign specs) and returns a fresh
+generator instance; factories hold no state, so building the same name with
+the same parameters is always equivalent, which is what keeps scenario
+trials content-addressable.
+
+Registries are public: downstream code can add its own profiles/models/
+strategies (``CHURN_PROFILES.register("my-trace", ...)``) without touching
+this package, mirroring ``repro.campaign.register_experiment``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class AxisEntry:
+    """One named generator of a scenario axis."""
+
+    name: str
+    factory: Callable[..., object]
+    description: str = ""
+
+
+class AxisRegistry:
+    """Registry of named generator factories for one scenario axis."""
+
+    def __init__(self, axis: str) -> None:
+        self.axis = axis
+        self._entries: Dict[str, AxisEntry] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[..., object],
+        description: str = "",
+        replace: bool = False,
+    ) -> None:
+        if name in self._entries and not replace:
+            raise ValueError(f"{self.axis} {name!r} is already registered")
+        self._entries[name] = AxisEntry(name=name, factory=factory, description=description)
+
+    def get(self, name: str) -> AxisEntry:
+        if name not in self._entries:
+            raise KeyError(
+                f"unknown {self.axis} {name!r}; choose from {sorted(self._entries)}"
+            )
+        return self._entries[name]
+
+    def build(self, name: str, params: Mapping[str, object]):
+        """Instantiate the named generator from its JSON parameter dict."""
+        entry = self.get(name)
+        try:
+            return entry.factory(**dict(params))
+        except TypeError as exc:
+            raise ValueError(f"bad parameters for {self.axis} {name!r}: {exc}") from exc
+
+    def available(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def describe(self) -> Dict[str, str]:
+        """``{name: description}`` for CLI listings."""
+        return {name: self._entries[name].description for name in self.available()}

@@ -1,0 +1,192 @@
+"""Workload models beyond uniform periodic lookups.
+
+The paper's simulator has every honest node look up a uniformly random key
+on a fixed period.  Real DHT workloads are nothing like that: key
+popularity is Zipf-skewed, load arrives open-loop (and ramps), and content
+going viral concentrates lookups on a handful of hot keys.  Each model here
+plugs into the harnesses through :class:`repro.sim.workload.WorkloadModel`.
+
+Keys for ranked/hot distributions are derived by hashing the rank label
+onto the identifier space, so a given rank always maps to the same key —
+across processes, backends and runs — without the model ever needing to see
+the ring.
+
+Registered names (see :data:`WORKLOADS`):
+
+* ``uniform`` — the paper's model (the :mod:`repro.sim.workload` default);
+* ``zipf`` — Zipf-skewed popularity over a fixed key universe;
+* ``poisson`` — open-loop Poisson arrivals with a step-function rate ramp;
+* ``hot-key-storm`` — uniform background plus a hot-key burst window.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Sequence
+
+from ..sim.engine import SimulationEngine
+from ..sim.rng import RandomSource
+from ..sim.workload import IssueLookup, WorkloadModel
+from .registry import AxisRegistry
+
+
+def key_for_label(label: str, space_size: int) -> int:
+    """Deterministically hash a key label onto the identifier space."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % space_size
+
+
+class ZipfWorkload(WorkloadModel):
+    """Zipf-skewed key popularity: rank ``r`` drawn with weight ``r^-s``.
+
+    Lookups target a fixed universe of ``n_keys`` ranked keys; with
+    ``exponent`` around 1 the head few ranks absorb most of the traffic —
+    the classic shape of measured DHT content popularity.  The arrival
+    process stays the paper's per-node periodic schedule.
+    """
+
+    name = "zipf"
+
+    def __init__(self, exponent: float = 1.2, n_keys: int = 512) -> None:
+        if exponent <= 0:
+            raise ValueError("zipf exponent must be positive")
+        if n_keys < 1:
+            raise ValueError("zipf needs at least one key")
+        self.exponent = float(exponent)
+        self.n_keys = int(n_keys)
+        self._cumulative: List[float] = []
+        total = 0.0
+        for rank in range(1, self.n_keys + 1):
+            total += rank ** -self.exponent
+            self._cumulative.append(total)
+
+    def next_key(self, space_size: int, stream, now: float) -> int:
+        point = stream.random() * self._cumulative[-1]
+        rank = bisect.bisect_left(self._cumulative, point) + 1
+        return key_for_label(f"zipf-key-{min(rank, self.n_keys)}", space_size)
+
+
+class HotKeyStormWorkload(WorkloadModel):
+    """Uniform background traffic with a hot-key burst window.
+
+    Inside ``[storm_start_s, storm_end_s)`` each lookup targets the single
+    hot key with probability ``storm_intensity`` (uniform otherwise) — the
+    flash-crowd-for-one-key pattern that stresses whichever nodes own the
+    hot key's region.
+    """
+
+    name = "hot-key-storm"
+
+    def __init__(
+        self,
+        storm_start_s: float = 100.0,
+        storm_end_s: float = 250.0,
+        storm_intensity: float = 0.9,
+        hot_key_label: str = "hot-key",
+    ) -> None:
+        if storm_end_s < storm_start_s:
+            raise ValueError("storm_end_s must not precede storm_start_s")
+        if not 0.0 <= storm_intensity <= 1.0:
+            raise ValueError("storm_intensity must be in [0, 1]")
+        self.storm_start_s = float(storm_start_s)
+        self.storm_end_s = float(storm_end_s)
+        self.storm_intensity = float(storm_intensity)
+        self.hot_key_label = str(hot_key_label)
+
+    def next_key(self, space_size: int, stream, now: float) -> int:
+        in_storm = self.storm_start_s <= now < self.storm_end_s
+        # The uniform draw doubles as the storm coin flip's complement
+        # source: always draw the coin first so the stream stays aligned
+        # whether or not the storm is active.
+        coin = stream.random()
+        if in_storm and coin < self.storm_intensity:
+            return key_for_label(self.hot_key_label, space_size)
+        return stream.randrange(space_size)
+
+
+class PoissonWorkload(WorkloadModel):
+    """Open-loop Poisson arrivals with a step-function rate ramp.
+
+    Arrivals form one network-wide Poisson process of rate
+    ``rate_per_node_per_s × population × ramp(t)``; each arrival picks a
+    uniformly random issuing node.  ``ramp`` is a list of ``[t, multiplier]``
+    steps (sorted by ``t``, multiplier 1.0 before the first step), so load
+    can ramp up, spike and recover inside one run — the open-loop behaviour
+    closed per-node schedules cannot express.  ``rate_per_node_per_s=None``
+    defaults to ``1/interval``, matching the closed-loop model's average
+    offered load.
+    """
+
+    name = "poisson"
+
+    def __init__(
+        self,
+        rate_per_node_per_s: float = None,
+        ramp: Sequence[Sequence[float]] = (),
+    ) -> None:
+        if rate_per_node_per_s is not None and rate_per_node_per_s <= 0:
+            raise ValueError("rate_per_node_per_s must be positive")
+        self.rate_per_node_per_s = rate_per_node_per_s
+        self.ramp: List[List[float]] = sorted(
+            ([float(t), float(mult)] for t, mult in ramp), key=lambda step: step[0]
+        )
+        if any(mult < 0 for _, mult in self.ramp):
+            raise ValueError("ramp multipliers must be non-negative")
+
+    def _multiplier(self, now: float) -> float:
+        value = 1.0
+        for t, mult in self.ramp:
+            if t <= now:
+                value = mult
+            else:
+                break
+        return value
+
+    def schedule(
+        self,
+        engine: SimulationEngine,
+        node_ids: List[int],
+        interval: float,
+        space_size: int,
+        rng: RandomSource,
+        issue: IssueLookup,
+    ) -> None:
+        if not node_ids:
+            return
+        per_node = self.rate_per_node_per_s or (1.0 / interval)
+        base_rate = per_node * len(node_ids)
+        arrivals = rng.stream("workload-arrivals")
+        picker = rng.stream("workload-initiator")
+        keys = rng.stream("workload")
+
+        def fire() -> None:
+            node_id = picker.choice(node_ids)
+            issue(node_id, lambda: self.next_key(space_size, keys, engine.now))
+            schedule_next()
+
+        def schedule_next() -> None:
+            rate = base_rate * self._multiplier(engine.now)
+            if rate <= 0.0:
+                # Ramped to zero: probe again at the closed-loop period so a
+                # later ramp step can restart arrivals.
+                engine.schedule(interval, schedule_next, name="poisson-idle")
+                return
+            engine.schedule(arrivals.expovariate(rate), fire, name="poisson-lookup")
+
+        schedule_next()
+
+
+WORKLOADS = AxisRegistry("workload model")
+WORKLOADS.register(
+    "uniform", WorkloadModel, "the paper's uniform keys on a per-node period"
+)
+WORKLOADS.register(
+    "zipf", ZipfWorkload, "Zipf-skewed key popularity over a fixed key universe"
+)
+WORKLOADS.register(
+    "poisson", PoissonWorkload, "open-loop Poisson arrivals with a rate ramp"
+)
+WORKLOADS.register(
+    "hot-key-storm", HotKeyStormWorkload, "uniform traffic plus a hot-key burst window"
+)

@@ -2,8 +2,9 @@
 
 This package reproduces the event-based simulator the paper built in C++
 (Section 5.1): a heap-based scheduler, a King-like wide-area latency model,
-exponential churn, message-level networking with bandwidth accounting, and
-metric/trace collection used by every experiment harness.
+churn with pluggable session-length profiles (exponential by default),
+pluggable lookup workload models, message-level networking with bandwidth
+accounting, and metric/trace collection used by every experiment harness.
 """
 
 from .bandwidth import (
@@ -16,7 +17,7 @@ from .bandwidth import (
     BandwidthAccountant,
     MessageSizeModel,
 )
-from .churn import ChurnConfig, ChurnEventLog, ChurnProcess
+from .churn import ChurnConfig, ChurnEventLog, ChurnProcess, ChurnProfile
 from .clock import SimulationClock
 from .engine import SimulationEngine
 from .events import Event
@@ -30,6 +31,7 @@ from .metrics import Counter, Histogram, MetricsRegistry, TimeSeries
 from .network import Message, SimulatedNetwork
 from .rng import RandomSource, derive_seed
 from .trace import TraceLog, TraceRecord
+from .workload import WorkloadModel
 
 __all__ = [
     "AES_BLOCK_BYTES",
@@ -43,6 +45,7 @@ __all__ = [
     "ChurnConfig",
     "ChurnEventLog",
     "ChurnProcess",
+    "ChurnProfile",
     "SimulationClock",
     "SimulationEngine",
     "Event",
@@ -60,4 +63,5 @@ __all__ = [
     "derive_seed",
     "TraceLog",
     "TraceRecord",
+    "WorkloadModel",
 ]

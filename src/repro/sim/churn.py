@@ -4,16 +4,24 @@ The paper models node lifetimes with an exponential distribution with mean
 ``lambda`` minutes (Section 5.1) and evaluates identification accuracy under
 mean lifetimes of 60 minutes and 10 minutes (Table 2).  :class:`ChurnProcess`
 drives that model on top of the event engine: each node's session length is
-drawn from an exponential distribution, and when a node departs a replacement
-joins after an exponentially distributed downtime so the network size remains
-roughly constant (the standard "churned node rejoins with a fresh state"
-assumption used by the paper's simulator).
+drawn from a distribution, and when a node departs a replacement joins after
+a distributed downtime so the network size remains roughly constant (the
+standard "churned node rejoins with a fresh state" assumption used by the
+paper's simulator).
+
+*Which* distribution is pluggable: the process delegates session-length and
+downtime sampling (and, for profiles that need it, the whole start-up
+schedule) to a :class:`ChurnProfile`.  The default profile reproduces the
+paper's exponential model exactly; heavier-tailed, flash-crowd, diurnal and
+trace-replay profiles live in :mod:`repro.scenarios.churn_profiles` and are
+injected by the scenario harness without the experiments knowing the
+difference.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from .engine import SimulationEngine
 from .rng import RandomSource
@@ -60,9 +68,56 @@ class ChurnEventLog:
     def departures_of(self, node_id: int) -> int:
         return sum(1 for (_, nid) in self.departures if nid == node_id)
 
+    def rejoins_of(self, node_id: int) -> int:
+        return sum(1 for (_, nid) in self.rejoins if nid == node_id)
+
+
+class ChurnProfile:
+    """Pluggable session/downtime model behind :class:`ChurnProcess`.
+
+    The base class IS the paper's model — exponential session lengths and
+    downtimes with the means from :class:`ChurnConfig` — so
+    ``ChurnProcess(..., profile=None)`` behaves exactly as it always has.
+    Subclasses override the sampling methods (heavy-tailed lifetimes), the
+    start-up schedule (flash crowds, trace replay), or both.  Samplers
+    receive the node id so a profile can treat subpopulations differently
+    (the join-leave adversary churns its own nodes faster), and the current
+    simulated time so phase-dependent profiles (diurnal) can key off it.
+    """
+
+    name = "exponential"
+
+    def bind(self, config: ChurnConfig) -> None:
+        """Attach the process's config; called once by :class:`ChurnProcess`."""
+        self.config = config
+
+    def enabled(self, config: ChurnConfig) -> bool:
+        """Whether the process should run at all under this profile."""
+        return config.enabled
+
+    def bind_population(self, malicious_ids: Set[int]) -> None:
+        """Optional hook: which node ids belong to the adversary.
+
+        Harnesses call this (when they know the split) before ``start``;
+        profiles that treat adversarial nodes differently override it.
+        """
+
+    def on_start(self, process: "ChurnProcess", node_ids: List[int]) -> None:
+        """Set up the initial schedule: everyone online, one departure each."""
+        for node_id in node_ids:
+            process.set_online(node_id, True)
+            process.schedule_departure(node_id)
+
+    def session_length(self, stream, now: float, node_id: int) -> float:
+        return stream.expovariate(1.0 / self.config.mean_lifetime_seconds)
+
+    def downtime(self, stream, now: float, node_id: int) -> float:
+        mean = max(self.config.mean_downtime_seconds, 1e-6)
+        return stream.expovariate(1.0 / mean)
+
 
 class ChurnProcess:
-    """Drives exponential churn for a set of nodes.
+    """Drives churn for a set of nodes under a pluggable profile.
 
     Parameters
     ----------
@@ -75,6 +130,9 @@ class ChurnProcess:
     on_leave / on_join:
         Callbacks invoked with the node id when a node departs or rejoins.
         These are wired to the DHT layer (remove from ring / re-run join).
+    profile:
+        Session/downtime model; ``None`` means the paper's exponential
+        :class:`ChurnProfile`.
     """
 
     def __init__(
@@ -84,12 +142,15 @@ class ChurnProcess:
         rng: RandomSource,
         on_leave: Callable[[int], None],
         on_join: Callable[[int], None],
+        profile: Optional[ChurnProfile] = None,
     ) -> None:
         self.engine = engine
         self.config = config
         self.rng = rng
         self.on_leave = on_leave
         self.on_join = on_join
+        self.profile = profile or ChurnProfile()
+        self.profile.bind(config)
         self.log = ChurnEventLog()
         self._online: Dict[int, bool] = {}
         self._stopped = False
@@ -97,11 +158,9 @@ class ChurnProcess:
     # ---------------------------------------------------------------- control
     def start(self, node_ids: List[int]) -> None:
         """Begin the churn process for ``node_ids`` (no-op if churn disabled)."""
-        if not self.config.enabled:
+        if not self.profile.enabled(self.config):
             return
-        for node_id in node_ids:
-            self._online[node_id] = True
-            self._schedule_departure(node_id)
+        self.profile.on_start(self, node_ids)
 
     def stop(self) -> None:
         """Stop scheduling further churn events."""
@@ -111,32 +170,48 @@ class ChurnProcess:
         """Whether churn currently considers the node online."""
         return self._online.get(node_id, True)
 
+    def set_online(self, node_id: int, online: bool) -> None:
+        """Bookkeeping hook for profiles that pick the initial on/off state."""
+        self._online[node_id] = online
+
+    # ------------------------------------------------- profile-facing schedule
+    def schedule_departure(self, node_id: int) -> None:
+        self.engine.schedule(self._lifetime(node_id), lambda: self._depart(node_id), name="churn-depart")
+
+    def schedule_rejoin(self, node_id: int, delay: Optional[float] = None) -> None:
+        if delay is None:
+            delay = self._downtime(node_id)
+        self.engine.schedule(delay, lambda: self._rejoin(node_id), name="churn-rejoin")
+
+    def force_depart(self, node_id: int) -> None:
+        """Depart now without scheduling a rejoin (trace/flash-crowd profiles)."""
+        self._depart(node_id, schedule_next=False)
+
+    def force_rejoin(self, node_id: int) -> None:
+        """Rejoin now without scheduling a departure (trace replay)."""
+        self._rejoin(node_id, schedule_next=False)
+
     # --------------------------------------------------------------- internal
-    def _lifetime(self) -> float:
-        return self.rng.stream("churn").expovariate(1.0 / self.config.mean_lifetime_seconds)
+    def _lifetime(self, node_id: int) -> float:
+        return self.profile.session_length(self.rng.stream("churn"), self.engine.now, node_id)
 
-    def _downtime(self) -> float:
-        mean = max(self.config.mean_downtime_seconds, 1e-6)
-        return self.rng.stream("churn").expovariate(1.0 / mean)
+    def _downtime(self, node_id: int) -> float:
+        return self.profile.downtime(self.rng.stream("churn"), self.engine.now, node_id)
 
-    def _schedule_departure(self, node_id: int) -> None:
-        self.engine.schedule(self._lifetime(), lambda: self._depart(node_id), name="churn-depart")
-
-    def _schedule_rejoin(self, node_id: int) -> None:
-        self.engine.schedule(self._downtime(), lambda: self._rejoin(node_id), name="churn-rejoin")
-
-    def _depart(self, node_id: int) -> None:
+    def _depart(self, node_id: int, schedule_next: bool = True) -> None:
         if self._stopped or not self._online.get(node_id, False):
             return
         self._online[node_id] = False
         self.log.departures.append((self.engine.now, node_id))
         self.on_leave(node_id)
-        self._schedule_rejoin(node_id)
+        if schedule_next:
+            self.schedule_rejoin(node_id)
 
-    def _rejoin(self, node_id: int) -> None:
-        if self._stopped:
+    def _rejoin(self, node_id: int, schedule_next: bool = True) -> None:
+        if self._stopped or self._online.get(node_id, False):
             return
         self._online[node_id] = True
         self.log.rejoins.append((self.engine.now, node_id))
         self.on_join(node_id)
-        self._schedule_departure(node_id)
+        if schedule_next:
+            self.schedule_departure(node_id)

@@ -1,0 +1,76 @@
+"""Lookup workload generation: who looks up what, when.
+
+The paper's security simulation drives one stylized workload — every honest
+node issues a lookup for a uniformly random key on a fixed period (with a
+uniform phase jitter so lookups don't synchronize).  :class:`WorkloadModel`
+captures that behaviour as an injectable object with two responsibilities:
+
+* **arrival process** — :meth:`schedule` installs the lookup events on the
+  engine, given the population of issuing nodes and an ``issue(node_id,
+  draw_key)`` callback into the protocol layer;
+* **key distribution** — :meth:`next_key` picks each lookup's target key.
+
+``issue`` receives the key as a zero-argument *thunk*, not a value: the
+harness decides whether the lookup actually happens (the issuing node may be
+churned offline) and only a lookup that happens draws a key.  This keeps the
+RNG draw sequence identical to the historical inline code, where dead nodes
+consumed no randomness — the property the campaign determinism contract
+leans on.
+
+The base class IS the paper's model, so harnesses built on it behave exactly
+as before when no other model is injected.  Skewed-popularity, open-loop
+Poisson, and hot-key-storm models live in :mod:`repro.scenarios.workloads`
+and plug in through the same interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .engine import SimulationEngine
+from .rng import RandomSource
+
+#: ``issue(node_id, draw_key)`` — perform one lookup from ``node_id``; call
+#: ``draw_key()`` (exactly once, if at all) to obtain the target key.
+IssueLookup = Callable[[int, Callable[[], int]], None]
+
+
+class WorkloadModel:
+    """Uniform keys, per-node periodic arrivals (the paper's Section 5.1)."""
+
+    name = "uniform"
+
+    def next_key(self, space_size: int, stream, now: float) -> int:
+        """The key of the next lookup (uniform over the identifier space)."""
+        return stream.randrange(space_size)
+
+    def schedule(
+        self,
+        engine: SimulationEngine,
+        node_ids: List[int],
+        interval: float,
+        space_size: int,
+        rng: RandomSource,
+        issue: IssueLookup,
+    ) -> None:
+        """Install the workload's lookup events on the engine.
+
+        The default arrival process is closed-loop and per node: every node
+        issues one lookup each ``interval`` seconds, phase-jittered from the
+        ``"lookup-jitter"`` stream.  Keys are drawn per lookup from the
+        ``"workload"`` stream — the exact streams (and draw order) the
+        security harness has always used, so injecting the base model is a
+        behavioural no-op.
+        """
+        jitter = rng.stream("lookup-jitter")
+        keys = rng.stream("workload")
+
+        def fire(node_id: int) -> None:
+            issue(node_id, lambda: self.next_key(space_size, keys, engine.now))
+
+        for node_id in node_ids:
+            engine.schedule_periodic(
+                interval,
+                lambda nid=node_id: fire(nid),
+                start=jitter.uniform(0.0, interval),
+            )

@@ -48,6 +48,18 @@ def small_spec() -> CampaignSpec:
     )
 
 
+@pytest.fixture
+def scenario_spec() -> CampaignSpec:
+    """A scenario-kind campaign sweeping two presets at toy scale."""
+    return CampaignSpec(
+        kind="scenario",
+        name="scenario-backend-test",
+        base={"base": {"n_nodes": 60, "duration": 15.0, "sample_interval": 5.0}},
+        grid={"preset": ["heavy-tail-churn", "zipf-hotkeys"]},
+        seeds=(0, 1),
+    )
+
+
 def _stripped_outputs(out_dir):
     """(summary, {trial_id: record}) of a results dir, timing-stripped, as canonical JSON."""
     summary = canonical_json(strip_timing(json.loads((out_dir / "summary.json").read_text())))
@@ -72,13 +84,14 @@ def test_backend_registry_names():
         make_backend("carrier-pigeon")
 
 
+@pytest.mark.parametrize("spec_fixture", ["small_spec", "scenario_spec"])
 @pytest.mark.parametrize("backend", ["pool", "queue"])
-def test_differential_backend_equivalence(small_spec, tmp_path, backend):
-    """Serial, pool and queue runs of one spec are byte-identical under strip_timing."""
-    reference = run_campaign(small_spec, out_dir=tmp_path / "serial", backend="serial")
-    report = run_campaign(
-        small_spec, out_dir=tmp_path / backend, jobs=2, backend=backend
-    )
+def test_differential_backend_equivalence(request, tmp_path, backend, spec_fixture):
+    """Serial, pool and queue runs of one spec are byte-identical under
+    strip_timing — for the plain security kind and the scenario kind alike."""
+    spec = request.getfixturevalue(spec_fixture)
+    reference = run_campaign(spec, out_dir=tmp_path / "serial", backend="serial")
+    report = run_campaign(spec, out_dir=tmp_path / backend, jobs=2, backend=backend)
     assert report.n_executed == 4 and report.n_skipped == 0
     # Same ids, in spec order, regardless of completion order.
     assert report.executed_trial_ids == reference.executed_trial_ids

@@ -49,8 +49,25 @@ def test_malformed_seeds_exit_cleanly():
 def test_campaign_list_kinds(capsys):
     assert main(["campaign", "--list-kinds"]) == 0
     out = capsys.readouterr().out
-    for kind in ("security", "anonymity", "efficiency", "timing", "ablation"):
+    for kind in ("security", "anonymity", "efficiency", "timing", "ablation", "scenario"):
         assert kind in out
+
+
+def test_top_level_list_kinds_prints_kinds_axes_and_presets(capsys):
+    """The 'repro list-kinds' subcommand surfaces the whole registry surface:
+    experiment kinds with descriptions, scenario axis generators, presets."""
+    from repro.campaign import available_kinds, get_experiment
+    from repro.scenarios import CHURN_PROFILES, PLACEMENTS, WORKLOADS, available_presets
+
+    assert main(["list-kinds"]) == 0
+    out = capsys.readouterr().out
+    for kind in available_kinds():
+        assert kind in out
+        assert get_experiment(kind).description in out
+    for name in CHURN_PROFILES.available() + WORKLOADS.available() + PLACEMENTS.available():
+        assert name in out
+    for preset in available_presets():
+        assert preset in out
 
 
 def test_campaign_inline_grid_runs_and_resumes(tmp_path, capsys):

@@ -27,6 +27,12 @@ TOY_PARAMS = {
     "efficiency": {"n_nodes": 40, "lookups_per_scheme": 5, "seed": 0},
     "timing": {"max_candidate_flows": 50, "seed": 0},
     "ablation": {"n_nodes": 300, "n_worlds": 3, "seed": 0},
+    "scenario": {
+        "preset": "flash-crowd",
+        "churn_params": {"flash_time_s": 4.0, "flash_window_s": 2.0},
+        "base": {"n_nodes": 60, "duration": 10.0, "sample_interval": 5.0},
+        "seed": 0,
+    },
 }
 
 

@@ -1,0 +1,139 @@
+"""ChurnEventLog rejoin semantics under the non-exponential profiles.
+
+PR-4 satellite: a rejoined node must come back with *fresh* routing state
+(the paper's "churned node rejoins with a fresh state" assumption) and the
+departure/rejoin bookkeeping must stay consistent whichever churn profile —
+exponential, heavy-tailed, flash-crowd, diurnal, trace — drives the events.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chord.ring import ChordRing, RingConfig
+from repro.scenarios.churn_profiles import (
+    DiurnalChurnProfile,
+    FlashCrowdChurnProfile,
+    TraceChurnProfile,
+    WeibullChurnProfile,
+)
+from repro.sim.churn import ChurnConfig, ChurnProcess, ChurnProfile
+from repro.sim.engine import SimulationEngine
+from repro.sim.rng import RandomSource
+
+
+def _ring(n_nodes: int = 40, seed: int = 5) -> ChordRing:
+    return ChordRing.build(RingConfig(n_nodes=n_nodes, fraction_malicious=0.0, seed=seed))
+
+
+def _process(ring: ChordRing, engine: SimulationEngine, profile, config=None) -> ChurnProcess:
+    return ChurnProcess(
+        engine,
+        config or ChurnConfig(mean_lifetime_seconds=40.0, mean_downtime_seconds=10.0),
+        RandomSource(11),
+        on_leave=ring.mark_dead,
+        on_join=lambda nid: ring.mark_alive(nid, now=engine.now),
+        profile=profile,
+    )
+
+
+PROFILES = {
+    "exponential": lambda: ChurnProfile(),
+    "weibull": lambda: WeibullChurnProfile(shape=0.5),
+    "flash-crowd": lambda: FlashCrowdChurnProfile(
+        late_fraction=0.3, flash_time_s=30.0, flash_window_s=10.0
+    ),
+    "diurnal": lambda: DiurnalChurnProfile(on_seconds=60.0, off_seconds=20.0, jitter_s=2.0),
+}
+
+
+@pytest.mark.parametrize("profile_name", sorted(PROFILES))
+def test_departure_rejoin_counts_stay_consistent(profile_name):
+    """Per node: departures and rejoins alternate, so counts differ by at
+    most one and a node never rejoins more often than it departed."""
+    ring = _ring()
+    engine = SimulationEngine()
+    process = _process(ring, engine, PROFILES[profile_name]())
+    node_ids = list(ring.nodes)
+    process.start(node_ids)
+    engine.run(until=300.0)
+
+    log = process.log
+    assert log.departures, f"{profile_name}: no churn happened in 300 s"
+    for node_id in node_ids:
+        departures = log.departures_of(node_id)
+        rejoins = log.rejoins_of(node_id)
+        assert rejoins <= departures <= rejoins + 1, (profile_name, node_id)
+        # is_online agrees with the event parity.
+        assert process.is_online(node_id) == (departures == rejoins), node_id
+        # The ring's alive flag tracks the churn bookkeeping exactly.
+        assert ring.nodes[node_id].alive == process.is_online(node_id)
+    # Event timestamps are within the simulated horizon and ordered.
+    times = [t for t, _ in log.departures] + [t for t, _ in log.rejoins]
+    assert all(0.0 <= t <= 300.0 for t in times)
+
+
+@pytest.mark.parametrize("profile_name", sorted(PROFILES))
+def test_rejoined_node_comes_back_with_fresh_routing_state(profile_name):
+    """Poison a node's fingers while it is offline: the rejoin (via
+    ring.mark_alive) must rebuild them from ground truth, discarding every
+    poisoned entry."""
+    ring = _ring()
+    engine = SimulationEngine()
+    process = _process(ring, engine, PROFILES[profile_name]())
+    node_ids = list(ring.nodes)
+    victim = node_ids[3]
+    process.start(node_ids)
+
+    process.force_depart(victim)
+    assert not ring.nodes[victim].alive
+    bogus = (victim + 12345) % ring.space.size
+    table = ring.nodes[victim].finger_table
+    for index in range(len(table)):
+        table.set(index, bogus)
+
+    process.force_rejoin(victim)
+    assert ring.nodes[victim].alive
+    fresh = ring.nodes[victim].finger_table.nodes()
+    assert bogus not in fresh
+    alive_ids = set(ring.alive_ids_sorted())
+    assert fresh and set(fresh) <= alive_ids
+    assert process.log.rejoins_of(victim) == process.log.departures_of(victim) == 1
+
+
+def test_trace_profile_replays_exact_events_and_counts():
+    events = [
+        {"t": 5.0, "node": 0, "op": "leave"},
+        {"t": 8.0, "node": 1, "op": "leave"},
+        {"t": 12.0, "node": 0, "op": "join"},
+        {"t": 20.0, "node": 0, "op": "leave"},
+        # duplicate join for a node that is already online: must be a no-op
+        {"t": 25.0, "node": 1, "op": "join"},
+        {"t": 26.0, "node": 1, "op": "join"},
+    ]
+    ring = _ring()
+    engine = SimulationEngine()
+    # Trace replay runs even with the exponential model disabled.
+    process = _process(
+        ring,
+        engine,
+        TraceChurnProfile(events=events),
+        config=ChurnConfig(mean_lifetime_seconds=None),
+    )
+    node_ids = list(ring.nodes)
+    process.start(node_ids)
+    engine.run(until=60.0)
+
+    first, second = node_ids[0], node_ids[1]
+    assert process.log.departures_of(first) == 2
+    assert process.log.rejoins_of(first) == 1
+    assert process.log.departures_of(second) == 1
+    assert process.log.rejoins_of(second) == 1  # the duplicate join was ignored
+    assert not process.is_online(first)
+    assert process.is_online(second)
+    assert [t for t, n in process.log.departures if n == first] == [5.0, 20.0]
+
+
+def test_trace_profile_rejects_malformed_ops():
+    with pytest.raises(ValueError, match="leave.*join|'leave' or 'join'"):
+        TraceChurnProfile(events=[{"t": 1.0, "node": 0, "op": "explode"}])
