@@ -6,6 +6,11 @@ spread of built-in scenario presets — the paper's baseline, heavy-tailed
 churn, a flash crowd, Zipf-skewed lookups and the join-leave churn attack —
 and printing the identification outcome side by side.
 
+The per-preset table goes through the shared figure-adapter path
+(``scenarios`` adapter + :func:`repro.campaign.scenario_summary_rows`), the
+same code that renders ``--campaign-results`` aggregates — the single-run
+sweep is just a campaign with one seed.
+
 Shape claims: Octopus's attacker identification keeps working under every
 environment (the malicious fraction drops from its initial 20% in all
 scenarios), and the non-exponential churn profiles really do churn (the
@@ -16,7 +21,7 @@ Scaled-down default: N=100 nodes, 300 simulated seconds per scenario.
 
 from __future__ import annotations
 
-from conftest import run_once
+from conftest import render_scenario_sweep, report_campaign, run_once
 
 from repro.scenarios import ScenarioConfig, run_scenario
 
@@ -39,39 +44,40 @@ def _base(paper_scale) -> dict:
     }
 
 
+def _params(preset: str, paper_scale) -> dict:
+    params = {"preset": preset, "base": _base(paper_scale), "seed": 3}
+    if preset == "flash-crowd":
+        params["churn_params"] = {"flash_time_s": 75.0, "flash_window_s": 25.0}
+    return params
+
+
 def _run_all(paper_scale):
-    results = {}
-    for preset in PRESETS:
-        cfg = ScenarioConfig(
-            preset=preset,
-            base=_base(paper_scale),
-            churn_params={"flash_time_s": 75.0, "flash_window_s": 25.0}
-            if preset == "flash-crowd"
-            else {},
-            seed=3,
-        )
-        results[preset] = run_scenario(cfg)
-    return results
+    return {
+        preset: run_scenario(ScenarioConfig(**_params(preset, paper_scale)))
+        for preset in PRESETS
+    }
 
 
-def test_scenario_preset_sweep(benchmark, paper_scale):
+def test_scenario_preset_sweep(benchmark, paper_scale, campaign_results):
     results = run_once(benchmark, lambda: _run_all(paper_scale))
 
-    print("\nScenario sweep — lookup-bias identification across environments")
-    print(f"{'preset':>18s} {'axes':>20s} {'final mal.':>10s} {'departs':>8s} {'rejoins':>8s} {'lookups':>8s}")
+    headers, rows = render_scenario_sweep(
+        "scenarios",
+        "security",
+        {preset: _params(preset, paper_scale) for preset in PRESETS},
+        results,
+        title="Scenario sweep — lookup-bias identification across environments",
+    )
     for preset, result in results.items():
-        m = result.scalar_metrics()
-        axes = ",".join(result.applied_axes) or "paper"
-        print(
-            f"{preset:>18s} {axes:>20s} {m['final_malicious_fraction']:10.3f} "
-            f"{m['churn_departures']:8.0f} {m['churn_rejoins']:8.0f} {m['total_lookups']:8.0f}"
-        )
+        print(f"    {preset}: applied axes = {','.join(result.applied_axes) or 'none (paper)'}")
+    report_campaign(campaign_results, "scenarios")
 
     for preset, result in results.items():
         m = result.scalar_metrics()
         # Identification keeps biting whatever the environment.
         assert m["final_malicious_fraction"] < m["initial_malicious_fraction"], preset
         assert m["total_lookups"] > 0, preset
+        assert result.ignored_axes == [], preset
     # The scenario axes actually moved the environment:
     assert (
         results["flash-crowd"].scalar_metrics()["churn_rejoins"]
@@ -81,3 +87,6 @@ def test_scenario_preset_sweep(benchmark, paper_scale):
         results["join-leave-attack"].scalar_metrics()["churn_departures"]
         > results["paper-baseline"].scalar_metrics()["churn_departures"]
     )
+    # The shared adapter path rendered one labelled row per preset.
+    assert headers[0] == "scenario"
+    assert {row[0] for row in rows} == set(PRESETS)

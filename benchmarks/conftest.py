@@ -78,6 +78,37 @@ def report_campaign(campaign_results, figure: str) -> None:
         print(text)
 
 
+def render_scenario_sweep(figure, base_kind, params_by_label, results_by_label, title):
+    """Print a single-run scenario sweep through the shared figure-adapter path.
+
+    Folds one ``run_scenario`` result per label into campaign-shaped records,
+    aggregates them (n=1 per group, so ci95=0), and renders the per-scenario
+    table with the same `scenario_summary_rows` code that formats
+    ``--campaign-results`` aggregates — a single-run sweep is just a one-seed
+    campaign.  Returns ``(headers, rows)`` for the benchmark's assertions.
+    """
+    from repro.campaign import aggregate_records, get_figure, scenario_summary_rows
+    from repro.experiments.results import format_table
+
+    records = [
+        {
+            "trial_id": f"s{params.get('seed', 0)}-{label}",
+            "kind": "scenario",
+            "params": params,
+            "metrics": results_by_label[label].scalar_metrics(),
+        }
+        for label, params in params_by_label.items()
+    ]
+    summary = aggregate_records(records)
+    adapter = get_figure(figure)
+    headers, rows = scenario_summary_rows(
+        summary, adapter.resolve_metrics(summary), base_kind=base_kind
+    )
+    print()
+    print(format_table(headers, rows, title=title))
+    return headers, rows
+
+
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -38,6 +38,7 @@ from .aggregate import (
     group_key,
     strip_timing,
     summarize,
+    summarize_ignored_axes,
     summarize_timing,
     summary_rows,
 )
@@ -48,6 +49,8 @@ from .figures import (
     get_figure,
     register_figure,
     render_figure_aggregates,
+    scenario_group_label,
+    scenario_summary_rows,
 )
 from .backends import (
     Backend,
@@ -108,9 +111,12 @@ __all__ = [
     "render_figure_aggregates",
     "run_campaign",
     "run_worker",
+    "scenario_group_label",
+    "scenario_summary_rows",
     "schedule_trials",
     "strip_timing",
     "summarize",
+    "summarize_ignored_axes",
     "summarize_timing",
     "summary_rows",
 ]

@@ -133,6 +133,38 @@ def summarize_timing(records: Sequence[Mapping[str, object]]) -> Dict[str, objec
     return summary
 
 
+def summarize_ignored_axes(
+    records: Sequence[Mapping[str, object]],
+) -> Dict[str, Dict[str, object]]:
+    """Per-base-kind rollup of scenario axes the trials could not apply.
+
+    Scenario records report axes their base harness cannot express under
+    ``detail.scenario.ignored_axes`` (see :mod:`repro.scenarios.experiment`);
+    this folds them into ``{base_kind: {"axes": [...], "n_trials": N}}`` so a
+    sweep over kinds surfaces the gap at the summary/CLI level instead of
+    only inside individual trial files.  Non-scenario records (and scenario
+    records with nothing ignored) contribute nothing; the result is empty —
+    and the summary key omitted — for the common all-applied case.
+    """
+    by_kind: Dict[str, Dict[str, object]] = {}
+    for record in records:
+        detail = record.get("detail")
+        scenario = detail.get("scenario") if isinstance(detail, Mapping) else None
+        if not isinstance(scenario, Mapping):
+            continue
+        axes = scenario.get("ignored_axes") or []
+        if not axes:
+            continue
+        base_kind = str(scenario.get("base_kind", "unknown"))
+        entry = by_kind.setdefault(base_kind, {"axes": set(), "n_trials": 0})
+        entry["axes"].update(str(axis) for axis in axes)
+        entry["n_trials"] += 1
+    return {
+        base_kind: {"axes": sorted(entry["axes"]), "n_trials": entry["n_trials"]}
+        for base_kind, entry in sorted(by_kind.items())
+    }
+
+
 def aggregate_records(
     records: Sequence[Mapping[str, object]],
     spec: Optional[CampaignSpec] = None,
@@ -165,11 +197,37 @@ def aggregate_records(
         "groups": group_summaries,
         "timing": summarize_timing(records),
     }
+    ignored_axes = summarize_ignored_axes(records)
+    if ignored_axes:
+        # Deterministic (sorted, content-derived) — safely inside the
+        # strip_timing-compared view, identical across backends.
+        summary["ignored_axes"] = ignored_axes
     if spec is not None:
         summary["name"] = spec.name
         summary["kind"] = spec.kind
         summary["n_trials_expected"] = spec.n_trials()
     return summary
+
+
+def group_metric_cells(
+    group: Mapping[str, object], metric_names: Sequence[str]
+) -> Tuple[int, List[object]]:
+    """(n, formatted cells) of one summary group's metric columns.
+
+    The single definition of the metric-cell contract every rendered table
+    shares: ``mean±ci95`` per metric, an empty cell for a metric the group
+    never recorded, and ``n`` as the max over the group's metrics.
+    """
+    stats = group["metrics"]
+    ns = [s.get("n", 0) for s in stats.values()]
+    cells: List[object] = []
+    for name in metric_names:
+        stat = stats.get(name)
+        if not stat or stat.get("n", 0) == 0:
+            cells.append("")
+        else:
+            cells.append(f"{stat['mean']:.4g}±{stat['ci95']:.2g}")
+    return (max(ns) if ns else 0), cells
 
 
 def summary_rows(summary: Mapping[str, object], metrics: Optional[Sequence[str]] = None) -> Tuple[List[str], List[List[object]]]:
@@ -192,13 +250,8 @@ def summary_rows(summary: Mapping[str, object], metrics: Optional[Sequence[str]]
     rows: List[List[object]] = []
     for g in groups:
         row: List[object] = [g["params"].get(k, "") for k in varied]
-        ns = [s.get("n", 0) for s in g["metrics"].values()]
-        row.append(max(ns) if ns else 0)
-        for name in metric_names:
-            stat = g["metrics"].get(name)
-            if not stat or stat.get("n", 0) == 0:
-                row.append("")
-            else:
-                row.append(f"{stat['mean']:.4g}±{stat['ci95']:.2g}")
+        n, cells = group_metric_cells(g, metric_names)
+        row.append(n)
+        row.extend(cells)
         rows.append(row)
     return headers, rows

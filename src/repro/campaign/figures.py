@@ -17,6 +17,14 @@ results directory of the wrong experiment kind yields a one-line note, not an
 error, because ``--campaign-results`` is a session-wide pytest option — one
 campaign directory is shared by every collected benchmark, and only the
 benchmarks whose kind matches should print aggregate rows.
+
+Scenario campaigns get their own adapter family (``scenarios``,
+``table3-scenarios``): their groups are grid cells of *scenario* parameters
+(preset, axis generators, base-experiment overrides), so the rows are
+labelled by the scenario — the preset name, or the non-default axes when the
+scenario was composed by hand — via :func:`scenario_summary_rows`, and each
+adapter filters to the base experiment kind whose metrics it reports (one
+scenario campaign may sweep presets of several base kinds).
 """
 
 from __future__ import annotations
@@ -26,7 +34,8 @@ from fnmatch import fnmatchcase
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..experiments.results import format_table
-from .aggregate import summary_rows
+from .aggregate import group_metric_cells, summary_rows
+from .spec import canonical_json
 
 #: ``formatter(adapter, summary) -> str`` renders one figure's aggregate rows.
 FigureFormatter = Callable[["FigureAdapter", Mapping[str, object]], str]
@@ -99,26 +108,165 @@ def figure_aggregate_rows(
     return summary_rows(summary, metrics=resolved)
 
 
+def _timing_line(summary: Mapping[str, object]) -> str:
+    """The ``campaign timing: ...`` suffix, or ``""`` for untimed summaries."""
+    timing = summary.get("timing") or {}
+    if not timing.get("n"):
+        return ""
+    return (
+        f"\ncampaign timing: {timing['total_elapsed_s']:.2f} s total over "
+        f"{timing['n']} timed trial(s), mean {timing['mean_elapsed_s']:.2f} s/trial"
+    )
+
+
+def _missing_metrics_note(adapter: FigureAdapter) -> str:
+    return (
+        f"{adapter.title}: campaign summary contains none of this figure's "
+        f"metrics ({', '.join(adapter.metrics)}) — re-run the campaign with "
+        f"current code to record them"
+    )
+
+
 def _default_formatter(adapter: FigureAdapter, summary: Mapping[str, object]) -> str:
     resolved = adapter.resolve_metrics(summary)
     if not resolved:
-        return (
-            f"{adapter.title}: campaign summary contains none of this figure's "
-            f"metrics ({', '.join(adapter.metrics)}) — re-run the campaign with "
-            f"current code to record them"
-        )
+        return _missing_metrics_note(adapter)
     headers, rows = summary_rows(summary, metrics=resolved)
     if not rows:
         return f"{adapter.title}: campaign summary has no aggregated groups yet"
     title = f"{adapter.title} — campaign aggregates (mean±ci95 over seeds)"
-    table = format_table(headers, rows, title=title)
-    timing = summary.get("timing") or {}
-    if timing.get("n"):
-        table += (
-            f"\ncampaign timing: {timing['total_elapsed_s']:.2f} s total over "
-            f"{timing['n']} timed trial(s), mean {timing['mean_elapsed_s']:.2f} s/trial"
+    return format_table(headers, rows, title=title) + _timing_line(summary)
+
+
+# ------------------------------------------------------------------ scenarios
+
+#: the scenario axis fields, in presentation order.
+_SCENARIO_AXES = ("churn", "workload", "adversary")
+
+
+def _resolved_scenario(params: Mapping[str, object]):
+    """The group's :class:`~repro.scenarios.experiment.ScenarioConfig`,
+    preset-resolved, or ``None`` when the params aren't scenario-shaped
+    (hand-crafted summaries, foreign kinds)."""
+    from ..scenarios.experiment import ScenarioConfig
+    from ..experiments.results import config_from_dict
+
+    try:
+        return config_from_dict(ScenarioConfig, dict(params)).resolved()
+    except (TypeError, ValueError):
+        return None
+
+
+def _label_for(cfg, params: Mapping[str, object]) -> str:
+    """Display label for a group whose resolved config is ``cfg`` (may be
+    ``None`` for non-scenario-shaped params)."""
+    if cfg is None:
+        return str(params.get("preset", "") or "custom")
+    if cfg.preset:
+        # A preset label must still show axes the user overrode on top of
+        # it, or a grid sweeping an axis under one preset would render
+        # indistinguishable rows.  Compare against the *pure* preset's
+        # resolution, not the dataclass defaults.
+        baseline = type(cfg)(preset=cfg.preset).resolved()
+        overrides = [
+            f"{axis}={getattr(cfg, axis)}"
+            for axis in _SCENARIO_AXES
+            if getattr(cfg, axis) != getattr(baseline, axis)
+        ]
+        return " ".join([cfg.preset] + overrides)
+    defaults = type(cfg)()
+    axes = [
+        f"{axis}={getattr(cfg, axis)}"
+        for axis in _SCENARIO_AXES
+        if getattr(cfg, axis) != getattr(defaults, axis)
+    ]
+    return ",".join(axes) or "plain"
+
+
+def scenario_group_label(params: Mapping[str, object]) -> str:
+    """One scenario group's display label: the preset name, or the
+    non-default axes (``workload=zipf,adversary=eclipse``) of a hand-composed
+    scenario, or ``plain`` for the all-defaults environment."""
+    return _label_for(_resolved_scenario(params), params)
+
+
+def scenario_summary_rows(
+    summary: Mapping[str, object],
+    metrics: Optional[Sequence[str]] = None,
+    base_kind: Optional[str] = None,
+) -> Tuple[List[str], List[List[object]]]:
+    """(headers, rows) of a scenario campaign's aggregates, one row per
+    scenario group, labelled by preset / composed axes.
+
+    ``base_kind`` filters to groups whose (preset-resolved) base experiment
+    matches — a scenario campaign may sweep presets of several base kinds,
+    and a figure only reports the metrics of one of them.  Default metric
+    columns come from the groups that survive the filter, so excluded kinds
+    contribute no blank columns.  Groups the label alone cannot tell apart
+    (same preset, different ``*_params``/``base`` grid cells) get the
+    varying grid params appended; rows are sorted by label so per-preset
+    comparisons read top-to-bottom.
+    """
+    included: List[Tuple[object, Mapping[str, object], Mapping[str, object]]] = []
+    for group in summary.get("groups", []):
+        params = group.get("params", {})
+        cfg = _resolved_scenario(params)
+        experiment = cfg.experiment if cfg else params.get("experiment", "security")
+        if base_kind is not None and experiment != base_kind:
+            continue
+        included.append((cfg, params, group))
+    if not included:
+        return [], []
+    metric_names = (
+        list(metrics)
+        if metrics
+        else sorted({m for _cfg, _params, g in included for m in g["metrics"]})
+    )
+    headers = ["scenario", "n"] + metric_names
+    labels = [_label_for(cfg, params) for cfg, params, _group in included]
+    if len(set(labels)) < len(labels):
+        # The label shows the preset / axis choices only; when groups differ
+        # in params it cannot show (axis kwargs, base overrides, the base
+        # experiment itself), append the varying ones so duplicate-labelled
+        # rows stay distinguishable.
+        label_shown = {"preset", *_SCENARIO_AXES}
+        varied = sorted(
+            key
+            for key in {k for _cfg, p, _g in included for k in p}
+            if key not in label_shown
+            and len({canonical_json(p.get(key)) for _cfg, p, _g in included}) > 1
         )
-    return table
+        if varied:
+            labels = [
+                f"{label} {canonical_json({k: p.get(k) for k in varied})}"
+                for label, (_cfg, p, _g) in zip(labels, included)
+            ]
+    rows: List[List[object]] = []
+    for label, (_cfg, _params, group) in zip(labels, included):
+        n, cells = group_metric_cells(group, metric_names)
+        rows.append([label, n] + cells)
+    rows.sort(key=lambda r: str(r[0]))
+    return headers, rows
+
+
+def _scenario_formatter(base_kind: str) -> FigureFormatter:
+    """A formatter for scenario-kind campaigns reporting one base kind's
+    metrics, grouped per preset."""
+
+    def formatter(adapter: FigureAdapter, summary: Mapping[str, object]) -> str:
+        resolved = adapter.resolve_metrics(summary)
+        if not resolved:
+            return _missing_metrics_note(adapter)
+        headers, rows = scenario_summary_rows(summary, resolved, base_kind=base_kind)
+        if not rows:
+            return (
+                f"{adapter.title}: campaign has no scenario groups with base "
+                f"kind {base_kind!r} yet"
+            )
+        title = f"{adapter.title} — per-scenario campaign aggregates (mean±ci95 over seeds)"
+        return format_table(headers, rows, title=title) + _timing_line(summary)
+
+    return formatter
 
 
 def render_figure_aggregates(figure: str, results) -> str:
@@ -246,6 +394,28 @@ for _adapter in (
         title="Table 3 — latency / bandwidth comparison",
         kind="efficiency",
         metrics=("*_mean_latency_s", "*_median_latency_s", "*_kbps_lk_int_*"),
+    ),
+    FigureAdapter(
+        figure="scenarios",
+        bench="bench_scenarios.py",
+        title="Scenario sweep — identification across environments",
+        kind="scenario",
+        metrics=(
+            "initial_malicious_fraction",
+            "final_malicious_fraction",
+            "churn_departures",
+            "churn_rejoins",
+            "total_lookups",
+        ),
+        formatter=_scenario_formatter("security"),
+    ),
+    FigureAdapter(
+        figure="table3-scenarios",
+        bench="bench_table3_scenarios.py",
+        title="Table 3 under scenarios — efficiency per workload environment",
+        kind="scenario",
+        metrics=("*_mean_latency_s", "*_median_latency_s", "*_kbps_lk_int_*"),
+        formatter=_scenario_formatter("efficiency"),
     ),
 ):
     register_figure(_adapter)

@@ -448,6 +448,14 @@ def _run_campaign(args) -> int:
                 f"  worker {worker}: {stats['n']} trial(s), "
                 f"{stats['total_elapsed_s']:.2f} s"
             )
+    # Scenario trials report axes their base harness cannot express; a sweep
+    # that quietly dropped an axis would lie, so surface the gap per kind.
+    for base_kind, info in sorted((report.summary.get("ignored_axes") or {}).items()):
+        print(
+            f"warning: {info['n_trials']} scenario trial(s) on base kind "
+            f"{base_kind!r} ignored axes: {', '.join(info['axes'])} "
+            f"(the harness cannot express them)"
+        )
     headers, rows = summary_rows(report.summary)
     if rows:
         print(format_table(headers, rows, title="aggregate (mean±ci95 over seeds)"))

@@ -35,6 +35,7 @@ from ..sim.bandwidth import MessageSizeModel
 from ..sim.latency import KingLatencyModel
 from ..sim.metrics import Histogram
 from ..sim.rng import RandomSource
+from ..sim.workload import WorkloadModel
 from .results import jsonify
 
 
@@ -61,6 +62,14 @@ class EfficiencyExperimentConfig:
     processing_delay_mean: float = 0.020
     slow_node_probability: float = 0.03
     slow_node_delay_range: Tuple[float, float] = (0.5, 2.0)
+
+    def __post_init__(self) -> None:
+        # Sequence fields normalize to tuples on construction: campaign specs
+        # and JSON round trips hand us lists, and a config built from a list
+        # must compare equal to the tuple-defaulted fresh one (resume and the
+        # backend determinism contract both compare configs structurally).
+        self.lookup_intervals_minutes = tuple(self.lookup_intervals_minutes)
+        self.slow_node_delay_range = tuple(self.slow_node_delay_range)
 
     def to_dict(self) -> Dict[str, object]:
         return jsonify(asdict(self))
@@ -98,7 +107,10 @@ class EfficiencyExperimentResult:
                 "median_latency_s": round(s.median_latency, 3),
             }
             for interval, kbps in sorted(s.bandwidth_kbps.items()):
-                row[f"kbps_lk_int_{int(interval)}min"] = round(kbps, 2)
+                # %g matches scalar_metrics: whole-number intervals stay short
+                # ('5') while fractional ones keep their value ('7.5') instead
+                # of truncating — 7.5 and 7 must never share a column key.
+                row[f"kbps_lk_int_{interval:g}min"] = round(kbps, 2)
             rows.append(row)
         return rows
 
@@ -136,12 +148,25 @@ class EfficiencyExperimentResult:
 
 
 class EfficiencyExperiment:
-    """Runs the latency measurements and bandwidth estimates for all schemes."""
+    """Runs the latency measurements and bandwidth estimates for all schemes.
 
-    def __init__(self, config: Optional[EfficiencyExperimentConfig] = None, placement=None) -> None:
+    The two keyword hooks are scenario-subsystem injection points
+    (:mod:`repro.scenarios`): a *workload* model replaces the uniform
+    initiator/key draws of the measured lookups through the closed-loop
+    surface of :class:`repro.sim.workload.WorkloadModel`, and a *placement*
+    strategy replaces the uniform-random malicious sample.  Both default to
+    ``None`` — the paper's stylized environment — and the default workload
+    reproduces the historical draw sequence exactly.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EfficiencyExperimentConfig] = None,
+        workload: Optional[WorkloadModel] = None,
+        placement=None,
+    ) -> None:
         self.config = config or EfficiencyExperimentConfig()
-        # Scenario-subsystem injection point: optional adversary placement
-        # strategy for the measured ring (uniform random when None).
+        self.workload = workload
         self.placement = placement
 
     # ------------------------------------------------------------------ setup
@@ -176,12 +201,27 @@ class EfficiencyExperiment:
 
     # ---------------------------------------------------------------- latency
     def measure_latencies(self) -> Dict[str, Tuple[Histogram, float]]:
-        """Latency histograms and correctness fractions per scheme."""
+        """Latency histograms and correctness fractions per scheme.
+
+        Each measured lookup's initiator and key come from the workload
+        model's closed-loop draw surface on the shared ``"keys"`` stream; the
+        virtual closed-loop clock advances one second per lookup (lookup
+        ``i`` happens at ``now = i``), which is what time-windowed models
+        like hot-key-storm see.  With no injected model the default
+        :class:`~repro.sim.workload.WorkloadModel` draws
+        ``choice(alive)`` + ``randrange(space)`` — the exact
+        ``random_alive_id``/``random_key`` sequence this loop always used.
+        """
         cfg = self.config
         network, latency_model = self._build_network()
+        # The network's config is the authoritative one: it carries the
+        # ``scaled_for(n_nodes)`` adjustments (and this harness's overrides),
+        # which ``cfg.octopus`` does not.
+        octopus_cfg = network.config
         ring = network.ring
         rng = RandomSource(cfg.seed + 3)
-        workload = rng.stream("keys")
+        workload_model = self.workload or WorkloadModel()
+        keys = rng.stream("keys")
         processing = self.processing_delay_sampler()
 
         chord = ChordLookupProtocol(
@@ -206,12 +246,13 @@ class EfficiencyExperiment:
         relay_cache: Dict[int, list] = {}
 
         for i in range(cfg.lookups_per_scheme):
-            initiator = ring.random_alive_id(workload)
-            key = ring.random_key(workload)
+            now = float(i)  # virtual closed-loop clock: one lookup per second
+            initiator = workload_model.next_initiator(ring.alive_ids_sorted(), keys, now)
+            key = workload_model.next_key(ring.space.size, keys, now)
 
             if initiator not in relay_cache:
                 relay_cache[initiator] = octopus.select_relay_pairs(
-                    initiator, cfg.octopus.relay_pairs_per_lookup + 1
+                    initiator, octopus_cfg.relay_pairs_per_lookup + 1
                 )
             oct_res = octopus.lookup(initiator, key, relay_pairs=list(relay_cache[initiator]))
             # Octopus's critical path queries one node per hop (dummies and

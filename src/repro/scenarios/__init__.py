@@ -30,8 +30,9 @@ under any axis combination::
 
 Built-in presets (:mod:`~repro.scenarios.presets`) cover the headline
 questions: ``paper-baseline``, ``heavy-tail-churn``, ``flash-crowd``,
-``diurnal``, ``zipf-hotkeys``, ``hot-key-storm``, ``join-leave-attack``,
-``eclipse-20pct`` — ``repro list-kinds`` prints them all.
+``diurnal``, ``zipf-hotkeys``, ``hot-key-storm``, ``zipf-efficiency``,
+``join-leave-attack``, ``eclipse-20pct`` — ``repro list-kinds`` prints
+them all.
 """
 
 from .adversary import (

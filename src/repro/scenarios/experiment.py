@@ -45,10 +45,17 @@ _AXES = {
 _BASE_KINDS: Dict[str, Tuple[type, Tuple[str, ...]]] = {
     "security": (SecurityExperimentConfig, ("churn", "workload", "adversary")),
     "anonymity": (AnonymityExperimentConfig, ("adversary",)),
-    "efficiency": (EfficiencyExperimentConfig, ("adversary",)),
+    "efficiency": (EfficiencyExperimentConfig, ("workload", "adversary")),
     "ablation": (AblationConfig, ("adversary",)),
     "timing": (TimingExperimentConfig, ()),
 }
+
+#: base kinds that consume the workload axis through the *closed-loop* draw
+#: surface only (no engine): models whose essence is an engine-scheduled
+#: arrival process (``closed_loop = False``) cannot apply there and are
+#: reported ignored.  Any future engine-less kind that grows the workload
+#: axis must join this set.
+_CLOSED_LOOP_KINDS = frozenset({"efficiency"})
 
 
 @dataclass
@@ -213,6 +220,20 @@ def run_scenario(config: Optional[ScenarioConfig] = None) -> ScenarioResult:
         elif "churn" not in ignored:
             ignored.append("churn")
 
+    # Closed-loop harnesses measure back-to-back lookups with no engine,
+    # consuming the workload through the next_initiator/next_key draw
+    # surface.  A model whose essence is an engine-scheduled arrival process
+    # (open-loop Poisson) cannot apply there — report it ignored rather than
+    # running uniform traffic under the model's name.
+    if (
+        cfg.experiment in _CLOSED_LOOP_KINDS
+        and workload is not None
+        and not getattr(workload, "closed_loop", True)
+    ):
+        applied.remove("workload")
+        ignored.append("workload")
+        workload = None
+
     if cfg.experiment == "security":
         base_result = SecurityExperiment(
             base_config,
@@ -223,7 +244,9 @@ def run_scenario(config: Optional[ScenarioConfig] = None) -> ScenarioResult:
     elif cfg.experiment == "anonymity":
         base_result = AnonymityExperiment(base_config, placement=placement).run()
     elif cfg.experiment == "efficiency":
-        base_result = EfficiencyExperiment(base_config, placement=placement).run()
+        base_result = EfficiencyExperiment(
+            base_config, workload=workload, placement=placement
+        ).run()
     elif cfg.experiment == "ablation":
         base_result = AnonymityAblation(base_config, placement=placement).run()
     else:  # timing — validated above, no injectable surface

@@ -62,6 +62,14 @@ PRESETS: Dict[str, Dict[str, object]] = {
         "workload_params": {"storm_start_s": 100.0, "storm_end_s": 250.0, "storm_intensity": 0.9},
         "base": dict(_SECURITY_BASE),
     },
+    "zipf-efficiency": {
+        "description": "Table 3 efficiency (latency/bandwidth) under Zipf-skewed lookups (s=1.2)",
+        "experiment": "efficiency",
+        "workload": "zipf",
+        "workload_params": {"exponent": 1.2, "n_keys": 256},
+        # The paper's 207-node ring at the CLI's quick lookup count.
+        "base": {"n_nodes": 207, "lookups_per_scheme": 80},
+    },
     "join-leave-attack": {
         "description": "adversary nodes churn-attack: 10x shorter sessions to shed suspicion",
         "experiment": "security",

@@ -4,7 +4,11 @@ The paper's simulator has every honest node look up a uniformly random key
 on a fixed period.  Real DHT workloads are nothing like that: key
 popularity is Zipf-skewed, load arrives open-loop (and ramps), and content
 going viral concentrates lookups on a handful of hot keys.  Each model here
-plugs into the harnesses through :class:`repro.sim.workload.WorkloadModel`.
+plugs into the harnesses through :class:`repro.sim.workload.WorkloadModel`
+— both the engine-scheduled surface the security simulation drives and the
+closed-loop ``next_initiator``/``next_key`` draw surface the efficiency
+harness consumes (``zipf`` and ``hot-key-storm`` support both; open-loop
+``poisson`` is engine-only and says so via ``closed_loop = False``).
 
 Keys for ranked/hot distributions are derived by hashing the rank label
 onto the identifier space, so a given rank always maps to the same key —
@@ -116,9 +120,15 @@ class PoissonWorkload(WorkloadModel):
     closed per-node schedules cannot express.  ``rate_per_node_per_s=None``
     defaults to ``1/interval``, matching the closed-loop model's average
     offered load.
+
+    The model's essence *is* the arrival process, so it cannot be expressed
+    through the closed-loop draw surface alone (its key distribution is
+    plain uniform): harnesses without an engine report the workload axis as
+    ignored instead of running it.
     """
 
     name = "poisson"
+    closed_loop = False
 
     def __init__(
         self,

@@ -17,6 +17,21 @@ RNG draw sequence identical to the historical inline code, where dead nodes
 consumed no randomness — the property the campaign determinism contract
 leans on.
 
+Not every harness runs on the engine.  The efficiency harness measures a
+fixed number of back-to-back lookups with no simulated clock, so it cannot
+call :meth:`schedule`; for it (and any future closed-loop consumer) the
+model exposes a *closed-loop draw surface*: :meth:`next_initiator` picks who
+issues the next lookup and :meth:`next_key` what it targets, one lookup per
+call, against a virtual clock the harness advances.  The base model's draws
+are ``stream.choice(alive_ids)`` then ``stream.randrange(space_size)`` —
+exactly the ``ring.random_alive_id`` / ``ring.random_key`` pair the
+efficiency harness historically inlined, so injecting the base model there
+is a draw-for-draw no-op too.  Models whose essence is the *arrival
+process* rather than the key distribution (open-loop Poisson) set
+``closed_loop = False``: a closed-loop harness cannot honour them, and the
+scenario layer reports the axis as ignored instead of silently running
+uniform traffic under the model's name.
+
 The base class IS the paper's model, so harnesses built on it behave exactly
 as before when no other model is injected.  Skewed-popularity, open-loop
 Poisson, and hot-key-storm models live in :mod:`repro.scenarios.workloads`
@@ -25,7 +40,7 @@ and plug in through the same interface.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Sequence
 
 from .engine import SimulationEngine
 from .rng import RandomSource
@@ -40,9 +55,26 @@ class WorkloadModel:
 
     name = "uniform"
 
+    #: whether the model is fully captured by its closed-loop draws
+    #: (:meth:`next_initiator`/:meth:`next_key`).  ``False`` means the model's
+    #: essence is an engine-scheduled arrival process that a closed-loop
+    #: harness cannot honour — such harnesses must refuse (and report) it
+    #: rather than run uniform traffic under the model's name.
+    closed_loop = True
+
     def next_key(self, space_size: int, stream, now: float) -> int:
         """The key of the next lookup (uniform over the identifier space)."""
         return stream.randrange(space_size)
+
+    def next_initiator(self, alive_ids: Sequence[int], stream, now: float) -> int:
+        """The node issuing the next closed-loop lookup (uniform over alive).
+
+        Part of the closed-loop draw surface used by harnesses without an
+        engine: the default draw is ``stream.choice(alive_ids)``, byte-equal
+        to :meth:`repro.chord.ring.ChordRing.random_alive_id` on the same
+        stream, so the base model reproduces the historical inline sequence.
+        """
+        return stream.choice(alive_ids)
 
     def schedule(
         self,

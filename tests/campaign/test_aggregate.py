@@ -68,6 +68,36 @@ def test_aggregate_attaches_spec_metadata():
     assert summary["n_trials_expected"] == 2
 
 
+def test_ignored_axes_roll_up_per_base_kind():
+    from repro.campaign import summarize_ignored_axes
+
+    def scenario_record(trial_id, base_kind, ignored):
+        return {
+            "trial_id": trial_id,
+            "kind": "scenario",
+            "params": {"experiment": base_kind, "seed": 0},
+            "metrics": {"m": 1.0},
+            "detail": {"scenario": {"base_kind": base_kind, "ignored_axes": ignored}},
+        }
+
+    records = [
+        scenario_record("a", "timing", ["churn", "workload"]),
+        scenario_record("b", "timing", ["churn"]),
+        scenario_record("c", "anonymity", ["workload"]),
+        scenario_record("d", "efficiency", []),  # all applied: no contribution
+        record(0, 1.0, 0.1),  # non-scenario records contribute nothing
+    ]
+    rollup = summarize_ignored_axes(records)
+    assert rollup == {
+        "anonymity": {"axes": ["workload"], "n_trials": 1},
+        "timing": {"axes": ["churn", "workload"], "n_trials": 2},
+    }
+    summary = aggregate_records(records)
+    assert summary["ignored_axes"] == rollup
+    # The common all-applied case omits the key entirely.
+    assert "ignored_axes" not in aggregate_records([record(0, 1.0, 0.1)])
+
+
 def test_summary_rows_show_varied_params_and_ci():
     records = [record(s, r, 0.1) for r in (1.0, 0.5) for s in (0, 1)]
     headers, rows = summary_rows(aggregate_records(records))

@@ -60,6 +60,22 @@ def scenario_spec() -> CampaignSpec:
     )
 
 
+@pytest.fixture
+def efficiency_scenario_spec() -> CampaignSpec:
+    """An *efficiency*-kind scenario campaign under the zipf-hotkeys preset —
+    the workload axis must apply (PR 5), not ride along ignored."""
+    return CampaignSpec(
+        kind="scenario",
+        name="efficiency-scenario-backend-test",
+        base={
+            "experiment": "efficiency",
+            "base": {"n_nodes": 40, "lookups_per_scheme": 4},
+        },
+        grid={"preset": ["paper-baseline", "zipf-hotkeys"]},
+        seeds=(0, 1),
+    )
+
+
 def _stripped_outputs(out_dir):
     """(summary, {trial_id: record}) of a results dir, timing-stripped, as canonical JSON."""
     summary = canonical_json(strip_timing(json.loads((out_dir / "summary.json").read_text())))
@@ -84,11 +100,14 @@ def test_backend_registry_names():
         make_backend("carrier-pigeon")
 
 
-@pytest.mark.parametrize("spec_fixture", ["small_spec", "scenario_spec"])
+@pytest.mark.parametrize(
+    "spec_fixture", ["small_spec", "scenario_spec", "efficiency_scenario_spec"]
+)
 @pytest.mark.parametrize("backend", ["pool", "queue"])
 def test_differential_backend_equivalence(request, tmp_path, backend, spec_fixture):
     """Serial, pool and queue runs of one spec are byte-identical under
-    strip_timing — for the plain security kind and the scenario kind alike."""
+    strip_timing — for the plain security kind and the scenario kind alike
+    (including efficiency-based scenarios, whose workload axis applies)."""
     spec = request.getfixturevalue(spec_fixture)
     reference = run_campaign(spec, out_dir=tmp_path / "serial", backend="serial")
     report = run_campaign(spec, out_dir=tmp_path / backend, jobs=2, backend=backend)
@@ -100,6 +119,21 @@ def test_differential_backend_equivalence(request, tmp_path, backend, spec_fixtu
     got_summary, got_records = _stripped_outputs(tmp_path / backend)
     assert got_records == ref_records
     assert got_summary == ref_summary
+
+
+def test_efficiency_scenario_applies_every_axis(efficiency_scenario_spec, tmp_path):
+    """Post-tentpole: an efficiency scenario under zipf-hotkeys ignores no
+    axis — the records say 'workload' applied and the summary carries no
+    ignored_axes rollup (so the CLI prints no warning)."""
+    report = run_campaign(efficiency_scenario_spec, out_dir=tmp_path / "eff")
+    assert "ignored_axes" not in report.summary
+    store = CampaignStore(tmp_path / "eff")
+    for trial in efficiency_scenario_spec.expand():
+        record = store.load_trial(trial.trial_id)
+        scenario = record["detail"]["scenario"]
+        assert scenario["ignored_axes"] == [], trial.trial_id
+        expected = ["workload"] if trial.params["preset"] == "zipf-hotkeys" else []
+        assert scenario["applied_axes"] == expected, trial.trial_id
 
 
 def test_queue_backend_drains_its_own_queue(small_spec, tmp_path):

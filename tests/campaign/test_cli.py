@@ -41,6 +41,44 @@ def test_inline_json_list_param_is_one_value_not_a_grid_axis(tmp_path, capsys):
     assert record["detail"]["config"]["max_delays"] == [0.1, 0.2]
 
 
+def test_campaign_warns_per_kind_about_ignored_scenario_axes(tmp_path, capsys):
+    """A scenario sweep whose base harness cannot express a requested axis
+    must say so on the CLI — one warning line per base kind — instead of
+    leaving the gap buried in the trial files."""
+    argv = [
+        "campaign", "--kind", "scenario",
+        "--param", "experiment=timing",
+        "--param", "churn=weibull",
+        "--param", 'base={"max_candidate_flows":40}',
+        "--out", str(tmp_path / "ignored"), "--quiet",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert (
+        "warning: 1 scenario trial(s) on base kind 'timing' ignored axes: churn" in out
+    )
+
+
+def test_campaign_applied_axes_print_no_warning(tmp_path, capsys):
+    """The efficiency harness applies the workload axis (PR 5), so a zipf
+    efficiency scenario runs warning-free and records the applied axis."""
+    out_dir = tmp_path / "applied"
+    argv = [
+        "campaign", "--kind", "scenario",
+        "--param", "experiment=efficiency",
+        "--param", "workload=zipf",
+        "--param", 'base={"n_nodes":40,"lookups_per_scheme":4}',
+        "--out", str(out_dir), "--quiet",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "1 trial(s) executed" in out
+    assert "warning:" not in out
+    record = json.loads(next((out_dir / "trials").glob("*.json")).read_text())
+    assert record["detail"]["scenario"]["applied_axes"] == ["workload"]
+    assert record["detail"]["scenario"]["ignored_axes"] == []
+
+
 def test_malformed_seeds_exit_cleanly():
     with pytest.raises(SystemExit, match="malformed --seeds"):
         main(["campaign", "--kind", "timing", "--seeds", "banana", "--out", "/tmp/never"])

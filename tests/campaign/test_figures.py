@@ -1,10 +1,12 @@
 """The figure-adapter registry: every paper figure maps to campaign data.
 
-These tests pin the tentpole contract of the adapter layer: all 14 benchmarks
-are registered, each names a real benchmark file that actually consumes its
-adapter via ``report_campaign``, metric patterns resolve against genuine
-summaries, and rendering degrades to a one-line note instead of failing when
-handed a campaign of the wrong kind.
+These tests pin the tentpole contract of the adapter layer: every benchmark
+(the 14 paper figures/tables plus the two scenario sweeps) is registered,
+each names a real benchmark file that actually consumes its adapter via
+``report_campaign``, metric patterns resolve against genuine summaries, and
+rendering degrades to a one-line note instead of failing when handed a
+campaign of the wrong kind.  The scenario adapters additionally label rows
+per preset and filter groups to their base experiment kind.
 """
 
 from __future__ import annotations
@@ -25,6 +27,8 @@ from repro.campaign import (
     register_figure,
     render_figure_aggregates,
     run_campaign,
+    scenario_group_label,
+    scenario_summary_rows,
 )
 from repro.campaign.figures import _REGISTRY
 
@@ -36,6 +40,7 @@ ALL_FIGURES = (
     "fig5a", "fig5b", "fig5c", "fig6",
     "fig7a", "fig7b", "fig9",
     "table1", "table2", "table3",
+    "scenarios", "table3-scenarios",
 )
 
 
@@ -56,7 +61,7 @@ def fake_summary(metric_names, params=({"attack_rate": 1.0}, {"attack_rate": 0.5
 
 
 class TestRegistry:
-    def test_all_fourteen_figures_registered(self):
+    def test_all_figures_registered(self):
         assert set(available_figures()) == set(ALL_FIGURES)
 
     def test_every_adapter_points_at_a_known_kind_and_real_bench_file(self):
@@ -179,6 +184,10 @@ class TestRendering:
         assert "skipping aggregates" in text
         assert "±" not in text
 
+    def test_scenario_figures_require_scenario_kind(self, security_results):
+        text = render_figure_aggregates("scenarios", security_results)
+        assert "skipping aggregates" in text
+
     def test_none_results_render_empty(self):
         assert render_figure_aggregates("fig3a", None) == ""
 
@@ -202,3 +211,130 @@ class TestRendering:
         text = render_figure_aggregates("fig7b", security_results)
         assert "ca_messages_total" in text
         assert "ca_messages_peak_per_s" in text
+
+
+class TestScenarioAdapters:
+    """The scenario figure-adapter family: per-preset rows, base-kind filter."""
+
+    @pytest.fixture(scope="class")
+    def scenario_results(self, tmp_path_factory):
+        """A tiny efficiency-under-scenarios campaign, loaded from disk."""
+        spec = CampaignSpec(
+            kind="scenario",
+            name="scenario-figures-test",
+            base={
+                "experiment": "efficiency",
+                "base": {"n_nodes": 40, "lookups_per_scheme": 4},
+            },
+            grid={"preset": ["paper-baseline", "zipf-hotkeys"]},
+            seeds=(0, 1),
+        )
+        out = tmp_path_factory.mktemp("campaign") / "scenario"
+        run_campaign(spec, out_dir=out, jobs=1)
+        from repro.campaign import load_campaign_results
+
+        return load_campaign_results(out)
+
+    def test_group_labels(self):
+        assert scenario_group_label({"preset": "zipf-hotkeys"}) == "zipf-hotkeys"
+        assert (
+            scenario_group_label({"experiment": "efficiency", "workload": "zipf"})
+            == "workload=zipf"
+        )
+        assert (
+            scenario_group_label({"workload": "zipf", "adversary": "eclipse"})
+            == "workload=zipf,adversary=eclipse"
+        )
+        assert scenario_group_label({"experiment": "security"}) == "plain"
+        # Axis overrides on top of a preset stay visible in the label — a
+        # grid sweeping an axis under one preset must not render twins.
+        assert (
+            scenario_group_label({"preset": "zipf-hotkeys", "workload": "hot-key-storm"})
+            == "zipf-hotkeys workload=hot-key-storm"
+        )
+        # Non-scenario-shaped params degrade to a generic label, not an error.
+        assert scenario_group_label({"attack_rate": 1.0}) == "custom"
+
+    def test_rows_are_labelled_per_preset(self, scenario_results):
+        text = render_figure_aggregates("table3-scenarios", scenario_results)
+        assert "per-scenario campaign aggregates (mean±ci95 over seeds)" in text
+        assert "paper-baseline" in text
+        assert "zipf-hotkeys" in text
+        assert "octopus_mean_latency_s" in text
+        assert "±" in text
+
+    def test_rows_filter_by_resolved_base_kind(self, scenario_results):
+        summary = scenario_results.summary
+        headers, rows = scenario_summary_rows(
+            summary, ["octopus_mean_latency_s"], base_kind="efficiency"
+        )
+        assert headers[0] == "scenario"
+        assert [row[0] for row in rows] == ["paper-baseline", "zipf-hotkeys"]
+        # The same summary has no security-based groups.
+        assert scenario_summary_rows(
+            summary, ["octopus_mean_latency_s"], base_kind="security"
+        ) == ([], [])
+
+    @staticmethod
+    def _scenario_record(trial_id, params, metrics):
+        return {
+            "trial_id": trial_id,
+            "kind": "scenario",
+            "params": params,
+            "metrics": metrics,
+        }
+
+    def test_default_metric_columns_come_from_filtered_groups(self):
+        """With ``metrics`` omitted, the columns derive from the groups that
+        survive the base-kind filter — excluded kinds contribute no blank
+        columns."""
+        summary = aggregate_records(
+            [
+                self._scenario_record(
+                    "a",
+                    {"preset": "zipf-hotkeys", "experiment": "efficiency", "seed": 0},
+                    {"octopus_mean_latency_s": 1.0},
+                ),
+                self._scenario_record(
+                    "b",
+                    {"preset": "paper-baseline", "seed": 0},
+                    {"final_malicious_fraction": 0.1},
+                ),
+            ]
+        )
+        headers, rows = scenario_summary_rows(summary, base_kind="efficiency")
+        assert headers == ["scenario", "n", "octopus_mean_latency_s"]
+        assert [row[0] for row in rows] == ["zipf-hotkeys"]
+
+    def test_duplicate_labels_get_varied_grid_params_appended(self):
+        """Groups the preset label cannot distinguish (same preset, different
+        base/params grid cells) append the varying params to stay apart."""
+        summary = aggregate_records(
+            [
+                self._scenario_record(
+                    "a",
+                    {"preset": "zipf-hotkeys", "base": {"n_nodes": 40}, "seed": 0},
+                    {"m": 1.0},
+                ),
+                self._scenario_record(
+                    "b",
+                    {"preset": "zipf-hotkeys", "base": {"n_nodes": 80}, "seed": 0},
+                    {"m": 2.0},
+                ),
+            ]
+        )
+        _headers, rows = scenario_summary_rows(summary, ["m"])
+        labels = [row[0] for row in rows]
+        assert len(set(labels)) == 2
+        assert all(label.startswith("zipf-hotkeys ") for label in labels)
+        assert any("40" in label for label in labels)
+        assert any("80" in label for label in labels)
+
+    def test_security_scenario_figure_degrades_on_efficiency_campaign(
+        self, scenario_results
+    ):
+        """The 'scenarios' figure reports security metrics; an efficiency
+        scenario campaign has none of them — note, not a table or an error."""
+        text = render_figure_aggregates("scenarios", scenario_results)
+        assert "contains none of this figure's metrics" in text
+        assert "±" not in text

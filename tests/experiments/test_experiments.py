@@ -162,6 +162,129 @@ class TestEfficiencyExperiment:
         assert {r["scheme"] for r in rows} == {"octopus", "chord", "halo"}
 
 
+TINY_EFFICIENCY = dict(n_nodes=40, lookups_per_scheme=4)
+
+
+class TestEfficiencyRegressions:
+    """The PR-5 efficiency-harness config bugfixes, pinned."""
+
+    def test_relay_pairs_come_from_the_scaled_octopus_config(self, monkeypatch):
+        """Regression: measure_latencies built relay pairs from the *unscaled*
+        ``cfg.octopus`` while the network ran the ``scaled_for(n_nodes)``
+        config.  Scaling is identity for relay pairs today, so the test makes
+        it not be: a scaled config with a different relay-pair count must be
+        the one the lookup loop asks for — pinned at the paper's 207 nodes."""
+        from dataclasses import replace
+
+        from repro.core.anonymous_lookup import AnonymousLookupProtocol
+
+        original_scaled_for = OctopusConfig.scaled_for
+
+        def scaling_that_touches_relay_pairs(self, n_nodes):
+            # Idempotent on purpose: the scaled config passes through
+            # OctopusNetwork.create, which calls scaled_for again.
+            return replace(original_scaled_for(self, n_nodes), relay_pairs_per_lookup=6)
+
+        monkeypatch.setattr(OctopusConfig, "scaled_for", scaling_that_touches_relay_pairs)
+
+        requested_counts = []
+        original_select = AnonymousLookupProtocol.select_relay_pairs
+
+        def spying_select(self, initiator, count):
+            requested_counts.append(count)
+            return original_select(self, initiator, count)
+
+        monkeypatch.setattr(AnonymousLookupProtocol, "select_relay_pairs", spying_select)
+
+        config = EfficiencyExperimentConfig(n_nodes=207, lookups_per_scheme=2, seed=1)
+        assert config.octopus.relay_pairs_per_lookup == 4  # unscaled stays 4
+        EfficiencyExperiment(config).measure_latencies()
+        assert requested_counts and all(count == 6 + 1 for count in requested_counts)
+
+    def test_fractional_lookup_intervals_do_not_collide(self):
+        """Regression: ``table3_rows`` truncated intervals with ``int()``, so
+        7 and 7.5 minutes both rendered ``kbps_lk_int_7min``."""
+        config = EfficiencyExperimentConfig(
+            seed=1, lookup_intervals_minutes=(7.0, 7.5), **TINY_EFFICIENCY
+        )
+        result = EfficiencyExperiment(config).run()
+        for row in result.table3_rows():
+            # Both intervals keep their own column — before the fix 7.5
+            # truncated to 7 and silently overwrote the 7-minute value.
+            assert {"kbps_lk_int_7min", "kbps_lk_int_7.5min"} <= set(row)
+            assert len([k for k in row if k.startswith("kbps_lk_int_")]) == 2
+        metrics = result.scalar_metrics()
+        assert "octopus_kbps_lk_int_7min" in metrics
+        assert "octopus_kbps_lk_int_7.5min" in metrics
+
+    def test_sequence_config_fields_normalize_to_tuples(self):
+        """Regression: list-valued sequence fields (as campaign specs and JSON
+        deserialization produce) must compare equal to the tuple defaults."""
+        import json
+
+        from repro.experiments.results import config_from_dict
+
+        from_lists = EfficiencyExperimentConfig(
+            lookup_intervals_minutes=[5.0, 10.0], slow_node_delay_range=[0.5, 2.0]
+        )
+        assert from_lists == EfficiencyExperimentConfig()
+        assert from_lists.lookup_intervals_minutes == (5.0, 10.0)
+        # Round trip through JSON and back: byte-equal to the original.
+        config = EfficiencyExperimentConfig(seed=3, lookup_intervals_minutes=(7.0, 7.5))
+        revived = config_from_dict(
+            EfficiencyExperimentConfig, json.loads(json.dumps(config.to_dict()))
+        )
+        assert revived == config
+
+
+class TestEfficiencyWorkloadInjection:
+    """The closed-loop workload surface on the efficiency harness."""
+
+    def test_default_model_is_a_behavioural_noop(self):
+        from repro.sim.workload import WorkloadModel
+
+        config = EfficiencyExperimentConfig(seed=1, **TINY_EFFICIENCY)
+        plain = EfficiencyExperiment(config).run()
+        injected = EfficiencyExperiment(config, workload=WorkloadModel()).run()
+        assert injected.to_dict() == plain.to_dict()
+
+    def test_zipf_workload_changes_keys_deterministically(self):
+        from repro.scenarios.workloads import ZipfWorkload
+
+        config = EfficiencyExperimentConfig(seed=1, **TINY_EFFICIENCY)
+        plain = EfficiencyExperiment(config).run()
+        zipf = lambda: EfficiencyExperiment(  # noqa: E731 - local factory
+            config, workload=ZipfWorkload(exponent=1.2, n_keys=64)
+        ).run()
+        first, second = zipf(), zipf()
+        assert first.to_dict() == second.to_dict()  # same model, same draws
+        assert first.to_dict() != plain.to_dict()  # but not the uniform ones
+
+    def test_hot_key_storm_sees_the_virtual_clock(self):
+        """Lookup ``i`` happens at ``now = i`` seconds: a storm window covering
+        the whole run concentrates lookups on the hot key, one starting after
+        ``lookups_per_scheme`` never fires."""
+        from repro.scenarios.workloads import HotKeyStormWorkload
+
+        config = EfficiencyExperimentConfig(seed=1, **TINY_EFFICIENCY)
+
+        def run_with(storm_start_s, storm_end_s, storm_intensity=0.9):
+            return EfficiencyExperiment(
+                config,
+                workload=HotKeyStormWorkload(
+                    storm_start_s=storm_start_s,
+                    storm_end_s=storm_end_s,
+                    storm_intensity=storm_intensity,
+                ),
+            ).run()
+
+        # Two windows the per-lookup virtual clock never reaches: identical
+        # draws (the storm coin is always consumed, window or not).
+        assert run_with(1e6, 2e6).to_dict() == run_with(5e6, 9e6).to_dict()
+        # A window covering every lookup at full intensity hits the hot key.
+        assert run_with(0.0, 1e6, 1.0).to_dict() != run_with(1e6, 2e6).to_dict()
+
+
 class TestTimingExperiment:
     def test_table1_grid(self):
         config = TimingExperimentConfig(max_candidate_flows=400)

@@ -35,11 +35,16 @@ TINY_ANONYMITY = {
     "concurrent_lookup_rates": [0.01],
     "n_worlds": 5,
 }
+TINY_EFFICIENCY = {"n_nodes": 40, "lookups_per_scheme": 4}
 
 
 def tiny_base_for(preset: str) -> dict:
     experiment = get_preset(preset).get("experiment", "security")
-    return dict(TINY_ANONYMITY if experiment == "anonymity" else TINY_SECURITY)
+    if experiment == "anonymity":
+        return dict(TINY_ANONYMITY)
+    if experiment == "efficiency":
+        return dict(TINY_EFFICIENCY)
+    return dict(TINY_SECURITY)
 
 
 def test_at_least_six_builtin_presets():
@@ -178,6 +183,59 @@ def test_paper_baseline_reproduces_plain_security_exactly():
     )
     assert scenario.scalar_metrics() == plain.scalar_metrics()
     assert scenario.applied_axes == [] and scenario.ignored_axes == []
+
+
+def test_paper_baseline_efficiency_reproduces_plain_efficiency_exactly():
+    """PR 5 acceptance: routing the efficiency harness's draws through the
+    workload model must be a behavioural no-op for the default model — the
+    full result (latency CDFs included), not just the scalars, is compared."""
+    from repro.experiments.efficiency import EfficiencyExperimentConfig, run_efficiency
+    from repro.experiments.results import config_from_dict
+
+    plain = run_efficiency(
+        config_from_dict(EfficiencyExperimentConfig, {**TINY_EFFICIENCY, "seed": 2})
+    )
+    scenario = run_scenario(
+        ScenarioConfig(
+            preset="paper-baseline",
+            experiment="efficiency",
+            base=dict(TINY_EFFICIENCY),
+            seed=2,
+        )
+    )
+    assert scenario.base_result.to_dict() == plain.to_dict()
+    assert scenario.applied_axes == [] and scenario.ignored_axes == []
+
+
+def test_efficiency_applies_the_workload_axis():
+    """PR 5 acceptance: experiment=efficiency, workload=zipf reports the
+    workload axis as applied (efficiency used to support adversary only)."""
+    result = run_scenario(
+        ScenarioConfig(
+            experiment="efficiency",
+            workload="zipf",
+            workload_params={"exponent": 1.2, "n_keys": 64},
+            base=dict(TINY_EFFICIENCY),
+        )
+    )
+    assert result.applied_axes == ["workload"]
+    assert result.ignored_axes == []
+    assert result.to_dict()["scenario"]["applied_axes"] == ["workload"]
+
+
+def test_open_loop_poisson_is_ignored_by_the_closed_loop_efficiency_harness():
+    """The Poisson model's essence is an engine-scheduled arrival process;
+    the closed-loop efficiency harness cannot honour it and must say so
+    (its key distribution alone would just be uniform under another name)."""
+    result = run_scenario(
+        ScenarioConfig(
+            experiment="efficiency",
+            workload="poisson",
+            base=dict(TINY_EFFICIENCY),
+        )
+    )
+    assert result.applied_axes == []
+    assert result.ignored_axes == ["workload"]
 
 
 def test_inapplicable_axes_are_reported_not_dropped():
