@@ -1,0 +1,28 @@
+"""Repo-level pytest plumbing: the slow test tier.
+
+Tier-1 (the default ``pytest -x -q``) must stay fast; cases that build
+rings of >= 10^4 nodes are marked ``@pytest.mark.slow`` and deselected
+unless ``--run-slow`` is given.  The nightly workflow runs the slow tier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="also run @pytest.mark.slow cases (>=10^4-node simulations)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow tier: pass --run-slow to include")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -76,6 +76,10 @@ class FingerTable:
     def ideal_id(self, index: int) -> int:
         return self._entries[index].ideal_id
 
+    def ideal_ids(self) -> List[int]:
+        """Every entry's ideal identifier, in index order."""
+        return [e.ideal_id for e in self._entries]
+
     def get(self, index: int) -> Optional[int]:
         """The node currently filling finger ``index`` (or ``None``)."""
         return self._entries[index].node_id
@@ -114,6 +118,17 @@ class FingerTable:
             if pos == len(sorted_ids):
                 pos = 0
             e.node_id = sorted_ids[pos]
+
+    def fill_targets(self, targets: Sequence[Optional[int]]) -> None:
+        """Set every entry from pre-resolved targets (one per entry, in order).
+
+        Counterpart of :meth:`fill_from` for callers that resolved the
+        ideals elsewhere (the ring kernels' cached finger resolution).
+        """
+        if len(targets) != self.size:
+            raise ValueError(f"expected {self.size} targets, got {len(targets)}")
+        for e, target in zip(self._entries, targets):
+            e.node_id = target
 
     def copy(self) -> "FingerTable":
         """Deep copy (used when adversaries fabricate manipulated tables)."""

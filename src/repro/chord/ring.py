@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..crypto.ca import CertificateAuthority
 from ..crypto.keys import FAST
+from ..sim.kernel import make_ring_kernel, validate_kernel
 from ..sim.rng import RandomSource
 from .idspace import IdSpace
 from .node import ChordNode
@@ -27,6 +28,11 @@ class RingConfig:
 
     Defaults follow Section 5.1 of the paper (N=1000 security experiments):
     12 fingers, 6 successors, 6 predecessors, 20% malicious nodes.
+
+    ``kernel`` selects the membership-state backend (see
+    :mod:`repro.sim.kernel`): ``"object"`` keeps the historical O(N)-scan
+    semantics, ``"array"`` maintains flat sorted arrays incrementally for
+    10^5+-node simulations.  Both are observationally identical.
     """
 
     n_nodes: int = 1000
@@ -37,6 +43,7 @@ class RingConfig:
     id_bits: int = 32
     key_mode: str = FAST
     seed: int = 0
+    kernel: str = "object"
 
 
 class ChordRing:
@@ -50,6 +57,8 @@ class ChordRing:
         self._sorted_ids: List[int] = []
         self.malicious_ids: Set[int] = set()
         self.removed_ids: Set[int] = set()
+        validate_kernel(self.config.kernel)
+        self.kernel = make_ring_kernel(self.config.kernel, space_size=space.size)
 
     # ------------------------------------------------------------ construction
     @classmethod
@@ -109,20 +118,33 @@ class ChordRing:
 
         ring._sorted_ids = sorted_ids
         ring.malicious_ids = malicious
+        ring.kernel.load(sorted_ids, malicious)
         ring.rebuild_routing_state()
         return ring
 
     def rebuild_routing_state(self, node_ids: Optional[Iterable[int]] = None) -> None:
-        """(Re)initialise routing state of the given nodes from ground truth."""
-        alive_sorted = self.alive_ids_sorted()
+        """(Re)initialise routing state of the given nodes from ground truth.
+
+        A full rebuild (``node_ids=None``, ring construction) fills finger
+        tables directly from the alive view; targeted rebuilds (churn
+        rejoins) go through the kernel's ``resolve_fingers``, which the
+        array kernel caches per owner and invalidates on churn.
+        """
+        alive_sorted = self.kernel.alive_ids_view()
         if not alive_sorted:
             return
-        targets = node_ids if node_ids is not None else list(self.nodes)
+        full_rebuild = node_ids is None
+        targets = list(self.nodes) if full_rebuild else node_ids
         for node_id in targets:
             node = self.nodes.get(node_id)
             if node is None or not node.alive:
                 continue
-            node.finger_table.fill_from(alive_sorted)
+            if full_rebuild:
+                node.finger_table.fill_from(alive_sorted)
+            else:
+                node.finger_table.fill_targets(
+                    self.kernel.resolve_fingers(node_id, node.finger_table.ideal_ids())
+                )
             node.successor_list.replace_all(self._neighbors(node_id, alive_sorted, +1, node.successor_list.capacity))
             node.predecessor_list.replace_all(self._neighbors(node_id, alive_sorted, -1, node.predecessor_list.capacity))
 
@@ -164,17 +186,15 @@ class ChordRing:
         return list(self._sorted_ids)
 
     def alive_ids_sorted(self) -> List[int]:
-        return [nid for nid in self._sorted_ids if self.nodes[nid].alive]
+        return self.kernel.alive_ids()
 
     def alive_nodes(self) -> List[ChordNode]:
-        return [self.nodes[nid] for nid in self._sorted_ids if self.nodes[nid].alive]
+        return [self.nodes[nid] for nid in self.kernel.alive_ids_view()]
 
     def honest_ids(self, alive_only: bool = True) -> List[int]:
-        return [
-            nid
-            for nid in self._sorted_ids
-            if nid not in self.malicious_ids and (not alive_only or self.nodes[nid].alive)
-        ]
+        if alive_only:
+            return self.kernel.honest_alive_ids()
+        return [nid for nid in self._sorted_ids if nid not in self.malicious_ids]
 
     def malicious_alive_ids(self) -> List[int]:
         return [nid for nid in self.malicious_ids if nid in self.nodes and self.nodes[nid].alive]
@@ -184,21 +204,12 @@ class ChordRing:
 
     def fraction_malicious_alive(self) -> float:
         """Fraction of alive nodes that are malicious (the Figure 3/4/9 metric)."""
-        alive = self.alive_ids_sorted()
-        if not alive:
-            return 0.0
-        return sum(1 for nid in alive if nid in self.malicious_ids) / len(alive)
+        return self.kernel.fraction_malicious_alive()
 
     # ------------------------------------------------------------- ground truth
     def true_successor(self, key: int) -> Optional[int]:
         """Ground-truth owner of ``key`` (first alive node at or after the key)."""
-        alive = self.alive_ids_sorted()
-        if not alive:
-            return None
-        pos = bisect.bisect_left(alive, key % self.space.size)
-        if pos == len(alive):
-            pos = 0
-        return alive[pos]
+        return self.kernel.successor_of(key)
 
     def owner_of(self, key: int) -> Optional[int]:
         """Alias for :meth:`true_successor` (Chord key ownership)."""
@@ -210,6 +221,7 @@ class ChordRing:
         node = self.nodes.get(node_id)
         if node is not None:
             node.alive = False
+            self.kernel.set_alive(node_id, False)
 
     def mark_alive(self, node_id: int, rebuild_state: bool = True, now: float = 0.0) -> None:
         """A churned node rejoins (fresh routing state, as in the paper's model)."""
@@ -218,6 +230,7 @@ class ChordRing:
             return
         node.alive = True
         node.last_join_time = now
+        self.kernel.set_alive(node_id, True)
         if rebuild_state:
             self.rebuild_routing_state([node_id])
 
@@ -227,23 +240,24 @@ class ChordRing:
         if node is None:
             return
         node.alive = False
+        self.kernel.set_alive(node_id, False)
         self.removed_ids.add(node_id)
+        self.kernel.set_removed(node_id)
         # The node stays in ``malicious_ids`` so metrics can distinguish
         # "was malicious and got removed" from "honest"; fraction metrics use
         # alive status and ``removed_ids``.
 
     def remaining_malicious_fraction(self) -> float:
         """Fraction of the *current* network that is malicious and not yet removed."""
-        alive = [nid for nid in self._sorted_ids if self.nodes[nid].alive and nid not in self.removed_ids]
-        if not alive:
-            return 0.0
-        return sum(1 for nid in alive if nid in self.malicious_ids) / len(alive)
+        return self.kernel.remaining_malicious_fraction()
 
     # --------------------------------------------------------------- sampling
     def random_alive_id(self, rng, exclude: Optional[Set[int]] = None) -> Optional[int]:
         """A uniformly random alive node id (optionally excluding a set)."""
-        exclude = exclude or set()
-        candidates = [nid for nid in self.alive_ids_sorted() if nid not in exclude]
+        if exclude:
+            candidates = [nid for nid in self.kernel.alive_ids_view() if nid not in exclude]
+        else:
+            candidates = self.kernel.alive_ids_view()
         if not candidates:
             return None
         return rng.choice(candidates)

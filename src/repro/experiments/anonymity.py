@@ -19,6 +19,7 @@ from ..anonymity.initiator import InitiatorAnonymityEstimator, InitiatorAnonymit
 from ..anonymity.observations import AnonymityConfig
 from ..anonymity.ring_model import LightweightRing
 from ..anonymity.target import TargetAnonymityEstimator, TargetAnonymityResult
+from ..sim.kernel import validate_kernel
 from .results import jsonify
 
 
@@ -32,6 +33,11 @@ class AnonymityExperimentConfig:
     concurrent_lookup_rates: Tuple[float, ...] = (0.005, 0.01)
     n_worlds: int = 200
     seed: int = 0
+    #: lookup-path backend, "object" or "array" (see repro.sim.kernel).
+    kernel: str = "object"
+
+    def __post_init__(self) -> None:
+        validate_kernel(self.kernel)
 
     def to_dict(self) -> Dict[str, object]:
         return jsonify(asdict(self))
@@ -123,6 +129,7 @@ class AnonymityExperiment:
             fraction_malicious=fraction_malicious,
             seed=self.config.seed,
             placement=self.placement,
+            kernel=self.config.kernel,
         )
 
     def run_octopus(self) -> List[AnonymityPoint]:

@@ -33,6 +33,7 @@ from ..core.config import OctopusConfig
 from ..core.octopus_node import OctopusNetwork
 from ..sim.churn import ChurnConfig, ChurnProcess, ChurnProfile
 from ..sim.engine import SimulationEngine
+from ..sim.kernel import validate_kernel
 from ..sim.metrics import MetricsRegistry
 from ..sim.rng import RandomSource
 from ..sim.workload import WorkloadModel
@@ -67,12 +68,18 @@ class SecurityExperimentConfig:
     sample_interval: float = 50.0
     include_lookups: bool = True
     octopus: OctopusConfig = field(default_factory=OctopusConfig)
+    #: ring-membership backend, "object" or "array" (see repro.sim.kernel).
+    kernel: str = "object"
+
+    def __post_init__(self) -> None:
+        validate_kernel(self.kernel)
 
     def validate(self) -> None:
         if self.attack not in ATTACKS:
             raise ValueError(f"unknown attack {self.attack!r}; choose from {sorted(ATTACKS)}")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        validate_kernel(self.kernel)
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON representation (tuples already converted to lists)."""
@@ -176,6 +183,7 @@ class SecurityExperiment:
             seed=cfg.seed,
             config=octopus_cfg,
             placement=self.placement,
+            kernel=cfg.kernel,
         )
         engine = SimulationEngine()
         rng = RandomSource(cfg.seed + 1)
@@ -321,6 +329,7 @@ def run_attack_sweep(
             sample_interval=config.sample_interval,
             include_lookups=config.include_lookups,
             octopus=config.octopus,
+            kernel=config.kernel,
         )
         results[rate] = SecurityExperiment(config).run()
     return results

@@ -1,0 +1,97 @@
+"""The reference kernel: the historical per-object O(N) scan semantics.
+
+Every query recomputes from scratch, exactly as :class:`ChordRing` did when
+its membership state lived on :class:`ChordNode` objects.  It is deliberately
+unoptimised — it is the behavioural baseline the array kernel is verified
+against, and the "before" side of ``benchmarks/bench_kernel.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .base import RingKernel
+
+
+class ObjectRingKernel(RingKernel):
+    """Legacy semantics: sorted id list + per-node flags, O(N) queries."""
+
+    name = "object"
+
+    def __init__(self, space_size: int) -> None:
+        super().__init__(space_size)
+        self._sorted_ids: List[int] = []
+        self._alive: Dict[int, bool] = {}
+        self._malicious: Set[int] = set()
+        self._removed: Set[int] = set()
+
+    # ------------------------------------------------------------------ state
+    def load(self, sorted_ids: Sequence[int], malicious_ids: Iterable[int]) -> None:
+        self._sorted_ids = list(sorted_ids)
+        self._alive = {nid: True for nid in self._sorted_ids}
+        self._malicious = set(malicious_ids)
+        self._removed = set()
+
+    def set_alive(self, node_id: int, alive: bool) -> None:
+        if node_id in self._alive:
+            self._alive[node_id] = alive
+
+    def set_removed(self, node_id: int) -> None:
+        if node_id in self._alive:
+            self._removed.add(node_id)
+
+    # ---------------------------------------------------------------- queries
+    def is_alive(self, node_id: int) -> bool:
+        return self._alive.get(node_id, False)
+
+    def alive_count(self) -> int:
+        return sum(1 for nid in self._sorted_ids if self._alive[nid])
+
+    def alive_ids_view(self) -> List[int]:
+        return [nid for nid in self._sorted_ids if self._alive[nid]]
+
+    def honest_alive_ids_view(self) -> List[int]:
+        return [
+            nid
+            for nid in self._sorted_ids
+            if nid not in self._malicious and self._alive[nid]
+        ]
+
+    def successor_of(self, key: int) -> Optional[int]:
+        alive = self.alive_ids_view()
+        if not alive:
+            return None
+        pos = bisect.bisect_left(alive, key % self.space_size)
+        if pos == len(alive):
+            pos = 0
+        return alive[pos]
+
+    def fraction_malicious_alive(self) -> float:
+        alive = self.alive_ids_view()
+        if not alive:
+            return 0.0
+        return sum(1 for nid in alive if nid in self._malicious) / len(alive)
+
+    def remaining_malicious_fraction(self) -> float:
+        alive = [
+            nid
+            for nid in self._sorted_ids
+            if self._alive[nid] and nid not in self._removed
+        ]
+        if not alive:
+            return 0.0
+        return sum(1 for nid in alive if nid in self._malicious) / len(alive)
+
+    def resolve_fingers(self, owner_id: int, ideals: Sequence[int]) -> List[Optional[int]]:
+        alive = self.alive_ids_view()
+        if not alive:
+            return [None] * len(ideals)
+        out: List[Optional[int]] = []
+        n = len(alive)
+        for ideal in ideals:
+            pos = bisect.bisect_left(alive, ideal)
+            if pos == n:
+                pos = 0
+            out.append(alive[pos])
+        return out

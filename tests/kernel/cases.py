@@ -1,0 +1,73 @@
+"""Shared per-kind experiment cases for the kernel differential/golden suites.
+
+One small-but-nontrivial parameter set per experiment kind that supports the
+``kernel=`` switch.  The differential tests run each case under both kernels
+and demand byte-identical results; the golden tests pin the same cases to
+committed sha256 digests so a semantics drift in *either* kernel fails even
+when both kernels drift together.
+
+Keep these parameters stable: changing them invalidates the golden digests
+(regenerate with ``python tests/kernel/regenerate.py`` and commit the diff).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict
+
+from repro.campaign import canonical_json, get_experiment, strip_timing
+
+#: kind -> small deterministic params (seconds-scale under either kernel).
+#: ``timing`` is deliberately absent: it has no ring and no kernel switch.
+CASES: Dict[str, dict] = {
+    "security": {"n_nodes": 60, "duration": 15.0, "sample_interval": 5.0, "seed": 3},
+    "efficiency": {"n_nodes": 40, "lookups_per_scheme": 4, "seed": 3},
+    "anonymity": {
+        "n_nodes": 150,
+        "fractions_malicious": [0.2],
+        "dummy_counts": [2],
+        "concurrent_lookup_rates": [0.01],
+        "n_worlds": 10,
+        "seed": 3,
+    },
+    "ablation": {"n_nodes": 120, "n_worlds": 8, "seed": 3},
+    "scenario": {
+        "preset": "heavy-tail-churn",
+        "seed": 3,
+        "base": {"n_nodes": 60, "duration": 15.0, "sample_interval": 5.0},
+    },
+}
+
+
+def with_kernel(kind: str, kernel: str) -> dict:
+    """The kind's case params with the kernel switch applied.
+
+    Scenario configs carry the base experiment's params in a nested ``base``
+    dict, so the switch nests accordingly.
+    """
+    params = copy.deepcopy(CASES[kind])
+    if kind == "scenario":
+        params["base"]["kernel"] = kernel
+    else:
+        params["kernel"] = kernel
+    return params
+
+
+def strip_kernel(obj):
+    """Drop every ``kernel`` key, recursively.
+
+    Result dicts embed their config — including the kernel name — so the
+    byte-identity comparison must blind itself to the one field that is
+    *supposed* to differ between the two runs.
+    """
+    if isinstance(obj, dict):
+        return {k: strip_kernel(v) for k, v in obj.items() if k != "kernel"}
+    if isinstance(obj, list):
+        return [strip_kernel(v) for v in obj]
+    return obj
+
+
+def run_canonical(kind: str, kernel: str) -> str:
+    """Canonical timing- and kernel-stripped JSON of one case run."""
+    result = get_experiment(kind).run(with_kernel(kind, kernel))
+    return canonical_json(strip_kernel(strip_timing(result.to_dict())))
