@@ -44,6 +44,8 @@ from .aggregate import (
 )
 from .figures import (
     FigureAdapter,
+    adaptive_group_label,
+    adaptive_summary_rows,
     available_figures,
     figure_aggregate_rows,
     get_figure,
@@ -92,6 +94,8 @@ __all__ = [
     "ProcessPoolBackend",
     "SerialBackend",
     "TrialSpec",
+    "adaptive_group_label",
+    "adaptive_summary_rows",
     "aggregate_records",
     "available_backends",
     "available_figures",

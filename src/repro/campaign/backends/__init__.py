@@ -22,7 +22,15 @@ from typing import Dict, Tuple, Type, Union
 
 from .base import Backend, execute_trial
 from .pool import ProcessPoolBackend
-from .queue import FileQueueBackend, PollBackoff, default_worker_id, run_worker
+from .queue import (
+    FileQueueBackend,
+    PollBackoff,
+    claim_and_execute_batch,
+    claim_and_execute_next,
+    default_worker_id,
+    expensive_cost_keys,
+    run_worker,
+)
 from .serial import SerialBackend
 
 _BACKENDS: Dict[str, Type[Backend]] = {
@@ -65,8 +73,11 @@ __all__ = [
     "ProcessPoolBackend",
     "SerialBackend",
     "available_backends",
+    "claim_and_execute_batch",
+    "claim_and_execute_next",
     "default_worker_id",
     "execute_trial",
+    "expensive_cost_keys",
     "make_backend",
     "run_worker",
 ]

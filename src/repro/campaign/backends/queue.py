@@ -36,7 +36,8 @@ from pathlib import Path
 from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple, Union
 
 from ..persistence import CampaignStore
-from ..spec import TrialSpec
+from ..scheduling import load_timing_history
+from ..spec import TrialSpec, cost_key
 from .base import Backend, execute_trial
 
 #: how long a claim may sit unreaped before it is presumed orphaned.
@@ -45,6 +46,10 @@ DEFAULT_CLAIM_TTL_S = 300.0
 DEFAULT_POLL_INTERVAL_S = 0.2
 #: idle-poll backoff ceiling: a long-idle worker never sleeps longer than this.
 DEFAULT_MAX_POLL_INTERVAL_S = 5.0
+#: grid cells whose recorded mean elapsed time reaches this claim singly even
+#: under ``--claim-batch``: holding several expensive trials behind one claim
+#: starves other workers and widens the crash-reexecution window.
+DEFAULT_BATCH_EXPENSIVE_S = 5.0
 
 
 def default_worker_id() -> str:
@@ -149,6 +154,89 @@ def claim_and_execute_next(
     return None, False
 
 
+def expensive_cost_keys(
+    store: CampaignStore, threshold_s: float = DEFAULT_BATCH_EXPENSIVE_S
+) -> frozenset:
+    """Grid cells whose recorded mean wall-clock reaches ``threshold_s``.
+
+    Sourced from the campaign summary's timing block (a previous run, or a
+    ``--resume``); a campaign with no summary yet has no history, so every
+    cell batches until evidence says otherwise.
+    """
+    summary = store.load_summary()
+    if summary is None:
+        return frozenset()
+    history = load_timing_history(summary)
+    return frozenset(key for key, mean_s in history.items() if mean_s >= threshold_s)
+
+
+def claim_and_execute_batch(
+    store: CampaignStore,
+    worker_id: str,
+    batch_size: int = 1,
+    expensive_keys: frozenset = frozenset(),
+) -> list:
+    """Claim up to ``batch_size`` same-cost-key pending jobs, execute in order.
+
+    The first claimable job anchors the batch; further pending jobs join only
+    while they share its :func:`~repro.campaign.spec.cost_key` (same kind and
+    grid cell — seeds differ), so a batch is a run of cheap look-alike trials
+    and never mixes cells with different costs.  Anchors whose cost key is in
+    ``expensive_keys`` claim singly.  Returns ``[(record, ran), ...]`` in
+    execution order (empty when nothing was claimable).  A failing trial
+    requeues every not-yet-executed claim of the batch — already-written
+    records are kept — then re-raises, so nothing is lost to a mid-batch
+    crash beyond the claim-TTL wait ``claim_and_execute_next`` already risks.
+    """
+    if batch_size <= 1:
+        record, ran = claim_and_execute_next(store, worker_id)
+        return [] if record is None else [(record, ran)]
+
+    claimed: list = []
+    anchor_key: Optional[str] = None
+    for path in store.list_pending():
+        if not claimed:
+            job = store.claim_job(path, worker_id)
+            if job is None:
+                continue  # lost the rename race; try the next job
+            claimed.append(job)
+            anchor_key = cost_key(str(job["kind"]), job["params"])
+            if anchor_key in expensive_keys:
+                break  # expensive cells claim singly
+            continue
+        if len(claimed) >= batch_size:
+            break
+        peeked = store.peek_job(path)
+        if peeked is None:  # claimed away (or unreadable); leave it
+            continue
+        if cost_key(str(peeked["kind"]), peeked["params"]) != anchor_key:
+            continue  # different cell: stays claimable for other workers
+        job = store.claim_job(path, worker_id)
+        if job is not None:
+            claimed.append(job)
+
+    results: list = []
+    for index, job in enumerate(claimed):
+        trial_id = str(job["trial_id"])
+        record = store.load_trial(trial_id)
+        ran = False
+        if record is None:
+            try:
+                record = execute_trial(
+                    {"trial_id": trial_id, "kind": job["kind"], "params": job["params"]},
+                    worker=worker_id,
+                )
+                store.write_trial(record)
+            except BaseException:
+                for unexecuted in claimed[index:]:
+                    store.requeue_claim(str(unexecuted["trial_id"]))
+                raise
+            ran = True
+        store.complete_job(trial_id)
+        results.append((record, ran))
+    return results
+
+
 class FileQueueBackend(Backend):
     """Run trials through the shared on-disk job queue, participating in it."""
 
@@ -159,12 +247,18 @@ class FileQueueBackend(Backend):
         worker_id: Optional[str] = None,
         claim_ttl_s: float = DEFAULT_CLAIM_TTL_S,
         poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
+        claim_batch: int = 1,
+        batch_expensive_s: float = DEFAULT_BATCH_EXPENSIVE_S,
     ) -> None:
         if claim_ttl_s <= 0:
             raise ValueError("claim_ttl_s must be positive")
+        if claim_batch < 1:
+            raise ValueError("claim_batch must be at least 1")
         self.worker_id = worker_id or default_worker_id()
         self.claim_ttl_s = claim_ttl_s
         self.poll_interval_s = poll_interval_s
+        self.claim_batch = int(claim_batch)
+        self.batch_expensive_s = float(batch_expensive_s)
 
     def prepare(self, store: CampaignStore) -> None:
         # Re-open the queue as the very first campaign action: workers only
@@ -198,15 +292,26 @@ class FileQueueBackend(Backend):
             store.enqueue_trial(order, trial.to_dict(), known_queued=queued)
         store.mark_enqueue_complete(len(trials))
 
+        # Batch membership is advisory (cheap cells claim together); the
+        # records themselves are untouched, so serial == pool == queue holds
+        # for any claim_batch value.
+        expensive = (
+            expensive_cost_keys(store, self.batch_expensive_s)
+            if self.claim_batch > 1
+            else frozenset()
+        )
         wanted = [t.trial_id for t in trials]
         outstanding = set(wanted)
         while outstanding:
-            record, _ran = claim_and_execute_next(store, self.worker_id)
-            if record is not None:
-                trial_id = str(record["trial_id"])
-                if trial_id in outstanding:
-                    outstanding.discard(trial_id)
-                    yield record
+            batch = claim_and_execute_batch(
+                store, self.worker_id, self.claim_batch, expensive
+            )
+            if batch:
+                for record, _ran in batch:
+                    trial_id = str(record["trial_id"])
+                    if trial_id in outstanding:
+                        outstanding.discard(trial_id)
+                        yield record
                 continue  # keep draining while there is claimable work
 
             # Nothing claimable: harvest records produced by other workers.
@@ -245,6 +350,8 @@ def run_worker(
     wait_for_queue_s: float = 30.0,
     progress: Optional[WorkerProgress] = None,
     max_poll_interval_s: Optional[float] = None,
+    claim_batch: int = 1,
+    batch_expensive_s: float = DEFAULT_BATCH_EXPENSIVE_S,
 ) -> int:
     """The standalone worker loop behind ``repro campaign-worker``.
 
@@ -266,9 +373,17 @@ def run_worker(
     "drained" only means "campaign finished" once the producer's
     enqueue-complete marker is present, so a worker racing the producer's
     enqueue loop keeps polling instead of exiting after zero trials.
+
+    ``claim_batch > 1`` amortizes claim-file round-trips over shared
+    filesystems: each poll claims up to that many *same-cost-key* pending
+    jobs at once (cheap grid cells, typically seed siblings), while cells
+    whose recorded mean elapsed time reaches ``batch_expensive_s`` keep
+    claiming singly.  Batching changes only claim grouping, never records.
     """
     store = CampaignStore(out_dir)
     worker = worker_id or default_worker_id()
+    if claim_batch < 1:
+        raise ValueError("claim_batch must be at least 1")
     if max_poll_interval_s is None:
         max_poll_interval_s = max(DEFAULT_MAX_POLL_INTERVAL_S, poll_interval_s)
     backoff = PollBackoff(base_s=poll_interval_s, max_s=max_poll_interval_s)
@@ -279,15 +394,21 @@ def run_worker(
             return 0
         time.sleep(min(poll_interval_s, 0.1))
 
+    expensive = (
+        expensive_cost_keys(store, batch_expensive_s) if claim_batch > 1 else frozenset()
+    )
     executed = 0
     while max_trials is None or executed < max_trials:
-        record, ran = claim_and_execute_next(store, worker)
-        if record is not None:
+        remaining = None if max_trials is None else max_trials - executed
+        size = claim_batch if remaining is None else min(claim_batch, remaining)
+        batch = claim_and_execute_batch(store, worker, size, expensive)
+        if batch:
             backoff.reset()
-            if ran:
-                executed += 1
-            if progress:
-                progress("run" if ran else "skip", str(record["trial_id"]), executed)
+            for record, ran in batch:
+                if ran:
+                    executed += 1
+                if progress:
+                    progress("run" if ran else "skip", str(record["trial_id"]), executed)
             continue
         store.sweep_claims(claim_ttl_s)
         if store.queue_drained() and (

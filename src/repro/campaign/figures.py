@@ -269,6 +269,82 @@ def _scenario_formatter(base_kind: str) -> FigureFormatter:
     return formatter
 
 
+# ------------------------------------------------------------------- adaptive
+
+
+def _resolved_adaptive(params: Mapping[str, object]):
+    """The group's :class:`~repro.scenarios.adaptive.AdaptiveConfig`,
+    preset-resolved, or ``None`` when the params aren't adaptive-shaped."""
+    from ..experiments.results import config_from_dict
+    from ..scenarios.adaptive import AdaptiveConfig
+
+    try:
+        return config_from_dict(AdaptiveConfig, dict(params)).resolved()
+    except (TypeError, ValueError):
+        return None
+
+
+def adaptive_group_label(params: Mapping[str, object]) -> str:
+    """One adaptive group's display label: ``attacker vs defense``, prefixed
+    with the preset name when one was used."""
+    cfg = _resolved_adaptive(params)
+    if cfg is None:
+        return str(params.get("preset", "") or "custom")
+    engagement = f"{cfg.attacker} vs {cfg.defense}"
+    return f"{cfg.preset}: {engagement}" if cfg.preset else engagement
+
+
+def adaptive_summary_rows(
+    summary: Mapping[str, object],
+    metrics: Optional[Sequence[str]] = None,
+) -> Tuple[List[str], List[List[object]]]:
+    """(headers, rows) of an adaptive campaign's aggregates, one row per
+    attacker-strategy × defense-policy group.
+
+    Same shape contract as :func:`scenario_summary_rows`: groups the label
+    cannot tell apart (same controllers, different param/base grid cells)
+    get the varying grid params appended; rows sort by label.
+    """
+    groups = list(summary.get("groups", []))
+    if not groups:
+        return [], []
+    metric_names = (
+        list(metrics) if metrics else sorted({m for g in groups for m in g["metrics"]})
+    )
+    headers = ["engagement", "n"] + metric_names
+    labels = [adaptive_group_label(g.get("params", {})) for g in groups]
+    if len(set(labels)) < len(labels):
+        label_shown = {"preset", "attacker", "defense"}
+        varied = sorted(
+            key
+            for key in {k for g in groups for k in g.get("params", {})}
+            if key not in label_shown
+            and len({canonical_json(g.get("params", {}).get(key)) for g in groups}) > 1
+        )
+        if varied:
+            labels = [
+                f"{label} {canonical_json({k: g.get('params', {}).get(k) for k in varied})}"
+                for label, g in zip(labels, groups)
+            ]
+    rows: List[List[object]] = []
+    for label, group in zip(labels, groups):
+        n, cells = group_metric_cells(group, metric_names)
+        rows.append([label, n] + cells)
+    rows.sort(key=lambda r: str(r[0]))
+    return headers, rows
+
+
+def _adaptive_formatter(adapter: FigureAdapter, summary: Mapping[str, object]) -> str:
+    resolved = adapter.resolve_metrics(summary)
+    if not resolved:
+        return _missing_metrics_note(adapter)
+    headers, rows = adaptive_summary_rows(summary, resolved)
+    if not rows:
+        return f"{adapter.title}: campaign summary has no aggregated groups yet"
+    title = f"{adapter.title} — per-engagement campaign aggregates (mean±ci95 over seeds)"
+    return format_table(headers, rows, title=title) + _timing_line(summary)
+
+
 def render_figure_aggregates(figure: str, results) -> str:
     """Render a loaded :class:`repro.campaign.CampaignResults` for one figure.
 
@@ -416,6 +492,22 @@ for _adapter in (
         kind="scenario",
         metrics=("*_mean_latency_s", "*_median_latency_s", "*_kbps_lk_int_*"),
         formatter=_scenario_formatter("efficiency"),
+    ),
+    FigureAdapter(
+        figure="adaptive",
+        bench="bench_adaptive.py",
+        title="Adaptive engagements — attacker strategy vs defense policy",
+        kind="adaptive",
+        metrics=(
+            "initial_malicious_fraction",
+            "final_malicious_fraction",
+            "engagement_identification_latency_mean_s",
+            "engagement_revocations_total",
+            "engagement_re_placements_total",
+            "engagement_*",
+            "false_positive_rate",
+        ),
+        formatter=_adaptive_formatter,
     ),
 ):
     register_figure(_adapter)

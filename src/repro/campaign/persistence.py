@@ -236,6 +236,23 @@ class CampaignStore:
             return []
         return sorted(self.claims_dir.glob("*.json"))
 
+    def peek_job(self, pending_path: Path) -> Optional[Dict[str, object]]:
+        """Read a pending job's body without claiming it.
+
+        ``None`` when the file vanished (claimed by another worker between
+        the listing and the read) or is unparseable.  Purely advisory: the
+        job may still be claimed away after a successful peek, so callers
+        must go through :meth:`claim_job` before executing.
+        """
+        try:
+            with open(pending_path, "r", encoding="utf-8") as handle:
+                job = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(job, dict) or "trial_id" not in job:
+            return None
+        return job
+
     def claim_job(self, pending_path: Path, worker_id: str) -> Optional[Dict[str, object]]:
         """Atomically claim one pending job; ``None`` if another worker won.
 

@@ -22,6 +22,7 @@ from ..experiments.efficiency import EfficiencyExperimentConfig, run_efficiency
 from ..experiments.results import config_from_dict
 from ..experiments.security import SecurityExperimentConfig, run_security
 from ..experiments.timing import TimingExperimentConfig, run_timing
+from ..scenarios.adaptive import AdaptiveConfig, run_adaptive
 from ..scenarios.experiment import ScenarioConfig, run_scenario
 
 
@@ -102,6 +103,12 @@ for _adapter in (
         config_cls=ScenarioConfig,
         entry_point=run_scenario,
         description="any base experiment under named churn/workload/adversary axes (repro.scenarios)",
+    ),
+    ExperimentAdapter(
+        kind="adaptive",
+        config_cls=AdaptiveConfig,
+        entry_point=run_adaptive,
+        description="security run under mid-run attacker strategy x defense policy controllers",
     ),
 ):
     register_experiment(_adapter)

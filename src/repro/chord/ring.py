@@ -224,9 +224,14 @@ class ChordRing:
             self.kernel.set_alive(node_id, False)
 
     def mark_alive(self, node_id: int, rebuild_state: bool = True, now: float = 0.0) -> None:
-        """A churned node rejoins (fresh routing state, as in the paper's model)."""
+        """A churned node rejoins (fresh routing state, as in the paper's model).
+
+        Permanently removed nodes cannot rejoin: their certificate is revoked,
+        so every honest peer rejects the join.  Without this guard a revoked
+        node cycling through churn would silently regain standing.
+        """
         node = self.nodes.get(node_id)
-        if node is None:
+        if node is None or node_id in self.removed_ids:
             return
         node.alive = True
         node.last_join_time = now
@@ -250,6 +255,30 @@ class ChordRing:
     def remaining_malicious_fraction(self) -> float:
         """Fraction of the *current* network that is malicious and not yet removed."""
         return self.kernel.remaining_malicious_fraction()
+
+    # ------------------------------------------------------ mid-run compromise
+    def set_malicious(self, node_id: int, malicious: bool = True) -> bool:
+        """Flip a node's ground-truth allegiance mid-run.
+
+        Adaptive adversary controllers compromise fresh nodes after revocation
+        (or release control for ablations).  Updates the ground-truth set, the
+        node object, and the kernel in lockstep; routing state is untouched —
+        compromise does not move the node on the ring.  Removed nodes cannot
+        be compromised (their certificate is already revoked).  Returns
+        whether the flag actually changed.
+        """
+        node = self.nodes.get(node_id)
+        if node is None or node_id in self.removed_ids:
+            return False
+        if (node_id in self.malicious_ids) == malicious:
+            return False
+        node.malicious = malicious
+        if malicious:
+            self.malicious_ids.add(node_id)
+        else:
+            self.malicious_ids.discard(node_id)
+        self.kernel.set_malicious(node_id, malicious)
+        return True
 
     # --------------------------------------------------------------- sampling
     def random_alive_id(self, rng, exclude: Optional[Set[int]] = None) -> Optional[int]:

@@ -146,6 +146,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--claim-ttl", type=float, default=300.0,
         help="queue backend: seconds before an unfinished claim is presumed orphaned and requeued",
     )
+    campaign.add_argument(
+        "--claim-batch", type=int, default=1,
+        help=(
+            "queue backend: claim up to N cheap same-grid-cell trials per queue "
+            "round-trip (cells with recorded mean elapsed >= 5 s still claim singly)"
+        ),
+    )
     campaign.add_argument("--out", default="campaign-results", help="results directory")
     campaign.add_argument("--resume", action="store_true",
                           help="skip trials whose records already exist in --out")
@@ -175,6 +182,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="idle-poll backoff ceiling in seconds (default: max(5, poll interval))")
     worker.add_argument("--claim-ttl", type=float, default=300.0,
                         help="seconds before another worker's unfinished claim is presumed orphaned and requeued")
+    worker.add_argument("--claim-batch", type=int, default=1,
+                        help="claim up to N cheap same-grid-cell trials per queue round-trip "
+                             "(cells with recorded mean elapsed >= 5 s still claim singly)")
     worker.add_argument("--max-trials", type=int, default=None,
                         help="exit after executing this many trials (default: until drained)")
     worker.add_argument("--wait-for-queue", type=float, default=30.0,
@@ -339,7 +349,15 @@ def _run_ablation(args) -> int:
 
 def _run_list_kinds(args) -> int:
     from .campaign import available_kinds, get_experiment
-    from .scenarios import CHURN_PROFILES, PLACEMENTS, WORKLOADS, describe_presets
+    from .scenarios import (
+        ATTACKER_STRATEGIES,
+        CHURN_PROFILES,
+        DEFENSE_POLICIES,
+        PLACEMENTS,
+        WORKLOADS,
+        describe_adaptive_presets,
+        describe_presets,
+    )
 
     print("experiment kinds (repro campaign --kind KIND):")
     for kind in available_kinds():
@@ -348,12 +366,17 @@ def _run_list_kinds(args) -> int:
         ("scenario churn profiles (--param churn=NAME)", CHURN_PROFILES),
         ("scenario workload models (--param workload=NAME)", WORKLOADS),
         ("scenario adversary placements (--param adversary=NAME)", PLACEMENTS),
+        ("adaptive attacker strategies (--kind adaptive --param attacker=NAME)", ATTACKER_STRATEGIES),
+        ("adaptive defense policies (--kind adaptive --param defense=NAME)", DEFENSE_POLICIES),
     ):
         print(f"{title}:")
         for name, description in registry.describe().items():
-            print(f"  {name:12s} {description}")
+            print(f"  {name:18s} {description}")
     print("scenario presets (repro campaign --kind scenario --param preset=NAME):")
     for name, description in describe_presets().items():
+        print(f"  {name:18s} {description}")
+    print("adaptive presets (repro campaign --kind adaptive --param preset=NAME):")
+    for name, description in describe_adaptive_presets().items():
         print(f"  {name:18s} {description}")
     return 0
 
@@ -425,10 +448,12 @@ def _run_campaign(args) -> int:
         raise SystemExit(
             f"repro campaign: --jobs has no effect with --backend {args.backend}; {hint}"
         )
+    if args.claim_batch < 1:
+        raise SystemExit("repro campaign: --claim-batch must be >= 1")
     if args.backend == "queue":
         if args.claim_ttl <= 0:
             raise SystemExit("repro campaign: --claim-ttl must be positive")
-        backend = FileQueueBackend(claim_ttl_s=args.claim_ttl)
+        backend = FileQueueBackend(claim_ttl_s=args.claim_ttl, claim_batch=args.claim_batch)
     else:
         backend = args.backend or None
     try:
@@ -488,6 +513,8 @@ def _run_campaign_worker(args) -> int:
         raise SystemExit(
             "repro campaign-worker: --max-poll-interval must be >= --poll-interval"
         )
+    if args.claim_batch < 1:
+        raise SystemExit("repro campaign-worker: --claim-batch must be >= 1")
 
     def progress(event: str, trial_id: str, n_executed: int) -> None:
         if not args.quiet:
@@ -504,6 +531,7 @@ def _run_campaign_worker(args) -> int:
             wait_for_queue_s=args.wait_for_queue,
             progress=progress,
             max_poll_interval_s=args.max_poll_interval,
+            claim_batch=args.claim_batch,
         )
     except Exception as exc:  # a failing trial: its job was already requeued
         raise SystemExit(

@@ -31,6 +31,7 @@ from ..chord.ring import ChordRing
 from ..chord.successor_list import SignedSuccessorList
 from ..crypto.ca import CertificateAuthority
 from ..crypto.keys import verify as verify_signature
+from ..sim.hooks import HookBus, VerdictIssued
 from .config import OctopusConfig
 
 
@@ -120,6 +121,8 @@ class AttackerIdentificationService:
         self.ring = ring
         self.config = config or OctopusConfig()
         self.verify_signatures = verify_signatures
+        #: optional control-plane bus; bound by ``OctopusNetwork.bind_hooks``.
+        self.hooks: Optional[HookBus] = None
         self.judgements: List[Judgement] = []
         self.stats = IdentificationStats()
         #: nodes that churned while under investigation recently (Section 5.2
@@ -127,7 +130,15 @@ class AttackerIdentificationService:
         self.churned_during_investigation: Dict[int, float] = {}
 
     # ------------------------------------------------------------ judgements
-    def _judge(self, kind: str, identified: Optional[int], reporter: int, now: float, reason: str = "") -> Judgement:
+    def _judge(
+        self,
+        kind: str,
+        identified: Optional[int],
+        reporter: int,
+        now: float,
+        reason: str = "",
+        subject: Optional[int] = None,
+    ) -> Judgement:
         self.stats.reports += 1
         judgement = Judgement(report_kind=kind, identified=identified, reporter=reporter, time=now, reason=reason)
         if identified is None:
@@ -142,6 +153,19 @@ class AttackerIdentificationService:
             self.ca.revoke(identified, now=now, reason=kind)
             self.ring.remove_permanently(identified)
         self.judgements.append(judgement)
+        hooks = self.hooks
+        if hooks is not None and hooks.has_subscribers(VerdictIssued):
+            hooks.publish(
+                VerdictIssued(
+                    time=now,
+                    report_kind=kind,
+                    identified=identified,
+                    is_false_positive=judgement.is_false_positive,
+                    reporter=reporter,
+                    subject=subject if subject is not None else identified,
+                    reason=reason,
+                )
+            )
         return judgement
 
     def identified_nodes(self) -> Set[int]:
@@ -179,7 +203,9 @@ class AttackerIdentificationService:
                 self.churned_during_investigation[current] = now
                 if last is not None and now - last < self.config.churned_recently_window:
                     return self._judge("neighbor", current, report.reporter, now, reason="repeatedly churned during investigation")
-                return self._judge("neighbor", None, report.reporter, now, reason="churned during investigation")
+                return self._judge(
+                    "neighbor", None, report.reporter, now, reason="churned during investigation", subject=current
+                )
 
             proof = self._find_exculpating_proof(node, report.reporter, now)
             if proof is None:
@@ -286,6 +312,6 @@ class AttackerIdentificationService:
                     self.churned_during_investigation[relay] = now
                     if last is not None and now - last < self.config.churned_recently_window:
                         return self._judge("drop", relay, report.reporter, now, reason="repeatedly churned during drop investigation")
-                    return self._judge("drop", None, report.reporter, now, reason="relay churned")
+                    return self._judge("drop", None, report.reporter, now, reason="relay churned", subject=relay)
                 return self._judge("drop", relay, report.reporter, now, reason="no receipt and next hop alive")
         return self._judge("drop", None, report.reporter, now, reason="all relays produced receipts")

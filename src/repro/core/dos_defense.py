@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..chord.ring import ChordRing
 from ..crypto.keys import verify as verify_signature
+from ..sim.hooks import DropInvestigated, HookBus
 from .attacker_identification import AttackerIdentificationService, DropReport, Judgement
 from .config import OctopusConfig
 
@@ -73,6 +74,8 @@ class DosDefense:
         self.config = config
         self.rng = rng
         self.identification = identification
+        #: optional control-plane bus; bound by ``OctopusNetwork.bind_hooks``.
+        self.hooks: Optional[HookBus] = None
         self.receipts_issued: List[Receipt] = []
         self.witness_statements: List[WitnessStatement] = []
         self._message_counter = 0
@@ -189,4 +192,15 @@ class DosDefense:
                 forwarded[relay] = receipts.get(nxt, False)
 
         report = DropReport(reporter=initiator_id, relays=tuple(relays), receipts=forwarded, time=now)
-        return self.identification.process_drop_report(report, now)
+        judgement = self.identification.process_drop_report(report, now)
+        hooks = self.hooks
+        if hooks is not None and hooks.has_subscribers(DropInvestigated):
+            hooks.publish(
+                DropInvestigated(
+                    time=now,
+                    initiator=initiator_id,
+                    relays=tuple(relays),
+                    identified=judgement.identified if judgement is not None else None,
+                )
+            )
+        return judgement

@@ -28,6 +28,7 @@ from ..chord.stabilization import Stabilizer
 from ..crypto.ca import CertificateAuthority
 from ..crypto.keys import FAST
 from ..sim.engine import SimulationEngine
+from ..sim.hooks import HookBus, NodeCompromised
 from ..sim.latency import LatencyModel
 from ..sim.rng import RandomSource
 from .anonymous_lookup import AnonymousLookupProtocol, OctopusLookupResult
@@ -80,6 +81,9 @@ class OctopusNetwork:
         self.config = config
         self.rng = rng
         self.latency_model = latency_model
+        #: control-plane bus; attached by :meth:`bind_hooks` when an engine
+        #: drives this network (``None`` for engine-less use).
+        self.hooks: Optional[HookBus] = None
 
         self.identification = AttackerIdentificationService(ca, ring, config)
         self.random_walker = RandomWalkProtocol(ring, config, rng)
@@ -224,6 +228,36 @@ class OctopusNetwork:
                         self.lookup(nid, key, now=engine.now)
 
                 engine.schedule_periodic(cfg.lookup_interval, do_lookup, start=jitter.uniform(0, cfg.lookup_interval))
+
+    # ------------------------------------------------------------ control plane
+    def bind_hooks(self, hooks: HookBus) -> None:
+        """Attach a control-plane :class:`HookBus` to every publishing subsystem.
+
+        Harnesses call this with ``engine.hooks`` before running; with no
+        subscribers the bus costs nothing (see :mod:`repro.sim.hooks`), so
+        binding is always safe.
+        """
+        self.hooks = hooks
+        self.identification.hooks = hooks
+        self.ca.hooks = hooks
+        self.dos_defense.hooks = hooks
+
+    def compromise(self, node_id: int, now: float = 0.0, reason: str = "") -> bool:
+        """The adversary takes control of ``node_id`` mid-run.
+
+        Flips the ground-truth allegiance through the ring/kernel (see
+        :meth:`repro.chord.ring.ChordRing.set_malicious`) and publishes
+        :class:`~repro.sim.hooks.NodeCompromised`.  Attack *behaviour* on the
+        node is the caller's concern (``Adversary.install_behavior``) — the
+        network facade only tracks allegiance.  Returns whether anything
+        changed (removed or already-malicious nodes are untouched).
+        """
+        changed = self.ring.set_malicious(node_id, True)
+        if changed:
+            hooks = self.hooks
+            if hooks is not None and hooks.has_subscribers(NodeCompromised):
+                hooks.publish(NodeCompromised(time=now, node_id=node_id, reason=reason))
+        return changed
 
     # ------------------------------------------------------------------ status
     def remaining_malicious_fraction(self) -> float:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
+from ..sim.hooks import CertificateRevoked, HookBus
 from .certificates import Certificate, certificate_payload
 from .keys import FAST, KeyPair, PublicKey
 from .revocation import MerkleRevocationTree, RevocationList
@@ -54,6 +55,8 @@ class CertificateAuthority:
         self.keypair = KeyPair(seed=seed, mode=key_mode)
         self.key_mode = key_mode
         self.certificate_lifetime = certificate_lifetime
+        #: optional control-plane bus; bound by ``OctopusNetwork.bind_hooks``.
+        self.hooks: Optional[HookBus] = None
         self.certificates: Dict[int, Certificate] = {}
         self.revocation_list = RevocationList()
         self.merkle_tree = MerkleRevocationTree()
@@ -98,6 +101,9 @@ class CertificateAuthority:
         self.merkle_tree.add(cert.serial)
         self.revoked_nodes.add(node_id)
         self.record_message(now, kind=f"revoke:{reason}" if reason else "revoke", subject=node_id)
+        hooks = self.hooks
+        if hooks is not None and hooks.has_subscribers(CertificateRevoked):
+            hooks.publish(CertificateRevoked(time=now, node_id=node_id, reason=reason))
         return True
 
     def is_revoked(self, node_id: int) -> bool:

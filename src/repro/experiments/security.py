@@ -32,6 +32,7 @@ from ..attacks.selective_dos import SelectiveDosBehavior
 from ..core.config import OctopusConfig
 from ..core.octopus_node import OctopusNetwork
 from ..sim.churn import ChurnConfig, ChurnProcess, ChurnProfile
+from ..sim.control import ControlContext, Controller, EngagementRecorder
 from ..sim.engine import SimulationEngine
 from ..sim.kernel import validate_kernel
 from ..sim.metrics import MetricsRegistry
@@ -112,12 +113,17 @@ class SecurityExperimentResult:
     #: scenario sweeps see how much dynamism each churn profile produced.
     churn_departures: int = 0
     churn_rejoins: int = 0
+    #: per-round engagement report and flat engagement scalars; populated
+    #: ONLY when mid-run controllers are attached (adaptive experiments), so
+    #: controller-less records stay byte-identical to historical output.
+    engagement_rounds: List[Dict[str, float]] = field(default_factory=list)
+    engagement_summary: Dict[str, float] = field(default_factory=dict)
 
     def scalar_metrics(self) -> Dict[str, float]:
         """Flat per-trial metrics aggregated by :mod:`repro.campaign`."""
         ca_totals = [v for _, v in self.ca_workload_series]
         sample_interval = float(self.config.sample_interval) or 1.0
-        return {
+        metrics = {
             # CA workload scalars back Figure 7(b)'s campaign aggregates: the
             # series itself stays in to_dict()'s "series" block.
             "ca_messages_total": float(sum(ca_totals)),
@@ -134,10 +140,13 @@ class SecurityExperimentResult:
             "churn_departures": float(self.churn_departures),
             "churn_rejoins": float(self.churn_rejoins),
         }
+        if self.engagement_summary:
+            metrics.update({k: float(v) for k, v in self.engagement_summary.items()})
+        return metrics
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable dump: config, scalar metrics and the raw series."""
-        return {
+        out = {
             "config": self.config.to_dict(),
             "metrics": self.scalar_metrics(),
             "series": {
@@ -147,6 +156,9 @@ class SecurityExperimentResult:
                 "ca_workload": [list(p) for p in self.ca_workload_series],
             },
         }
+        if self.engagement_rounds:
+            out["series"]["engagement"] = [dict(row) for row in self.engagement_rounds]
+        return out
 
 
 class SecurityExperiment:
@@ -166,12 +178,17 @@ class SecurityExperiment:
         churn_profile: Optional[ChurnProfile] = None,
         workload: Optional[WorkloadModel] = None,
         placement=None,
+        controllers: Tuple[Controller, ...] = (),
     ) -> None:
         self.config = config or SecurityExperimentConfig()
         self.config.validate()
         self.churn_profile = churn_profile
         self.workload = workload
         self.placement = placement
+        #: mid-run attacker/defense controllers (``repro.scenarios.controllers``);
+        #: attaching any — even the static no-ops — turns on the per-round
+        #: engagement report in the result.
+        self.controllers = tuple(c for c in controllers if c is not None)
 
     # -------------------------------------------------------------------- run
     def run(self) -> SecurityExperimentResult:
@@ -186,6 +203,9 @@ class SecurityExperiment:
             kernel=cfg.kernel,
         )
         engine = SimulationEngine()
+        # The control-plane bus is always bound: with no subscribers it costs
+        # nothing and perturbs nothing (pinned by the golden digests).
+        network.bind_hooks(engine.hooks)
         rng = RandomSource(cfg.seed + 1)
         metrics = MetricsRegistry()
         result = SecurityExperimentResult(config=cfg)
@@ -253,6 +273,24 @@ class SecurityExperiment:
             churn.profile.bind_population(set(network.ring.malicious_ids))
             churn.start(list(network.ring.nodes))
 
+        # -------------------------------------------------------- controllers
+        recorder: Optional[EngagementRecorder] = None
+        if self.controllers:
+            recorder = EngagementRecorder()
+            recorder.seed_compromised(sorted(network.ring.malicious_ids))
+            recorder.attach(engine.hooks)
+            ctx = ControlContext(
+                engine=engine,
+                network=network,
+                adversary=adversary,
+                churn=churn,
+                rng=rng.spawn("control"),
+                config=cfg,
+                recorder=recorder,
+            )
+            for controller in self.controllers:
+                controller.bind(ctx)
+
         # ------------------------------------------------------------ sampling
         def sample() -> None:
             t = engine.now
@@ -282,6 +320,11 @@ class SecurityExperiment:
             (t, float(count))
             for t, count in network.ca.workload_buckets(bucket_seconds=cfg.sample_interval, horizon=cfg.duration)
         ]
+        if recorder is not None:
+            result.engagement_rounds = recorder.rounds(
+                cfg.sample_interval, cfg.duration, result.malicious_fraction_series
+            )
+            result.engagement_summary = recorder.summary()
         return result
 
     # ----------------------------------------------------------------- helpers

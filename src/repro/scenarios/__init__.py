@@ -33,8 +33,20 @@ questions: ``paper-baseline``, ``heavy-tail-churn``, ``flash-crowd``,
 ``diurnal``, ``zipf-hotkeys``, ``hot-key-storm``, ``zipf-efficiency``,
 ``join-leave-attack``, ``eclipse-20pct`` — ``repro list-kinds`` prints
 them all.
+
+Two further *controller* registries close the loop mid-run over the
+engine's hook bus (:mod:`~repro.scenarios.controllers`):
+
+* **attacker strategies** (``ATTACKER_STRATEGIES``) — ``static`` ·
+  ``re-eclipse`` · ``join-leave-cycling``;
+* **defense policies** (``DEFENSE_POLICIES``) — ``static`` ·
+  ``adaptive-threshold`` · ``aggressive-revoke``.
+
+The ``adaptive`` campaign kind (:mod:`~repro.scenarios.adaptive`) sweeps
+their cross product and emits a per-round engagement report.
 """
 
+from .adaptive import AdaptiveConfig, AdaptiveResult, run_adaptive
 from .adversary import (
     PLACEMENTS,
     EclipsePlacement,
@@ -51,8 +63,25 @@ from .churn_profiles import (
     TraceChurnProfile,
     WeibullChurnProfile,
 )
+from .controllers import (
+    ATTACKER_STRATEGIES,
+    DEFENSE_POLICIES,
+    AdaptiveThresholdPolicy,
+    AggressiveRevokePolicy,
+    JoinLeaveCyclingStrategy,
+    ReEclipseStrategy,
+)
 from .experiment import ScenarioConfig, ScenarioResult, run_scenario
-from .presets import PRESETS, available_presets, describe_presets, get_preset
+from .presets import (
+    ADAPTIVE_PRESETS,
+    PRESETS,
+    available_adaptive_presets,
+    available_presets,
+    describe_adaptive_presets,
+    describe_presets,
+    get_adaptive_preset,
+    get_preset,
+)
 from .registry import AxisEntry, AxisRegistry
 from .workloads import (
     WORKLOADS,
@@ -63,30 +92,43 @@ from .workloads import (
 )
 
 __all__ = [
+    "ADAPTIVE_PRESETS",
+    "ATTACKER_STRATEGIES",
+    "AdaptiveConfig",
+    "AdaptiveResult",
+    "AdaptiveThresholdPolicy",
+    "AggressiveRevokePolicy",
     "AxisEntry",
     "AxisRegistry",
     "AdversarialChurnWrapper",
     "CHURN_PROFILES",
+    "DEFENSE_POLICIES",
     "DiurnalChurnProfile",
     "EclipsePlacement",
     "FlashCrowdChurnProfile",
     "HighDegreePlacement",
     "HotKeyStormWorkload",
+    "JoinLeaveCyclingStrategy",
     "JoinLeavePlacement",
     "PLACEMENTS",
     "PRESETS",
     "ParetoChurnProfile",
     "PlacementStrategy",
     "PoissonWorkload",
+    "ReEclipseStrategy",
     "ScenarioConfig",
     "ScenarioResult",
     "TraceChurnProfile",
     "WORKLOADS",
     "WeibullChurnProfile",
     "ZipfWorkload",
+    "available_adaptive_presets",
     "available_presets",
+    "describe_adaptive_presets",
     "describe_presets",
+    "get_adaptive_preset",
     "get_preset",
     "key_for_label",
+    "run_adaptive",
     "run_scenario",
 ]

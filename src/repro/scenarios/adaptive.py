@@ -1,0 +1,151 @@
+"""The ``adaptive`` experiment kind: attacker strategy × defense policy.
+
+Where the ``scenario`` kind varies the *environment* a frozen adversary runs
+in, ``adaptive`` varies the **controllers**: a mid-run attacker strategy and
+a mid-run defense policy (see :mod:`repro.scenarios.controllers`), both
+driven by the engine's hook bus, closing the identification ⇄ adaptation
+loop the paper's open-loop evaluation leaves open.
+
+:class:`AdaptiveConfig` names one controller per registry (plus their JSON
+parameter dicts) and the base :class:`SecurityExperimentConfig` parameters;
+:func:`run_adaptive` is the pickleable campaign entry point.  The result
+wraps the security result, whose engagement report (per-round
+identification latency, residual compromised fraction, revocations,
+re-placements) is only emitted on this path — plain ``security`` records
+stay byte-identical.
+
+Sweep example::
+
+    spec = CampaignSpec(kind="adaptive",
+                        base={"base": {"n_nodes": 150, "duration": 400.0}},
+                        grid={"attacker": ["static", "re-eclipse"],
+                              "defense": ["static", "aggressive-revoke"]},
+                        seeds=(0, 1, 2, 3))
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional
+
+from ..experiments.results import config_from_dict, jsonify
+from ..experiments.security import SecurityExperiment, SecurityExperimentConfig
+from .controllers import ATTACKER_STRATEGIES, DEFENSE_POLICIES
+from .presets import get_adaptive_preset
+
+#: controller field -> its registry (both default to "static").
+_CONTROLLER_AXES = {
+    "attacker": ATTACKER_STRATEGIES,
+    "defense": DEFENSE_POLICIES,
+}
+
+
+@dataclass
+class AdaptiveConfig:
+    """One adaptive engagement: a security run under two mid-run controllers."""
+
+    #: optional named preset (see ``ADAPTIVE_PRESETS``); fills controller
+    #: fields left at their default and merges under the param dicts.
+    preset: str = ""
+    attacker: str = "static"
+    defense: str = "static"
+    attacker_params: Dict[str, object] = field(default_factory=dict)
+    defense_params: Dict[str, object] = field(default_factory=dict)
+    #: parameters forwarded to :class:`SecurityExperimentConfig`.
+    base: Dict[str, object] = field(default_factory=dict)
+    seed: int = 0
+
+    # ------------------------------------------------------------- resolution
+    def resolved(self) -> "AdaptiveConfig":
+        """Apply the preset (if any) and return a fully explicit config.
+
+        Same layering as :meth:`ScenarioConfig.resolved`: controller fields
+        still at their default take the preset's value; param dicts and
+        ``base`` merge with explicit user keys winning, and a preset's
+        controller params only merge while the resolved controller still *is*
+        the preset's controller.
+        """
+        if not self.preset:
+            return self
+        try:
+            preset = get_adaptive_preset(self.preset)
+        except KeyError as exc:
+            raise ValueError(exc.args[0]) from exc
+        defaults = AdaptiveConfig()
+        fields: Dict[str, object] = {}
+        for name in _CONTROLLER_AXES:
+            mine = getattr(self, name)
+            fields[name] = mine if mine != getattr(defaults, name) else preset.get(name, mine)
+        for name, owner in (
+            ("attacker_params", "attacker"),
+            ("defense_params", "defense"),
+        ):
+            from_preset = preset.get(name, {}) if fields[owner] == preset.get(owner, getattr(defaults, owner)) else {}
+            fields[name] = {**from_preset, **getattr(self, name)}
+        fields["base"] = {**preset.get("base", {}), **self.base}
+        return AdaptiveConfig(preset=self.preset, seed=self.seed, **fields)
+
+    # ------------------------------------------------------------- validation
+    def validate(self) -> None:
+        cfg = self.resolved()
+        if "seed" in cfg.base:
+            raise ValueError("put the seed in the adaptive config's 'seed' field, not in 'base'")
+        for name, registry in _CONTROLLER_AXES.items():
+            try:
+                registry.build(getattr(cfg, name), getattr(cfg, f"{name}_params"))
+            except KeyError as exc:
+                raise ValueError(exc.args[0]) from exc
+        cfg.build_base_config()
+
+    def build_base_config(self) -> SecurityExperimentConfig:
+        """The typed security config of the engagement (seed folded in)."""
+        return config_from_dict(SecurityExperimentConfig, {**self.base, "seed": self.seed})
+
+    def to_dict(self) -> Dict[str, object]:
+        return jsonify(asdict(self))
+
+
+@dataclass
+class AdaptiveResult:
+    """A security result plus the engagement it was fought under."""
+
+    config: AdaptiveConfig  #: the *resolved* config the run used
+    base_result: object = None
+
+    def scalar_metrics(self) -> Dict[str, float]:
+        # Includes the engagement_* scalars: the security harness emits them
+        # whenever controllers are attached, which this kind always does.
+        return self.base_result.scalar_metrics()
+
+    def to_dict(self) -> Dict[str, object]:
+        base_detail = self.base_result.to_dict()
+        base_detail.pop("metrics", None)  # kept once, at this result's top level
+        return {
+            "config": self.config.to_dict(),
+            "metrics": self.scalar_metrics(),
+            "adaptive": jsonify(
+                {
+                    "preset": self.config.preset,
+                    "attacker": {
+                        "name": self.config.attacker,
+                        "params": self.config.attacker_params,
+                    },
+                    "defense": {
+                        "name": self.config.defense,
+                        "params": self.config.defense_params,
+                    },
+                }
+            ),
+            "base_result": base_detail,
+        }
+
+
+def run_adaptive(config: Optional[AdaptiveConfig] = None) -> AdaptiveResult:
+    """Pickleable ``(config) -> result`` entry point for campaign workers."""
+    cfg = (config or AdaptiveConfig()).resolved()
+    cfg.validate()
+    base_config = cfg.build_base_config()
+    attacker = ATTACKER_STRATEGIES.build(cfg.attacker, cfg.attacker_params)
+    defense = DEFENSE_POLICIES.build(cfg.defense, cfg.defense_params)
+    base_result = SecurityExperiment(base_config, controllers=(attacker, defense)).run()
+    return AdaptiveResult(config=cfg, base_result=base_result)

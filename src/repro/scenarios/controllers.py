@@ -1,0 +1,296 @@
+"""Mid-run attacker strategies and defense policies (the adaptive loop).
+
+Octopus's headline claim is that identification + revocation drives the
+adversary out *over time* — an open-loop claim as long as the adversary is
+frozen at build time.  These controllers close both loops over the
+:mod:`repro.sim.hooks` bus:
+
+**Attacker strategies** (``ATTACKER_STRATEGIES``)
+
+* ``static`` — the paper's adversary: no mid-run adaptation.
+* ``re-eclipse`` — every time a compromised node is revoked, compromise a
+  fresh honest node near the victim region, re-installing the run's attack
+  behaviour on it (the adaptive-eclipse threat the ROADMAP carried over).
+* ``join-leave-cycling`` — periodically force short depart/rejoin cycles on
+  compromised nodes so investigations find them offline (a "churned during
+  investigation" false alarm) instead of convicting them.
+
+**Defense policies** (``DEFENSE_POLICIES``)
+
+* ``static`` — the paper's fixed parameters.
+* ``adaptive-threshold`` — widens the repeat-churn conviction window
+  (``OctopusConfig.churned_recently_window``) while suspects keep escaping
+  investigations by churning, and narrows it again when that aggressiveness
+  convicts honest nodes.
+* ``aggressive-revoke`` — keeps a per-suspect strike count of
+  churn-escapes and revokes directly once a suspect exceeds its strike
+  budget, trading false positives for identification latency.
+
+All controllers draw only from named streams of ``ctx.rng`` (a dedicated
+spawn of the experiment's master source), so adaptive runs are exactly
+reproducible from (config, seed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..experiments.security import ATTACKS
+from ..sim.control import Controller
+from ..sim.hooks import CertificateRevoked, VerdictIssued
+from .registry import AxisRegistry
+from .workloads import key_for_label
+
+
+# ----------------------------------------------------------------- attackers
+class StaticAttacker(Controller):
+    """The paper's adversary: compromised at build time, never adapts."""
+
+    name = "static"
+    role = "attacker"
+
+
+class ReEclipseStrategy(Controller):
+    """Re-place compromised nodes near a victim region after each revocation.
+
+    Parameters
+    ----------
+    victim_key:
+        Label (or raw id) hashed onto the ring; replacements are drawn from
+        the honest alive nodes clockwise-closest to it — the same region
+        :class:`~repro.scenarios.adversary.EclipsePlacement` clusters on.
+    window:
+        Candidate pool size: the ``window`` honest nodes nearest the victim.
+    budget:
+        Maximum number of re-placements over the run (the adversary's supply
+        of fresh identities is finite — certificates cost something).
+    """
+
+    name = "re-eclipse"
+    role = "attacker"
+
+    def __init__(self, victim_key: object = "victim-key", window: int = 8, budget: int = 24) -> None:
+        super().__init__()
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        self.victim_key = victim_key
+        self.window = int(window)
+        self.budget = int(budget)
+        self.replacements_made = 0
+
+    def on_start(self) -> None:
+        self.ctx.hooks.subscribe(CertificateRevoked, self._on_revoked)
+
+    def _victim_id(self, space_size: int) -> int:
+        if isinstance(self.victim_key, int):
+            return self.victim_key % space_size
+        return key_for_label(str(self.victim_key), space_size)
+
+    def _on_revoked(self, event: CertificateRevoked) -> None:
+        ctx = self.ctx
+        ring = ctx.network.ring
+        # Only react to losing one of our own; defense policies may revoke
+        # honest collateral, which costs the adversary nothing.
+        if not ring.is_malicious(event.node_id):
+            return
+        if self.replacements_made >= self.budget:
+            return
+        candidates = [nid for nid in ring.honest_ids(alive_only=True) if nid not in ring.removed_ids]
+        if not candidates:
+            return
+        space = ring.space
+        victim = self._victim_id(space.size)
+        candidates.sort(key=lambda nid: (space.distance(victim, nid), nid))
+        pool = candidates[: self.window]
+        target = ctx.rng.stream("re-eclipse").choice(pool)
+        if not ctx.network.compromise(target, now=event.time, reason="re-eclipse"):
+            return
+        self.replacements_made += 1
+        # Arm the fresh node with the same attack behaviour the run uses.
+        factory = ATTACKS.get(getattr(ctx.config, "attack", "none"))
+        if factory is not None and ctx.adversary is not None:
+            cfg = ctx.config
+            ctx.adversary.install_behavior(lambda adv, node: factory(adv, node, cfg), [target])
+
+
+class JoinLeaveCyclingStrategy(Controller):
+    """Churn compromised nodes inside the identification window.
+
+    Every ``period`` seconds a ``cycle_fraction`` sample of the alive
+    compromised nodes force-departs and rejoins after ``downtime`` seconds,
+    so any investigation that reaches them finds them offline — a false
+    alarm rather than a conviction — until the repeat-churn window (or an
+    adaptive defense) catches on.  Inert when the run has no churn process.
+    """
+
+    name = "join-leave-cycling"
+    role = "attacker"
+
+    def __init__(self, period: float = 45.0, cycle_fraction: float = 0.5, downtime: float = 5.0) -> None:
+        super().__init__()
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < cycle_fraction <= 1.0:
+            raise ValueError("cycle_fraction must be in (0, 1]")
+        if downtime < 0:
+            raise ValueError("downtime must be non-negative")
+        self.period = float(period)
+        self.cycle_fraction = float(cycle_fraction)
+        self.downtime = float(downtime)
+
+    def on_start(self) -> None:
+        if self.ctx.churn is None:
+            return
+        self.ctx.engine.schedule_periodic(self.period, self._cycle, name="attacker-cycle")
+
+    def _cycle(self) -> None:
+        ctx = self.ctx
+        ring = ctx.network.ring
+        churn = ctx.churn
+        pool = [nid for nid in ring.malicious_alive_ids() if nid not in ring.removed_ids]
+        if not pool:
+            return
+        pool.sort()
+        k = max(1, int(round(self.cycle_fraction * len(pool))))
+        stream = ctx.rng.stream("join-leave-cycling")
+        for nid in sorted(stream.sample(pool, k)):
+            churn.force_depart(nid)
+            churn.schedule_rejoin(nid, delay=self.downtime)
+            if ctx.recorder is not None:
+                ctx.recorder.bump("attacker_forced_cycles")
+
+
+# ------------------------------------------------------------------- defenses
+class StaticDefense(Controller):
+    """The paper's defense: fixed thresholds, verdict-driven revocation only."""
+
+    name = "static"
+    role = "defense"
+
+
+class AdaptiveThresholdPolicy(Controller):
+    """Tune the repeat-churn conviction window from verdict feedback.
+
+    A *larger* ``churned_recently_window`` convicts repeat churners sooner
+    (any two escapes within the window convict) at the cost of catching
+    honest nodes that legitimately churn.  The policy widens the window by
+    ``grow`` after every ``escalate_after`` churn-escapes, and shrinks it by
+    ``shrink`` whenever the aggressiveness convicts an honest node.
+    """
+
+    name = "adaptive-threshold"
+    role = "defense"
+
+    def __init__(
+        self,
+        grow: float = 2.0,
+        shrink: float = 0.5,
+        escalate_after: int = 3,
+        floor_s: float = 60.0,
+        cap_s: float = 24 * 3600.0,
+    ) -> None:
+        super().__init__()
+        if grow < 1.0 or not 0.0 < shrink <= 1.0:
+            raise ValueError("grow must be >= 1 and shrink in (0, 1]")
+        if escalate_after < 1:
+            raise ValueError("escalate_after must be at least 1")
+        if floor_s <= 0 or cap_s < floor_s:
+            raise ValueError("need 0 < floor_s <= cap_s")
+        self.grow = float(grow)
+        self.shrink = float(shrink)
+        self.escalate_after = int(escalate_after)
+        self.floor_s = float(floor_s)
+        self.cap_s = float(cap_s)
+        self._escapes_since_adjust = 0
+
+    def on_start(self) -> None:
+        self.ctx.hooks.subscribe(VerdictIssued, self._on_verdict)
+
+    def _on_verdict(self, event: VerdictIssued) -> None:
+        identification = self.ctx.network.identification
+        window = identification.config.churned_recently_window
+        if event.identified is None and "churned" in event.reason:
+            self._escapes_since_adjust += 1
+            if self._escapes_since_adjust >= self.escalate_after:
+                self._escapes_since_adjust = 0
+                identification.config.churned_recently_window = min(window * self.grow, self.cap_s)
+                if self.ctx.recorder is not None:
+                    self.ctx.recorder.bump("defense_threshold_adjustments")
+        elif event.is_false_positive and "churned" in event.reason:
+            identification.config.churned_recently_window = max(window * self.shrink, self.floor_s)
+            if self.ctx.recorder is not None:
+                self.ctx.recorder.bump("defense_threshold_adjustments")
+
+
+class AggressiveRevokePolicy(Controller):
+    """Revoke suspects directly once they rack up ``strikes`` churn-escapes.
+
+    The identification service only convicts a churned suspect on a repeat
+    within the window; this policy keeps its own per-suspect strike count
+    across the whole run and revokes out-of-band once it exceeds the budget.
+    Faster against join-leave cycling, but honest nodes that repeatedly
+    churn mid-investigation become collateral (visible as extra revocations
+    without a matching identification in the engagement report).
+    """
+
+    name = "aggressive-revoke"
+    role = "defense"
+
+    def __init__(self, strikes: int = 2) -> None:
+        super().__init__()
+        if strikes < 1:
+            raise ValueError("strikes must be at least 1")
+        self.strikes = int(strikes)
+        self._strike_counts: Dict[int, int] = {}
+
+    def on_start(self) -> None:
+        self.ctx.hooks.subscribe(VerdictIssued, self._on_verdict)
+
+    def _on_verdict(self, event: VerdictIssued) -> None:
+        if event.identified is not None or event.subject is None:
+            return
+        if "churned" not in event.reason:
+            return
+        count = self._strike_counts.get(event.subject, 0) + 1
+        self._strike_counts[event.subject] = count
+        if count < self.strikes:
+            return
+        network = self.ctx.network
+        if network.ca.revoke(event.subject, now=event.time, reason="strike-out"):
+            network.ring.remove_permanently(event.subject)
+            if self.ctx.recorder is not None:
+                self.ctx.recorder.bump("defense_policy_revocations")
+
+
+# ------------------------------------------------------------------ registries
+ATTACKER_STRATEGIES = AxisRegistry("attacker strategy")
+ATTACKER_STRATEGIES.register(
+    "static", StaticAttacker, "build-time compromise only; no mid-run adaptation (the paper's adversary)"
+)
+ATTACKER_STRATEGIES.register(
+    "re-eclipse",
+    ReEclipseStrategy,
+    "compromise a fresh honest node near the victim region after every revocation",
+)
+ATTACKER_STRATEGIES.register(
+    "join-leave-cycling",
+    JoinLeaveCyclingStrategy,
+    "force short depart/rejoin cycles on compromised nodes to dodge investigations",
+)
+
+DEFENSE_POLICIES = AxisRegistry("defense policy")
+DEFENSE_POLICIES.register(
+    "static", StaticDefense, "fixed thresholds, verdict-driven revocation only (the paper's defense)"
+)
+DEFENSE_POLICIES.register(
+    "adaptive-threshold",
+    AdaptiveThresholdPolicy,
+    "widen the repeat-churn conviction window while suspects keep escaping, shrink on honest convictions",
+)
+DEFENSE_POLICIES.register(
+    "aggressive-revoke",
+    AggressiveRevokePolicy,
+    "revoke suspects outright after a budget of churn-escape strikes",
+)

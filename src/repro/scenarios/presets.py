@@ -93,6 +93,43 @@ PRESETS: Dict[str, Dict[str, object]] = {
 }
 
 
+#: named adaptive engagements (attacker strategy × defense policy) for the
+#: ``adaptive`` experiment kind — see :mod:`repro.scenarios.adaptive`.  Same
+#: layered resolution as scenario presets: the preset fills controller fields
+#: left at their defaults, params/base dicts merge with user keys winning.
+ADAPTIVE_PRESETS: Dict[str, Dict[str, object]] = {
+    "adaptive-baseline": {
+        "description": "static attacker vs static defense: the paper's open-loop run, plus the engagement report",
+        "attacker": "static",
+        "defense": "static",
+        "base": dict(_SECURITY_BASE),
+    },
+    "re-eclipse-stalemate": {
+        "description": "adversary re-places revoked nodes near the victim region; defense stays static",
+        "attacker": "re-eclipse",
+        "attacker_params": {"window": 8, "budget": 24},
+        "defense": "static",
+        "base": dict(_SECURITY_BASE),
+    },
+    "cycling-vs-adaptive": {
+        "description": "join-leave cycling inside the identification window vs an adaptive conviction threshold",
+        "attacker": "join-leave-cycling",
+        "attacker_params": {"period": 45.0, "cycle_fraction": 0.5, "downtime": 5.0},
+        "defense": "adaptive-threshold",
+        "defense_params": {"escalate_after": 3},
+        "base": dict(_SECURITY_BASE),
+    },
+    "arms-race": {
+        "description": "join-leave cycling vs strike-out revocation: latency bought with false positives",
+        "attacker": "join-leave-cycling",
+        "attacker_params": {"period": 45.0, "cycle_fraction": 0.4, "downtime": 5.0},
+        "defense": "aggressive-revoke",
+        "defense_params": {"strikes": 2},
+        "base": dict(_SECURITY_BASE),
+    },
+}
+
+
 def available_presets() -> Tuple[str, ...]:
     return tuple(sorted(PRESETS))
 
@@ -106,3 +143,23 @@ def get_preset(name: str) -> Dict[str, object]:
 def describe_presets() -> Dict[str, str]:
     """``{name: description}`` for CLI listings."""
     return {name: str(PRESETS[name].get("description", "")) for name in available_presets()}
+
+
+def available_adaptive_presets() -> Tuple[str, ...]:
+    return tuple(sorted(ADAPTIVE_PRESETS))
+
+
+def get_adaptive_preset(name: str) -> Dict[str, object]:
+    if name not in ADAPTIVE_PRESETS:
+        raise KeyError(
+            f"unknown adaptive preset {name!r}; choose from {sorted(ADAPTIVE_PRESETS)}"
+        )
+    return ADAPTIVE_PRESETS[name]
+
+
+def describe_adaptive_presets() -> Dict[str, str]:
+    """``{name: description}`` for CLI listings."""
+    return {
+        name: str(ADAPTIVE_PRESETS[name].get("description", ""))
+        for name in available_adaptive_presets()
+    }

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
 from .engine import SimulationEngine
+from .hooks import NodeDeparted, NodeRejoined
 from .rng import RandomSource
 
 
@@ -204,6 +205,9 @@ class ChurnProcess:
         self._online[node_id] = False
         self.log.departures.append((self.engine.now, node_id))
         self.on_leave(node_id)
+        hooks = self.engine.hooks
+        if hooks.has_subscribers(NodeDeparted):
+            hooks.publish(NodeDeparted(time=self.engine.now, node_id=node_id))
         if schedule_next:
             self.schedule_rejoin(node_id)
 
@@ -213,5 +217,8 @@ class ChurnProcess:
         self._online[node_id] = True
         self.log.rejoins.append((self.engine.now, node_id))
         self.on_join(node_id)
+        hooks = self.engine.hooks
+        if hooks.has_subscribers(NodeRejoined):
+            hooks.publish(NodeRejoined(time=self.engine.now, node_id=node_id))
         if schedule_next:
             self.schedule_departure(node_id)

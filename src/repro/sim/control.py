@@ -1,0 +1,197 @@
+"""Mid-run controllers over the hook bus: contexts, recorders, base classes.
+
+The adaptive-adversary ⇄ autonomous-defense loop (ROADMAP direction 4) is
+built from three pieces:
+
+* a :class:`ControlContext` — everything a controller may touch: the engine
+  (for scheduling), the network facade (for compromise / config mutation),
+  the adversary coordinator, the churn process, a **seeded child random
+  source** and the shared :class:`EngagementRecorder`;
+* :class:`Controller` — the minimal lifecycle (``bind`` → ``on_start``)
+  shared by attacker strategies and defense policies.  Concrete strategies
+  live in :mod:`repro.scenarios.controllers` and are registered on named
+  axis registries there;
+* the :class:`EngagementRecorder` — a passive hook-bus subscriber that turns
+  revocations and mid-run compromises into the per-round engagement report
+  (identification latency, residual compromised fraction, revocations,
+  re-placements) the ``adaptive`` experiment kind emits.
+
+Determinism: controllers draw only from ``ctx.rng`` (a named spawn of the
+experiment's master source) and react only to bus events and their own
+scheduled callbacks, so a run is a pure function of (config, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .engine import SimulationEngine
+from .hooks import CertificateRevoked, HookBus, NodeCompromised
+from .rng import RandomSource
+
+
+@dataclass
+class ControlContext:
+    """Everything a bound controller can see and act through."""
+
+    engine: SimulationEngine
+    network: Any  # OctopusNetwork (kept untyped: sim must not import core)
+    adversary: Any = None  # repro.attacks.adversary.Adversary
+    churn: Any = None  # Optional[ChurnProcess]
+    rng: Optional[RandomSource] = None
+    config: Any = None  # the experiment config driving the run
+    recorder: Optional["EngagementRecorder"] = None
+
+    @property
+    def hooks(self) -> HookBus:
+        return self.engine.hooks
+
+
+class Controller:
+    """Base lifecycle for attacker strategies and defense policies.
+
+    ``bind`` stores the context and calls :meth:`on_start`, where concrete
+    controllers subscribe to hook-bus events and/or schedule periodic
+    actions.  ``static`` (the default) does nothing — attaching it must not
+    perturb the run beyond the engagement report being emitted.
+    """
+
+    #: registry name; concrete subclasses override.
+    name = "static"
+    #: "attacker" or "defense" — used for reporting/labels only.
+    role = "controller"
+
+    def __init__(self) -> None:
+        self.ctx: Optional[ControlContext] = None
+
+    def bind(self, ctx: ControlContext) -> None:
+        self.ctx = ctx
+        self.on_start()
+
+    def on_start(self) -> None:
+        """Subscribe / schedule; called once when the run is wired up."""
+
+    def describe(self) -> str:
+        return f"{self.role}:{self.name}"
+
+
+@dataclass
+class _Revocation:
+    time: float
+    node_id: int
+    #: seconds from compromise to revocation; None for honest (false-positive)
+    #: revocations, which have no compromise time.
+    latency: Optional[float]
+
+
+class EngagementRecorder:
+    """Passive subscriber that accumulates the per-round engagement report.
+
+    The recorder is seeded with the build-time compromised set (compromise
+    time 0.0); every later :class:`NodeCompromised` event re-stamps the
+    node's compromise time, so identification latency is always measured
+    from the *most recent* takeover.  Controllers may additionally ``bump``
+    named counters (forced churn cycles, threshold adjustments) that surface
+    in the summary.
+    """
+
+    def __init__(self) -> None:
+        self.compromise_times: Dict[int, float] = {}
+        self.revocations: List[_Revocation] = []
+        self.replacements: List[Tuple[float, int]] = []
+        self.counters: Dict[str, float] = {}
+        self._subscriptions: list = []
+
+    # ---------------------------------------------------------------- wiring
+    def seed_compromised(self, node_ids: Sequence[int], time: float = 0.0) -> None:
+        for nid in node_ids:
+            self.compromise_times[nid] = time
+
+    def attach(self, hooks: HookBus) -> None:
+        self._subscriptions.append(hooks.subscribe(CertificateRevoked, self._on_revoked))
+        self._subscriptions.append(hooks.subscribe(NodeCompromised, self._on_compromised))
+
+    def detach(self) -> None:
+        for sub in self._subscriptions:
+            sub.cancel()
+        self._subscriptions.clear()
+
+    def bump(self, key: str, amount: float = 1.0) -> None:
+        """Increment a named counter surfaced in :meth:`summary`."""
+        self.counters[key] = self.counters.get(key, 0.0) + amount
+
+    # -------------------------------------------------------------- handlers
+    def _on_revoked(self, event: CertificateRevoked) -> None:
+        compromised_at = self.compromise_times.get(event.node_id)
+        latency = event.time - compromised_at if compromised_at is not None else None
+        self.revocations.append(_Revocation(time=event.time, node_id=event.node_id, latency=latency))
+
+    def _on_compromised(self, event: NodeCompromised) -> None:
+        self.replacements.append((event.time, event.node_id))
+        self.compromise_times[event.node_id] = event.time
+
+    # --------------------------------------------------------------- reports
+    def rounds(
+        self,
+        sample_interval: float,
+        duration: float,
+        residual_series: Sequence[Tuple[float, float]],
+    ) -> List[Dict[str, float]]:
+        """Per-round engagement rows over ``[0, duration]``.
+
+        ``residual_series`` is the experiment's sampled
+        ``(time, remaining malicious fraction)`` series; each round reports
+        the last sample at or before its end.
+        """
+        if sample_interval <= 0 or duration <= 0:
+            return []
+        n_rounds = max(1, int(-(-duration // sample_interval)))  # ceil
+        rev_by_round: Dict[int, List[_Revocation]] = {}
+        for rev in self.revocations:
+            idx = min(int(rev.time // sample_interval), n_rounds - 1)
+            rev_by_round.setdefault(idx, []).append(rev)
+        repl_by_round: Dict[int, int] = {}
+        for t, _nid in self.replacements:
+            idx = min(int(t // sample_interval), n_rounds - 1)
+            repl_by_round[idx] = repl_by_round.get(idx, 0) + 1
+
+        rows: List[Dict[str, float]] = []
+        for i in range(n_rounds):
+            t_end = min((i + 1) * sample_interval, duration)
+            revs = rev_by_round.get(i, [])
+            latencies = [r.latency for r in revs if r.latency is not None]
+            residual = 0.0
+            for t, value in residual_series:
+                if t <= t_end:
+                    residual = value
+                else:
+                    break
+            rows.append(
+                {
+                    "round": float(i),
+                    "t_start": float(i * sample_interval),
+                    "t_end": float(t_end),
+                    "revocations": float(len(revs)),
+                    "re_placements": float(repl_by_round.get(i, 0)),
+                    "identification_latency_mean_s": (
+                        sum(latencies) / len(latencies) if latencies else 0.0
+                    ),
+                    "residual_malicious_fraction": float(residual),
+                }
+            )
+        return rows
+
+    def summary(self) -> Dict[str, float]:
+        """Flat engagement scalars merged into the trial's metrics."""
+        latencies = [r.latency for r in self.revocations if r.latency is not None]
+        out = {
+            "engagement_revocations_total": float(len(self.revocations)),
+            "engagement_re_placements_total": float(len(self.replacements)),
+            "engagement_identification_latency_mean_s": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+        }
+        for key in sorted(self.counters):
+            out[f"engagement_{key}"] = float(self.counters[key])
+        return out

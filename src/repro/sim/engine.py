@@ -14,10 +14,16 @@ from typing import Any, Callable, List, Optional
 
 from .clock import SimulationClock
 from .events import Event
+from .hooks import HookBus
 
 
 class SimulationEngine:
     """Heap-based discrete-event scheduler.
+
+    Every engine carries a :class:`~repro.sim.hooks.HookBus` (``self.hooks``)
+    through which churn and the security services publish typed transition
+    events; with no subscribers the bus costs nothing (see
+    :mod:`repro.sim.hooks` for the determinism contract).
 
     Example
     -------
@@ -32,6 +38,7 @@ class SimulationEngine:
 
     def __init__(self, clock: Optional[SimulationClock] = None) -> None:
         self.clock = clock or SimulationClock()
+        self.hooks = HookBus()
         self._heap: List[Event] = []
         self._events_processed = 0
         self._running = False

@@ -1,0 +1,184 @@
+"""Typed, deterministic event hooks for the simulation control plane.
+
+The engine and the Octopus services publish membership- and security-relevant
+transitions (churn departures/rejoins, identification verdicts, certificate
+revocations, DoS-defense investigations) through a :class:`HookBus` hanging
+off :class:`~repro.sim.engine.SimulationEngine`.  Controllers — adaptive
+adversaries, autonomous defense policies, passive recorders — subscribe to
+the event types they care about and react mid-run.
+
+Determinism contract
+--------------------
+* Subscribers fire **in registration order** for their event type; there is
+  no other ordering source.  Two runs that register the same subscribers in
+  the same order observe the same callback sequence.
+* Publishing draws **no randomness** and schedules nothing; any randomness a
+  controller needs comes from its own named seeded stream.
+* With no subscribers the bus is **zero-overhead**: publishers guard on the
+  per-type subscriber list before even constructing the event object, so a
+  static ``paper-baseline`` run with the bus present is byte-identical to one
+  without it (pinned by the golden digests in ``tests/kernel/``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+
+# --------------------------------------------------------------------- events
+@dataclass(frozen=True)
+class NodeDeparted:
+    """A node went offline via churn (``ChurnProcess`` departure)."""
+
+    time: float
+    node_id: int
+
+
+@dataclass(frozen=True)
+class NodeRejoined:
+    """A node came back online via churn (``ChurnProcess`` rejoin)."""
+
+    time: float
+    node_id: int
+
+
+@dataclass(frozen=True)
+class VerdictIssued:
+    """The attacker-identification protocol judged a report.
+
+    ``identified`` is ``None`` for a false alarm (no conviction); ``subject``
+    names the suspect the report was about even when no conviction happened —
+    repeat-offender defense policies key off it.
+    """
+
+    time: float
+    report_kind: str
+    identified: Optional[int]
+    is_false_positive: bool
+    reporter: Optional[int] = None
+    subject: Optional[int] = None
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class CertificateRevoked:
+    """The CA revoked a node's certificate (it can never re-enter)."""
+
+    time: float
+    node_id: int
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class DropInvestigated:
+    """The DoS defense filed a drop-report investigation over a relay chain."""
+
+    time: float
+    initiator: int
+    relays: Tuple[int, ...]
+    identified: Optional[int]
+
+
+@dataclass(frozen=True)
+class NodeCompromised:
+    """The adversary took control of a node mid-run (``set_malicious``)."""
+
+    time: float
+    node_id: int
+    reason: str = ""
+
+
+#: Events the stock publishers emit, in documentation order.
+EVENT_TYPES: Tuple[type, ...] = (
+    NodeDeparted,
+    NodeRejoined,
+    VerdictIssued,
+    CertificateRevoked,
+    DropInvestigated,
+    NodeCompromised,
+)
+
+
+# ----------------------------------------------------------------------- bus
+class Subscription:
+    """Handle returned by :meth:`HookBus.subscribe`; supports ``cancel()``."""
+
+    __slots__ = ("bus", "event_type", "callback", "active")
+
+    def __init__(self, bus: "HookBus", event_type: type, callback: Callable) -> None:
+        self.bus = bus
+        self.event_type = event_type
+        self.callback = callback
+        self.active = True
+
+    def cancel(self) -> None:
+        if self.active:
+            self.active = False
+            self.bus._remove(self)
+
+
+class HookBus:
+    """Registration-ordered publish/subscribe bus over typed events.
+
+    Dispatch is by the event's **exact** type (no subclass matching — event
+    types are flat frozen dataclasses, and exact matching keeps dispatch a
+    single dict lookup).
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[type, List[Subscription]] = {}
+
+    # ---------------------------------------------------------- subscription
+    def subscribe(self, event_type: Type, callback: Callable) -> Subscription:
+        """Register ``callback(event)`` for events of exactly ``event_type``."""
+        if not isinstance(event_type, type):
+            raise TypeError(f"event_type must be a class, got {event_type!r}")
+        sub = Subscription(self, event_type, callback)
+        self._subscribers.setdefault(event_type, []).append(sub)
+        return sub
+
+    def _remove(self, sub: Subscription) -> None:
+        subs = self._subscribers.get(sub.event_type)
+        if subs is not None:
+            try:
+                subs.remove(sub)
+            except ValueError:
+                pass
+            if not subs:
+                del self._subscribers[sub.event_type]
+
+    def has_subscribers(self, event_type: type) -> bool:
+        """Whether publishing ``event_type`` would call anyone.
+
+        Publishers use this to skip even *constructing* the event object on
+        the zero-subscriber fast path.
+        """
+        return bool(self._subscribers.get(event_type))
+
+    def subscriber_count(self, event_type: Optional[type] = None) -> int:
+        if event_type is not None:
+            return len(self._subscribers.get(event_type, ()))
+        return sum(len(subs) for subs in self._subscribers.values())
+
+    # -------------------------------------------------------------- publish
+    def publish(self, event: object) -> int:
+        """Deliver ``event`` to its type's subscribers in registration order.
+
+        Returns the number of callbacks invoked.  Subscribers registered
+        *during* dispatch first fire on the next publish (the dispatch list
+        is snapshotted); cancellation takes effect immediately — a
+        subscription cancelled earlier in the same dispatch never fires.
+        """
+        subs = self._subscribers.get(type(event))
+        if not subs:
+            return 0
+        fired = 0
+        for sub in list(subs):
+            if sub.active:
+                sub.callback(event)
+                fired += 1
+        return fired
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"HookBus(subscribers={self.subscriber_count()})"

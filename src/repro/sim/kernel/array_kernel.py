@@ -126,6 +126,26 @@ class ArrayRingKernel(RingKernel):
             if self._malicious[slot]:
                 self._n_alive_malicious_unremoved -= 1
 
+    def set_malicious(self, node_id: int, malicious: bool) -> None:
+        slot = self._slot.get(node_id)
+        if slot is None or bool(self._malicious[slot]) == malicious:
+            return
+        self._malicious[slot] = 1 if malicious else 0
+        if self._alive[slot]:
+            delta = 1 if malicious else -1
+            self._n_alive_malicious += delta
+            if not self._removed[slot]:
+                self._n_alive_malicious_unremoved += delta
+            # ``_honest_alive`` tracks alive honest ids only; dead nodes enter
+            # or leave it in ``set_alive`` based on the flag set here.  The
+            # finger cache resolves over ``_alive_sorted`` (allegiance-blind),
+            # so no row invalidation is needed.
+            if malicious:
+                idx = bisect.bisect_left(self._honest_alive, node_id)
+                del self._honest_alive[idx]
+            else:
+                bisect.insort(self._honest_alive, node_id)
+
     # ---------------------------------------------------------------- queries
     def is_alive(self, node_id: int) -> bool:
         slot = self._slot.get(node_id)

@@ -54,6 +54,16 @@ class RingKernel(ABC):
     def set_removed(self, node_id: int) -> None:
         """Mark a node permanently removed (certificate revoked)."""
 
+    @abstractmethod
+    def set_malicious(self, node_id: int, malicious: bool) -> None:
+        """Flip one node's allegiance mid-run (no-op if already there).
+
+        Adaptive-adversary controllers compromise nodes after construction;
+        both kernels must expose the same post-flip query results (the
+        differential suite covers interleavings with ``set_alive`` /
+        ``set_removed``).  Unknown ids are ignored.
+        """
+
     # ---------------------------------------------------------------- queries
     @abstractmethod
     def is_alive(self, node_id: int) -> bool:

@@ -41,6 +41,14 @@ class ObjectRingKernel(RingKernel):
         if node_id in self._alive:
             self._removed.add(node_id)
 
+    def set_malicious(self, node_id: int, malicious: bool) -> None:
+        if node_id not in self._alive:
+            return
+        if malicious:
+            self._malicious.add(node_id)
+        else:
+            self._malicious.discard(node_id)
+
     # ---------------------------------------------------------------- queries
     def is_alive(self, node_id: int) -> bool:
         return self._alive.get(node_id, False)

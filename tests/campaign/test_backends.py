@@ -34,7 +34,12 @@ from repro.campaign import (
     run_worker,
     strip_timing,
 )
-from repro.campaign.backends.queue import claim_and_execute_next
+from repro.campaign.backends.queue import (
+    claim_and_execute_batch,
+    claim_and_execute_next,
+    expensive_cost_keys,
+)
+from repro.campaign.spec import cost_key
 
 
 @pytest.fixture
@@ -76,6 +81,26 @@ def efficiency_scenario_spec() -> CampaignSpec:
     )
 
 
+@pytest.fixture
+def adaptive_spec() -> CampaignSpec:
+    """An adaptive-kind campaign: mid-run controllers must not break the
+    backend byte-equality contract."""
+    return CampaignSpec(
+        kind="adaptive",
+        name="adaptive-backend-test",
+        base={
+            "base": {
+                "n_nodes": 60,
+                "duration": 30.0,
+                "sample_interval": 10.0,
+                "attack": "lookup-bias",
+            }
+        },
+        grid={"attacker": ["static", "re-eclipse"]},
+        seeds=(0, 1),
+    )
+
+
 def _stripped_outputs(out_dir):
     """(summary, {trial_id: record}) of a results dir, timing-stripped, as canonical JSON."""
     summary = canonical_json(strip_timing(json.loads((out_dir / "summary.json").read_text())))
@@ -101,7 +126,8 @@ def test_backend_registry_names():
 
 
 @pytest.mark.parametrize(
-    "spec_fixture", ["small_spec", "scenario_spec", "efficiency_scenario_spec"]
+    "spec_fixture",
+    ["small_spec", "scenario_spec", "efficiency_scenario_spec", "adaptive_spec"],
 )
 @pytest.mark.parametrize("backend", ["pool", "queue"])
 def test_differential_backend_equivalence(request, tmp_path, backend, spec_fixture):
@@ -263,6 +289,133 @@ def test_claim_and_execute_skips_trials_already_recorded(small_spec, tmp_path):
     assert ran is False  # nothing executed — callers must not count this
     assert store.trial_path(trial.trial_id).read_text() == before  # untouched
     assert store.queue_drained()
+
+
+# ----------------------------------------------------------- batched claiming
+
+
+def _enqueue_all(store, spec):
+    store.ensure_queue_layout()
+    trials = spec.expand()
+    for order, trial in enumerate(trials):
+        store.enqueue_trial(order, trial.to_dict())
+    return trials
+
+
+def test_peek_job_is_advisory(small_spec, tmp_path):
+    store = CampaignStore(tmp_path / "peek")
+    trials = _enqueue_all(store, small_spec)
+    [first, *_] = store.list_pending()
+    peeked = store.peek_job(first)
+    assert peeked is not None and peeked["trial_id"] == trials[0].trial_id
+    assert len(store.list_pending()) == 4  # nothing claimed by peeking
+    assert store.claim_job(first, "w") is not None
+    assert store.peek_job(first) is None  # vanished after the claim rename
+
+
+def test_batch_claims_only_seed_siblings(small_spec, tmp_path):
+    """A batch stops at the cost-key boundary: the 0.5-rate cell stays
+    pending even though the batch had room for it."""
+    store = CampaignStore(tmp_path / "batch")
+    trials = _enqueue_all(store, small_spec)
+    batch = claim_and_execute_batch(store, "w", batch_size=4)
+    assert [str(r["trial_id"]) for r, _ran in batch] == [
+        t.trial_id for t in trials if t.params["attack_rate"] == 1.0
+    ]
+    assert all(ran for _r, ran in batch)
+    remaining = {store._job_trial_id(p) for p in store.list_pending()}
+    assert remaining == {t.trial_id for t in trials if t.params["attack_rate"] == 0.5}
+    assert store.list_claims() == []  # every executed claim was completed
+
+
+def test_batch_size_one_delegates_to_single_claim(small_spec, tmp_path):
+    store = CampaignStore(tmp_path / "single")
+    _enqueue_all(store, small_spec)
+    batch = claim_and_execute_batch(store, "w", batch_size=1)
+    assert len(batch) == 1
+    assert len(store.list_pending()) == 3
+
+
+def test_expensive_anchor_claims_singly(small_spec, tmp_path):
+    store = CampaignStore(tmp_path / "expensive")
+    trials = _enqueue_all(store, small_spec)
+    anchor_key = trials[0].cost_key
+    batch = claim_and_execute_batch(
+        store, "w", batch_size=4, expensive_keys=frozenset({anchor_key})
+    )
+    assert len(batch) == 1  # the expensive cell's seed sibling was left alone
+    assert len(store.list_pending()) == 3
+
+
+def test_expensive_cost_keys_reads_summary_timing(small_spec, tmp_path):
+    store = CampaignStore(tmp_path / "timing")
+    assert expensive_cost_keys(store) == frozenset()  # no summary yet
+    slow = cost_key("security", {"n_nodes": 60, "seed": 0})
+    fast = cost_key("security", {"n_nodes": 20, "seed": 0})
+    store.write_summary(
+        {
+            "timing": {
+                "cells": {
+                    slow: {"mean_elapsed_s": 12.0},
+                    fast: {"mean_elapsed_s": 0.2},
+                }
+            }
+        }
+    )
+    assert expensive_cost_keys(store, threshold_s=5.0) == frozenset({slow})
+    assert expensive_cost_keys(store, threshold_s=0.1) == frozenset({slow, fast})
+
+
+def test_batch_failure_requeues_every_unexecuted_claim(tmp_path):
+    """A mid-batch crash loses nothing: the failing job and everything still
+    unexecuted behind it go straight back to pending (no claim-TTL wait)."""
+    poisoned = CampaignSpec(
+        kind="security",
+        name="poisoned-batch",
+        base={"n_nodes": "boom", "duration": 15.0, "sample_interval": 5.0},
+        grid={},
+        seeds=(0, 1, 2),
+    )
+    store = CampaignStore(tmp_path / "crash")
+    trials = _enqueue_all(store, poisoned)
+    with pytest.raises(Exception):
+        claim_and_execute_batch(store, "w", batch_size=3)
+    assert store.list_claims() == []
+    requeued = {store._job_trial_id(p) for p in store.list_pending()}
+    assert requeued == {t.trial_id for t in trials}
+
+
+def test_queue_backend_with_claim_batch_matches_serial(small_spec, tmp_path):
+    """Batching changes claim grouping only — records and summary stay
+    byte-identical to the serial reference."""
+    reference = run_campaign(small_spec, out_dir=tmp_path / "serial", backend="serial")
+    report = run_campaign(
+        small_spec,
+        out_dir=tmp_path / "batched",
+        backend=FileQueueBackend(claim_batch=3, poll_interval_s=0.01),
+    )
+    assert report.executed_trial_ids == reference.executed_trial_ids
+    ref_summary, ref_records = _stripped_outputs(tmp_path / "serial")
+    got_summary, got_records = _stripped_outputs(tmp_path / "batched")
+    assert got_records == ref_records
+    assert got_summary == ref_summary
+
+
+def test_worker_claim_batch_respects_max_trials(small_spec, tmp_path):
+    """--claim-batch must not overshoot --max-trials: the batch is capped at
+    what the worker is still allowed to execute."""
+    out = tmp_path / "capped-batch"
+    store = CampaignStore(out)
+    _enqueue_all(store, small_spec)
+    assert run_worker(out, max_trials=1, wait_for_queue_s=0, claim_batch=4) == 1
+    assert len(store.list_pending()) == 3
+
+
+def test_claim_batch_validation():
+    with pytest.raises(ValueError, match="claim_batch"):
+        FileQueueBackend(claim_batch=0)
+    with pytest.raises(ValueError, match="claim_batch"):
+        run_worker("/nonexistent", claim_batch=0)
 
 
 # ------------------------------------------------------------ fault injection

@@ -33,6 +33,12 @@ TOY_PARAMS = {
         "base": {"n_nodes": 60, "duration": 10.0, "sample_interval": 5.0},
         "seed": 0,
     },
+    "adaptive": {
+        "attacker": "re-eclipse",
+        "defense": "aggressive-revoke",
+        "base": {"n_nodes": 60, "duration": 10.0, "sample_interval": 5.0},
+        "seed": 0,
+    },
 }
 
 

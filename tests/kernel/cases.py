@@ -36,17 +36,28 @@ CASES: Dict[str, dict] = {
         "seed": 3,
         "base": {"n_nodes": 60, "duration": 15.0, "sample_interval": 5.0},
     },
+    "adaptive": {
+        "attacker": "re-eclipse",
+        "defense": "aggressive-revoke",
+        "seed": 3,
+        "base": {
+            "n_nodes": 60,
+            "duration": 30.0,
+            "sample_interval": 10.0,
+            "attack": "lookup-bias",
+        },
+    },
 }
 
 
 def with_kernel(kind: str, kernel: str) -> dict:
     """The kind's case params with the kernel switch applied.
 
-    Scenario configs carry the base experiment's params in a nested ``base``
-    dict, so the switch nests accordingly.
+    Scenario and adaptive configs carry the base experiment's params in a
+    nested ``base`` dict, so the switch nests accordingly.
     """
     params = copy.deepcopy(CASES[kind])
-    if kind == "scenario":
+    if kind in ("scenario", "adaptive"):
         params["base"]["kernel"] = kernel
     else:
         params["kernel"] = kernel

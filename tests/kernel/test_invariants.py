@@ -183,32 +183,44 @@ def test_ring_pair_identical_under_churn(seed):
 
     rnd = random.Random(5000 + seed)
     dead = set()
+    removed = set()
     for _ in range(80):
         op = rnd.random()
-        if op < 0.35 and len(dead) < len(ids) - 4:
+        if op < 0.30 and len(dead) < len(ids) - 4:
             victim = rnd.choice([nid for nid in ids if nid not in dead])
             dead.add(victim)
             ring_o.mark_dead(victim)
             ring_a.mark_dead(victim)
-        elif op < 0.70 and dead:
+        elif op < 0.60 and dead:
             reborn = rnd.choice(sorted(dead))
-            dead.discard(reborn)
             ring_o.mark_alive(reborn)
             ring_a.mark_alive(reborn)
-            # Finger definition check right after the targeted rebuild:
-            # finger[i] = first alive node >= ideal (with wraparound).
-            alive = ring_o.alive_ids_sorted()
-            for entry in ring_a.node(reborn).finger_table.entries:
-                expected = next(
-                    (nid for nid in alive if nid >= entry.ideal_id), alive[0]
-                )
-                assert entry.node_id == expected
-                assert ring_o.node(reborn).finger_table.get(entry.index) == expected
-        elif op < 0.80:
+            if reborn in removed:
+                # Revoked nodes cannot rejoin: mark_alive must be a no-op.
+                assert not ring_o.node(reborn).alive
+                assert not ring_a.node(reborn).alive
+            else:
+                dead.discard(reborn)
+                # Finger definition check right after the targeted rebuild:
+                # finger[i] = first alive node >= ideal (with wraparound).
+                alive = ring_o.alive_ids_sorted()
+                for entry in ring_a.node(reborn).finger_table.entries:
+                    expected = next(
+                        (nid for nid in alive if nid >= entry.ideal_id), alive[0]
+                    )
+                    assert entry.node_id == expected
+                    assert ring_o.node(reborn).finger_table.get(entry.index) == expected
+        elif op < 0.72:
             victim = rnd.choice(ids)
             ring_o.remove_permanently(victim)
             ring_a.remove_permanently(victim)
             dead.add(victim)
+            removed.add(victim)
+        elif op < 0.82:
+            # Mid-run allegiance flips (adaptive-adversary compromise).
+            target = rnd.choice(ids)
+            flag = rnd.random() < 0.6
+            assert ring_o.set_malicious(target, flag) == ring_a.set_malicious(target, flag)
 
         assert ring_o.alive_ids_sorted() == ring_a.alive_ids_sorted()
         assert ring_o.honest_ids() == ring_a.honest_ids()

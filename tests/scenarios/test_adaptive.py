@@ -1,0 +1,159 @@
+"""The ``adaptive`` kind: controller registries, config resolution, and the
+byte-neutrality of static controllers against a plain security run."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.results import jsonify
+from repro.experiments.security import SecurityExperimentConfig, run_security
+from repro.scenarios import (
+    ADAPTIVE_PRESETS,
+    ATTACKER_STRATEGIES,
+    DEFENSE_POLICIES,
+    AdaptiveConfig,
+    available_adaptive_presets,
+    get_adaptive_preset,
+    run_adaptive,
+)
+from repro.scenarios.controllers import StaticAttacker, StaticDefense
+
+
+_SMALL_BASE = {"n_nodes": 60, "duration": 60.0, "sample_interval": 20.0}
+
+
+class TestRegistries:
+    def test_attacker_strategies(self):
+        names = ATTACKER_STRATEGIES.available()
+        assert "static" in names
+        assert "re-eclipse" in names
+        assert "join-leave-cycling" in names
+
+    def test_defense_policies(self):
+        names = DEFENSE_POLICIES.available()
+        assert "static" in names
+        assert "adaptive-threshold" in names
+        assert "aggressive-revoke" in names
+
+    def test_build_with_params(self):
+        strategy = ATTACKER_STRATEGIES.build("re-eclipse", {"window": 4})
+        assert strategy.window == 4
+
+    def test_bad_params_raise_value_error(self):
+        with pytest.raises(ValueError, match="re-eclipse"):
+            ATTACKER_STRATEGIES.build("re-eclipse", {"nope": 1})
+
+    def test_presets_reference_known_controllers(self):
+        assert len(available_adaptive_presets()) >= 3
+        for name in available_adaptive_presets():
+            preset = get_adaptive_preset(name)
+            assert preset.get("attacker", "static") in ATTACKER_STRATEGIES.available()
+            assert preset.get("defense", "static") in DEFENSE_POLICIES.available()
+
+
+class TestAdaptiveConfig:
+    def test_preset_fills_defaults(self):
+        config = AdaptiveConfig(preset="arms-race").resolved()
+        expected = ADAPTIVE_PRESETS["arms-race"]
+        assert config.attacker == expected["attacker"]
+        assert config.defense == expected["defense"]
+        assert config.defense_params == expected["defense_params"]
+        assert config.base["n_nodes"] == expected["base"]["n_nodes"]
+
+    def test_explicit_controller_discards_preset_params(self):
+        # Overriding the controller must not drag the preset's params along
+        # (arms-race ships aggressive-revoke params that adaptive-threshold
+        # would reject).
+        config = AdaptiveConfig(
+            preset="arms-race", defense="adaptive-threshold"
+        ).resolved()
+        assert config.defense == "adaptive-threshold"
+        assert config.defense_params == {}
+
+    def test_user_params_win_merge(self):
+        config = AdaptiveConfig(
+            preset="arms-race", defense_params={"strikes": 5}
+        ).resolved()
+        assert config.defense_params["strikes"] == 5
+
+    def test_base_user_keys_win(self):
+        config = AdaptiveConfig(preset="arms-race", base={"n_nodes": 30}).resolved()
+        assert config.base["n_nodes"] == 30
+        assert config.base["duration"] == ADAPTIVE_PRESETS["arms-race"]["base"]["duration"]
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown adaptive preset"):
+            AdaptiveConfig(preset="nope").resolved()
+
+    def test_unknown_controller(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(attacker="nope").resolved().validate()
+
+    def test_seed_in_base_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            AdaptiveConfig(base={"seed": 4}).resolved().validate()
+
+    def test_to_dict_round_trips_json(self):
+        config = AdaptiveConfig(preset="arms-race", seed=2).resolved()
+        payload = json.dumps(config.to_dict(), sort_keys=True)
+        assert json.loads(payload)["seed"] == 2
+
+
+class TestAdaptiveRuns:
+    def test_static_controllers_are_byte_neutral_on_base_series(self):
+        """A static×static adaptive run is the plain security run plus an
+        engagement report — every base series and metric byte-identical."""
+        base_config = SecurityExperimentConfig(seed=7, **_SMALL_BASE)
+        plain = jsonify(run_security(base_config).to_dict())
+
+        result = run_adaptive(AdaptiveConfig(base=dict(_SMALL_BASE), seed=7))
+        wrapped = jsonify(result.base_result.to_dict())
+
+        engagement = wrapped["series"].pop("engagement", None)
+        assert engagement is not None  # controllers attached -> report emitted
+        for key in list(wrapped["metrics"]):
+            if key.startswith("engagement_"):
+                del wrapped["metrics"][key]
+        assert json.dumps(wrapped, sort_keys=True) == json.dumps(plain, sort_keys=True)
+
+    def test_same_config_runs_identically(self):
+        config = AdaptiveConfig(
+            attacker="re-eclipse",
+            defense="aggressive-revoke",
+            base=dict(_SMALL_BASE, fraction_malicious=0.2, attack="lookup-bias"),
+            seed=3,
+        )
+        first = json.dumps(jsonify(run_adaptive(config).to_dict()), sort_keys=True)
+        second = json.dumps(jsonify(run_adaptive(config).to_dict()), sort_keys=True)
+        assert first == second
+
+    def test_cycling_attacker_forces_cycles(self):
+        config = AdaptiveConfig(
+            attacker="join-leave-cycling",
+            attacker_params={"period": 15.0, "downtime": 2.0},
+            base=dict(
+                _SMALL_BASE,
+                fraction_malicious=0.2,
+                attack="lookup-bias",
+                churn_lifetime_minutes=10.0,
+            ),
+            seed=5,
+        )
+        metrics = run_adaptive(config).scalar_metrics()
+        assert metrics.get("engagement_attacker_forced_cycles", 0.0) > 0
+        assert "engagement_revocations_total" in metrics
+
+    def test_result_dict_names_both_controllers(self):
+        result = run_adaptive(AdaptiveConfig(base=dict(_SMALL_BASE), seed=1))
+        payload = result.to_dict()
+        assert payload["adaptive"]["attacker"]["name"] == "static"
+        assert payload["adaptive"]["defense"]["name"] == "static"
+        assert "metrics" not in payload["base_result"]
+
+    def test_static_controller_instances_do_nothing(self):
+        # Belt and braces for the neutrality claim: the static controllers
+        # never subscribe, so the bus stays empty during the run.
+        attacker, defense = StaticAttacker(), StaticDefense()
+        assert attacker.name == "static" and defense.name == "static"

@@ -1,0 +1,171 @@
+"""The hook bus's determinism contract, and the engagement recorder.
+
+The control plane's whole value rests on three properties pinned here:
+subscribers fire in registration order (no other ordering source), dispatch
+is by exact event type (one dict lookup), and with no subscribers the bus is
+zero-overhead — publishers guard on ``has_subscribers`` before constructing
+events, so a baseline run with the bus present is byte-identical to one
+without it (the golden digests in ``tests/kernel/`` pin the end-to-end
+version of that claim; ``tests/scenarios/test_adaptive.py`` pins the
+static-controller version).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.control import EngagementRecorder
+from repro.sim.engine import SimulationEngine
+from repro.sim.hooks import (
+    EVENT_TYPES,
+    CertificateRevoked,
+    HookBus,
+    NodeCompromised,
+    NodeDeparted,
+    NodeRejoined,
+)
+
+
+class TestHookBus:
+    def test_engine_carries_a_bus(self):
+        engine = SimulationEngine()
+        assert isinstance(engine.hooks, HookBus)
+        assert engine.hooks.subscriber_count() == 0
+
+    def test_registration_order_is_delivery_order(self):
+        bus = HookBus()
+        seen = []
+        for tag in ("first", "second", "third"):
+            bus.subscribe(NodeDeparted, lambda e, tag=tag: seen.append(tag))
+        fired = bus.publish(NodeDeparted(time=1.0, node_id=7))
+        assert fired == 3
+        assert seen == ["first", "second", "third"]
+
+    def test_dispatch_is_exact_type(self):
+        bus = HookBus()
+        seen = []
+        bus.subscribe(NodeDeparted, seen.append)
+        assert bus.publish(NodeRejoined(time=1.0, node_id=7)) == 0
+        assert seen == []
+        assert bus.publish(NodeDeparted(time=2.0, node_id=7)) == 1
+        assert [e.node_id for e in seen] == [7]
+
+    def test_subscribe_rejects_non_classes(self):
+        bus = HookBus()
+        with pytest.raises(TypeError):
+            bus.subscribe("NodeDeparted", lambda e: None)
+
+    def test_has_subscribers_tracks_cancel(self):
+        bus = HookBus()
+        assert not bus.has_subscribers(NodeDeparted)
+        sub = bus.subscribe(NodeDeparted, lambda e: None)
+        assert bus.has_subscribers(NodeDeparted)
+        assert not bus.has_subscribers(NodeRejoined)
+        sub.cancel()
+        assert not bus.has_subscribers(NodeDeparted)
+        assert bus.subscriber_count() == 0
+        sub.cancel()  # idempotent
+
+    def test_cancel_during_dispatch_suppresses_later_subscriber(self):
+        bus = HookBus()
+        seen = []
+        subs = {}
+
+        def first(event):
+            seen.append("first")
+            subs["second"].cancel()
+
+        subs["first"] = bus.subscribe(NodeDeparted, first)
+        subs["second"] = bus.subscribe(NodeDeparted, lambda e: seen.append("second"))
+        assert bus.publish(NodeDeparted(time=0.0, node_id=1)) == 1
+        assert seen == ["first"]
+
+    def test_subscribe_during_dispatch_first_fires_next_publish(self):
+        bus = HookBus()
+        seen = []
+        added = []
+
+        def first(event):
+            seen.append("first")
+            if not added:
+                added.append(bus.subscribe(NodeDeparted, lambda e: seen.append("late")))
+
+        bus.subscribe(NodeDeparted, first)
+        bus.publish(NodeDeparted(time=0.0, node_id=1))
+        assert seen == ["first"]  # the late subscriber did not fire in-flight
+        bus.publish(NodeDeparted(time=1.0, node_id=1))
+        assert seen == ["first", "first", "late"]
+
+    def test_event_types_are_frozen(self):
+        event = NodeDeparted(time=1.0, node_id=3)
+        with pytest.raises(Exception):
+            event.node_id = 4
+        assert len(EVENT_TYPES) == 6
+
+
+class TestEngagementRecorder:
+    def test_latency_measured_from_most_recent_compromise(self):
+        recorder = EngagementRecorder()
+        bus = HookBus()
+        recorder.seed_compromised([5, 9])
+        recorder.attach(bus)
+        # Node 9 is re-compromised mid-run: latency restarts from there.
+        bus.publish(NodeCompromised(time=40.0, node_id=9, reason="re-eclipse"))
+        bus.publish(CertificateRevoked(time=50.0, node_id=9))
+        bus.publish(CertificateRevoked(time=30.0, node_id=5))
+        assert [r.latency for r in recorder.revocations] == [10.0, 30.0]
+        assert recorder.replacements == [(40.0, 9)]
+
+    def test_honest_revocations_have_no_latency(self):
+        recorder = EngagementRecorder()
+        bus = HookBus()
+        recorder.seed_compromised([1])
+        recorder.attach(bus)
+        bus.publish(CertificateRevoked(time=20.0, node_id=2))  # honest collateral
+        bus.publish(CertificateRevoked(time=21.0, node_id=1))
+        summary = recorder.summary()
+        assert summary["engagement_revocations_total"] == 2.0
+        # Only the compromised node's latency enters the mean.
+        assert summary["engagement_identification_latency_mean_s"] == 21.0
+
+    def test_detach_stops_recording(self):
+        recorder = EngagementRecorder()
+        bus = HookBus()
+        recorder.attach(bus)
+        recorder.detach()
+        bus.publish(CertificateRevoked(time=1.0, node_id=1))
+        assert recorder.revocations == []
+        assert bus.subscriber_count() == 0
+
+    def test_rounds_bucket_and_clamp(self):
+        recorder = EngagementRecorder()
+        bus = HookBus()
+        recorder.seed_compromised([1, 2, 3])
+        recorder.attach(bus)
+        bus.publish(CertificateRevoked(time=5.0, node_id=1))
+        bus.publish(CertificateRevoked(time=15.0, node_id=2))
+        # Past-the-end events clamp into the final round instead of vanishing.
+        bus.publish(CertificateRevoked(time=99.0, node_id=3))
+        residual = [(0.0, 0.3), (10.0, 0.2), (20.0, 0.1)]
+        rows = recorder.rounds(sample_interval=10.0, duration=25.0, residual_series=residual)
+        assert [row["round"] for row in rows] == [0.0, 1.0, 2.0]
+        assert [row["revocations"] for row in rows] == [1.0, 1.0, 1.0]
+        assert rows[0]["residual_malicious_fraction"] == 0.2  # last sample <= t_end
+        assert rows[2]["t_end"] == 25.0  # clamped to duration
+        assert rows[2]["identification_latency_mean_s"] == 99.0
+
+    def test_rounds_empty_for_degenerate_inputs(self):
+        recorder = EngagementRecorder()
+        assert recorder.rounds(0.0, 10.0, []) == []
+        assert recorder.rounds(10.0, 0.0, []) == []
+
+    def test_bumped_counters_surface_sorted(self):
+        recorder = EngagementRecorder()
+        recorder.bump("zeta")
+        recorder.bump("alpha", 2.0)
+        recorder.bump("zeta")
+        summary = recorder.summary()
+        assert summary["engagement_alpha"] == 2.0
+        assert summary["engagement_zeta"] == 2.0
+        keys = [k for k in summary if k in ("engagement_alpha", "engagement_zeta")]
+        assert keys == sorted(keys)
