@@ -1,0 +1,124 @@
+"""Open-loop sustained-RPS load sweep — offered RPS vs latency/success.
+
+Not a figure of the paper: the paper's simulator only ever measures the
+unloaded lookup path (closed-loop, one lookup in flight per node).  This
+benchmark drives the ``load`` experiment kind — an external Poisson arrival
+process at a fixed network-wide offered rate — across two offered-RPS
+levels and prints the operator's table: offered vs delivered RPS, success
+rate and p50/p90/p99 end-to-end latency per level, through the shared
+figure-adapter path (``load`` adapter + ``summary_rows``).  A third run
+swaps the key distribution for ``hot-key-storm`` at the same offered rate
+to show how popularity skew concentrates queueing on the hot key's owner.
+
+With ``--campaign-results DIR`` pointing at a ``load`` campaign (e.g. the
+``saturation-sweep`` preset swept over ``offered_rps``), the same table
+prints from multi-seed mean±ci95 aggregates.
+
+Shape claims: with churn disabled every offered arrival is delivered; the
+measured arrival rate tracks the configured rate; latency percentiles are
+ordered (p99 ≥ p90 ≥ p50 ≥ 0); and the hot-key storm's p99 owner queueing
+delay is at least the uniform workload's at the same offered rate.
+
+Scaled-down default: N=60 nodes, 30 simulated seconds per RPS level.
+"""
+
+from __future__ import annotations
+
+from conftest import report_campaign, run_once
+
+from repro.experiments.load import LoadConfig, run_load
+from repro.experiments.results import format_table
+
+RPS_LEVELS = (10.0, 40.0)
+
+
+def _config(paper_scale, offered_rps: float, **overrides) -> LoadConfig:
+    params = {
+        "n_nodes": 200 if paper_scale else 60,
+        "duration": 120.0 if paper_scale else 30.0,
+        "sample_interval": 20.0 if paper_scale else 10.0,
+        "offered_rps": offered_rps,
+        "churn_lifetime_minutes": None,  # isolate queueing from churn loss
+        "seed": 7,
+    }
+    params.update(overrides)
+    return LoadConfig(**params)
+
+
+def _run_all(paper_scale):
+    results = {
+        rps: run_load(_config(paper_scale, rps)) for rps in RPS_LEVELS
+    }
+    # Same offered rate as the low level, but every storm-window lookup
+    # targets one hot key — all of that traffic queues on a single owner.
+    results["hot-key-storm"] = run_load(
+        _config(
+            paper_scale,
+            RPS_LEVELS[0],
+            workload="hot-key-storm",
+            workload_params={
+                "storm_start_s": 0.0,
+                "storm_end_s": 1e9,
+                "storm_intensity": 0.95,
+            },
+        )
+    )
+    return results
+
+
+def test_load_sweep(benchmark, paper_scale, campaign_results):
+    results = run_once(benchmark, lambda: _run_all(paper_scale))
+
+    # One-seed sweep through the shared figure-adapter path: a single-run
+    # sweep is just a one-seed campaign.
+    from repro.campaign import aggregate_records, get_figure, summary_rows
+
+    records = [
+        {
+            "trial_id": f"s7-rps{rps:g}",
+            "kind": "load",
+            "params": {"offered_rps": rps, "seed": 7},
+            "metrics": results[rps].scalar_metrics(),
+        }
+        for rps in RPS_LEVELS
+    ]
+    summary = aggregate_records(records)
+    adapter = get_figure("load")
+    headers, rows = summary_rows(summary, adapter.resolve_metrics(summary))
+    print()
+    print(format_table(headers, rows, title=adapter.title))
+
+    storm = results["hot-key-storm"].scalar_metrics()
+    print()
+    print(
+        format_table(
+            ["workload", "offered_rps", "queue_delay_p99_s", "latency_p99_s"],
+            [
+                ["uniform-keys poisson", f"{RPS_LEVELS[0]:g}",
+                 f"{results[RPS_LEVELS[0]].scalar_metrics()['queue_delay_p99_s']:.4f}",
+                 f"{results[RPS_LEVELS[0]].scalar_metrics()['latency_p99_s']:.3f}"],
+                ["hot-key-storm", f"{RPS_LEVELS[0]:g}",
+                 f"{storm['queue_delay_p99_s']:.4f}",
+                 f"{storm['latency_p99_s']:.3f}"],
+            ],
+            title="Popularity skew — owner-side queueing at the same offered rate",
+        )
+    )
+
+    report_campaign(campaign_results, "load")
+
+    for rps in RPS_LEVELS:
+        m = results[rps].scalar_metrics()
+        # Churn is off: every offered arrival is delivered.
+        assert m["delivered_lookups"] == m["offered_lookups"], rps
+        # The Poisson process realises the configured offered rate.
+        assert abs(m["offered_rps_measured"] - rps) <= 0.35 * rps, m
+        # Percentiles are ordered and finite.
+        assert 0.0 <= m["latency_p50_s"] <= m["latency_p90_s"] <= m["latency_p99_s"], m
+        assert 0.0 < m["success_rate"] <= 1.0, m
+    # Concentrating arrivals on one key's owner queues at least as hard as
+    # spreading them uniformly.
+    assert (
+        storm["queue_delay_p99_s"]
+        >= results[RPS_LEVELS[0]].scalar_metrics()["queue_delay_p99_s"]
+    ), storm

@@ -494,6 +494,22 @@ for _adapter in (
         formatter=_scenario_formatter("efficiency"),
     ),
     FigureAdapter(
+        figure="load",
+        bench="bench_load.py",
+        title="Open-loop load sweep — offered RPS vs latency/success",
+        kind="load",
+        metrics=(
+            "offered_rps_measured",
+            "delivered_rps",
+            "success_rate",
+            "latency_p50_s",
+            "latency_p90_s",
+            "latency_p99_s",
+            "queue_delay_p99_s",
+            "inflight_mean",
+        ),
+    ),
+    FigureAdapter(
         figure="adaptive",
         bench="bench_adaptive.py",
         title="Adaptive engagements — attacker strategy vs defense policy",

@@ -19,6 +19,7 @@ from typing import Callable, Dict, Mapping, Tuple
 from ..experiments.ablation import AblationConfig, run_ablation
 from ..experiments.anonymity import AnonymityExperimentConfig, run_anonymity
 from ..experiments.efficiency import EfficiencyExperimentConfig, run_efficiency
+from ..experiments.load import LoadConfig, run_load
 from ..experiments.results import config_from_dict
 from ..experiments.security import SecurityExperimentConfig, run_security
 from ..experiments.timing import TimingExperimentConfig, run_timing
@@ -97,6 +98,12 @@ for _adapter in (
         config_cls=AblationConfig,
         entry_point=run_ablation,
         description="multi-path / dummy-query design ablation (Section 4.2)",
+    ),
+    ExperimentAdapter(
+        kind="load",
+        config_cls=LoadConfig,
+        entry_point=run_load,
+        description="open-loop sustained-RPS load sweep (offered vs delivered, latency knee)",
     ),
     ExperimentAdapter(
         kind="scenario",

@@ -82,6 +82,18 @@ def _build_parser() -> argparse.ArgumentParser:
     efficiency.add_argument("--kernel", default="object", choices=["object", "array"],
                             help="ring-membership backend (array scales to 1e5+ nodes)")
 
+    load = sub.add_parser("load", help="open-loop sustained-RPS load sweep (latency knee)")
+    load.add_argument("--nodes", type=int, default=120)
+    load.add_argument("--duration", type=float, default=120.0)
+    load.add_argument("--rps", default="10,25,50",
+                      help="comma-separated offered lookup rates (network-wide, lookups/s)")
+    load.add_argument("--workload", default="poisson",
+                      help="arrival process / key distribution (poisson, uniform, zipf, hot-key-storm)")
+    load.add_argument("--churn-minutes", type=float, default=60.0)
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument("--kernel", default="object", choices=["object", "array"],
+                      help="ring-membership backend (array scales to 1e5+ nodes)")
+
     timing = sub.add_parser("timing", help="timing-analysis error rate (Table 1)")
     timing.add_argument("--flows", type=int, default=1200)
 
@@ -326,6 +338,42 @@ def _run_efficiency(args) -> int:
     return 0
 
 
+def _run_load(args) -> int:
+    from .experiments.load import LoadConfig, LoadExperiment
+
+    rows = []
+    for rps in (float(part) for part in args.rps.split(",") if part.strip()):
+        config = LoadConfig(
+            n_nodes=args.nodes,
+            duration=args.duration,
+            offered_rps=rps,
+            workload=args.workload,
+            churn_lifetime_minutes=args.churn_minutes,
+            sample_interval=max(args.duration / 8.0, 1.0),
+            seed=args.seed,
+            kernel=args.kernel,
+        )
+        m = LoadExperiment(config).run().scalar_metrics()
+        rows.append([
+            f"{rps:g}",
+            f"{m['offered_rps_measured']:.2f}",
+            f"{m['delivered_rps']:.2f}",
+            f"{m['success_rate']:.4f}",
+            f"{m['latency_p50_s'] * 1000:.1f}",
+            f"{m['latency_p90_s'] * 1000:.1f}",
+            f"{m['latency_p99_s'] * 1000:.1f}",
+            f"{m['inflight_mean']:.1f}",
+        ])
+    print(f"workload={args.workload} nodes={args.nodes} duration={args.duration:.0f}s")
+    print(format_table(
+        ["offered_rps", "measured_rps", "delivered_rps", "success",
+         "p50_ms", "p90_ms", "p99_ms", "inflight"],
+        rows,
+        title="Open-loop load sweep",
+    ))
+    return 0
+
+
 def _run_timing(args) -> int:
     config = TimingExperimentConfig(max_candidate_flows=args.flows)
     result = TimingExperiment(config).run()
@@ -550,6 +598,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "security": _run_security,
         "anonymity": _run_anonymity,
         "efficiency": _run_efficiency,
+        "load": _run_load,
         "timing": _run_timing,
         "ablation": _run_ablation,
         "list-kinds": _run_list_kinds,

@@ -5,6 +5,8 @@
 * :mod:`repro.experiments.efficiency` — Table 3, Figure 7(a).
 * :mod:`repro.experiments.timing` — Table 1.
 * :mod:`repro.experiments.ablation` — Section 4.2 design ablation.
+* :mod:`repro.experiments.load` — open-loop sustained-RPS load sweeps
+  (offered vs delivered load, latency percentiles, saturation knee).
 
 Every harness also exposes a pickleable module-level ``run_<kind>(config)``
 entry point and ``to_dict()``-able results so :mod:`repro.campaign` can fan
@@ -26,6 +28,7 @@ from .efficiency import (
     SchemeEfficiency,
     run_efficiency,
 )
+from .load import LoadConfig, LoadExperiment, LoadResult, run_load
 from .results import (
     ExperimentRecord,
     config_from_dict,
@@ -57,6 +60,9 @@ __all__ = [
     "EfficiencyExperimentResult",
     "SchemeEfficiency",
     "ExperimentRecord",
+    "LoadConfig",
+    "LoadExperiment",
+    "LoadResult",
     "config_from_dict",
     "format_series",
     "format_table",
@@ -70,6 +76,7 @@ __all__ = [
     "run_anonymity",
     "run_attack_sweep",
     "run_efficiency",
+    "run_load",
     "run_security",
     "run_timing",
     "TimingExperiment",

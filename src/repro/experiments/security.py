@@ -245,6 +245,12 @@ class SecurityExperiment:
                 network.ring.space.size,
                 rng,
                 perform_lookup,
+                # Open-loop models pick an initiator per arrival; give them
+                # the live membership so departed nodes stop absorbing
+                # arrivals.  Closed-loop models ignore this (their initiator
+                # set is fixed per node at install time), so churn-free and
+                # historical runs stay draw-for-draw identical.
+                alive_view=lambda: network.ring.honest_ids(alive_only=True),
             )
 
         # --------------------------------------------------------------- churn

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from ..experiments.ablation import AblationConfig, AnonymityAblation
 from ..experiments.anonymity import AnonymityExperiment, AnonymityExperimentConfig
 from ..experiments.efficiency import EfficiencyExperiment, EfficiencyExperimentConfig
+from ..experiments.load import LoadConfig, LoadExperiment
 from ..experiments.results import config_from_dict, jsonify
 from ..experiments.security import SecurityExperiment, SecurityExperimentConfig
 from ..experiments.timing import TimingExperiment, TimingExperimentConfig
@@ -46,6 +47,7 @@ _BASE_KINDS: Dict[str, Tuple[type, Tuple[str, ...]]] = {
     "security": (SecurityExperimentConfig, ("churn", "workload", "adversary")),
     "anonymity": (AnonymityExperimentConfig, ("adversary",)),
     "efficiency": (EfficiencyExperimentConfig, ("workload", "adversary")),
+    "load": (LoadConfig, ("churn", "workload", "adversary")),
     "ablation": (AblationConfig, ("adversary",)),
     "timing": (TimingExperimentConfig, ()),
 }
@@ -246,6 +248,13 @@ def run_scenario(config: Optional[ScenarioConfig] = None) -> ScenarioResult:
     elif cfg.experiment == "efficiency":
         base_result = EfficiencyExperiment(
             base_config, workload=workload, placement=placement
+        ).run()
+    elif cfg.experiment == "load":
+        base_result = LoadExperiment(
+            base_config,
+            churn_profile=churn_profile,
+            workload=workload,
+            placement=placement,
         ).run()
     elif cfg.experiment == "ablation":
         base_result = AnonymityAblation(base_config, placement=placement).run()

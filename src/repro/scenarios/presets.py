@@ -70,6 +70,17 @@ PRESETS: Dict[str, Dict[str, object]] = {
         # The paper's 207-node ring at the CLI's quick lookup count.
         "base": {"n_nodes": 207, "lookups_per_scheme": 80},
     },
+    "saturation-sweep": {
+        "description": "open-loop Poisson load against a churning ring — sweep offered_rps to find the latency knee",
+        "experiment": "load",
+        "workload": "poisson",
+        "base": {
+            "n_nodes": 120,
+            "duration": 120.0,
+            "sample_interval": 20.0,
+            "offered_rps": 25.0,
+        },
+    },
     "join-leave-attack": {
         "description": "adversary nodes churn-attack: 10x shorter sessions to shed suspicion",
         "experiment": "security",

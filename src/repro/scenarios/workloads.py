@@ -27,11 +27,11 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..sim.engine import SimulationEngine
 from ..sim.rng import RandomSource
-from ..sim.workload import IssueLookup, WorkloadModel
+from ..sim.workload import AliveView, IssueLookup, WorkloadModel
 from .registry import AxisRegistry
 
 
@@ -113,13 +113,21 @@ class PoissonWorkload(WorkloadModel):
     """Open-loop Poisson arrivals with a step-function rate ramp.
 
     Arrivals form one network-wide Poisson process of rate
-    ``rate_per_node_per_s × population × ramp(t)``; each arrival picks a
-    uniformly random issuing node.  ``ramp`` is a list of ``[t, multiplier]``
-    steps (sorted by ``t``, multiplier 1.0 before the first step), so load
-    can ramp up, spike and recover inside one run — the open-loop behaviour
-    closed per-node schedules cannot express.  ``rate_per_node_per_s=None``
-    defaults to ``1/interval``, matching the closed-loop model's average
-    offered load.
+    ``rate_per_node_per_s × alive population × ramp(t)``; each arrival picks
+    a uniformly random *currently alive* issuing node (when the harness
+    passes an ``alive_view``; without one, the install-time population —
+    draw-for-draw identical in churn-free runs).  ``ramp`` is a list of
+    ``[t, multiplier]`` steps (sorted by ``t``, multiplier 1.0 before the
+    first step), so load can ramp up, spike and recover inside one run — the
+    open-loop behaviour closed per-node schedules cannot express.
+    ``rate_per_node_per_s=None`` defaults to ``1/interval``, matching the
+    closed-loop model's average offered load.
+
+    Each inter-arrival gap is drawn at the rate in force *now* and capped at
+    the next ramp boundary: a gap that would span a step is discarded and
+    re-drawn at the boundary at the new rate (valid by the memorylessness of
+    the exponential).  Without the cap, ramping up from near-idle leaves the
+    first post-step arrival exponentially delayed at the old low rate.
 
     The model's essence *is* the arrival process, so it cannot be expressed
     through the closed-loop draw surface alone (its key distribution is
@@ -132,15 +140,22 @@ class PoissonWorkload(WorkloadModel):
 
     def __init__(
         self,
-        rate_per_node_per_s: float = None,
+        rate_per_node_per_s: Optional[float] = None,
         ramp: Sequence[Sequence[float]] = (),
     ) -> None:
         if rate_per_node_per_s is not None and rate_per_node_per_s <= 0:
             raise ValueError("rate_per_node_per_s must be positive")
         self.rate_per_node_per_s = rate_per_node_per_s
-        self.ramp: List[List[float]] = sorted(
-            ([float(t), float(mult)] for t, mult in ramp), key=lambda step: step[0]
-        )
+        steps: List[List[float]] = []
+        for entry in ramp:
+            try:
+                t, mult = entry
+                steps.append([float(t), float(mult)])
+            except (TypeError, ValueError):
+                raise ValueError(
+                    f"ramp entries must be (time, multiplier) pairs, got {entry!r}"
+                ) from None
+        self.ramp: List[List[float]] = sorted(steps, key=lambda step: step[0])
         if any(mult < 0 for _, mult in self.ramp):
             raise ValueError("ramp multipliers must be non-negative")
 
@@ -153,6 +168,13 @@ class PoissonWorkload(WorkloadModel):
                 break
         return value
 
+    def _next_boundary(self, now: float) -> Optional[float]:
+        """First ramp step strictly after ``now``, or ``None``."""
+        for t, _mult in self.ramp:
+            if t > now:
+                return t
+        return None
+
     def schedule(
         self,
         engine: SimulationEngine,
@@ -161,28 +183,45 @@ class PoissonWorkload(WorkloadModel):
         space_size: int,
         rng: RandomSource,
         issue: IssueLookup,
+        alive_view: Optional[AliveView] = None,
     ) -> None:
         if not node_ids:
             return
         per_node = self.rate_per_node_per_s or (1.0 / interval)
-        base_rate = per_node * len(node_ids)
         arrivals = rng.stream("workload-arrivals")
         picker = rng.stream("workload-initiator")
         keys = rng.stream("workload")
+        population: AliveView = alive_view if alive_view is not None else (lambda: node_ids)
 
         def fire() -> None:
-            node_id = picker.choice(node_ids)
-            issue(node_id, lambda: self.next_key(space_size, keys, engine.now))
+            alive = population()
+            if alive:
+                node_id = picker.choice(alive)
+                issue(node_id, lambda: self.next_key(space_size, keys, engine.now))
             schedule_next()
 
         def schedule_next() -> None:
-            rate = base_rate * self._multiplier(engine.now)
+            now = engine.now
+            boundary = self._next_boundary(now)
+            mult = self._multiplier(now)
+            if mult <= 0.0:
+                # Ramped to zero: the process is off until the next step.
+                if boundary is not None:
+                    engine.schedule_at(boundary, schedule_next, name="poisson-ramp")
+                return
+            rate = per_node * len(population()) * mult
             if rate <= 0.0:
-                # Ramped to zero: probe again at the closed-loop period so a
-                # later ramp step can restart arrivals.
+                # Everyone is offline: probe at the closed-loop period so
+                # churn rejoins can restart arrivals.
                 engine.schedule(interval, schedule_next, name="poisson-idle")
                 return
-            engine.schedule(arrivals.expovariate(rate), fire, name="poisson-lookup")
+            gap = arrivals.expovariate(rate)
+            if boundary is not None and now + gap >= boundary:
+                # The gap spans a ramp step where the rate changes; discard
+                # it and re-draw at the boundary at the new rate.
+                engine.schedule_at(boundary, schedule_next, name="poisson-ramp")
+                return
+            engine.schedule(gap, fire, name="poisson-lookup")
 
         schedule_next()
 

@@ -203,9 +203,15 @@ class SimulationEngine:
         self._stop_requested = True
 
     def reset(self) -> None:
-        """Drop all pending events and rewind the clock to zero."""
+        """Drop all pending events, hook subscribers, and rewind the clock.
+
+        The hook bus is cleared in place (the same ``HookBus`` object stays
+        bound, so publishers holding ``engine.hooks`` keep working) — without
+        this, a reused engine would replay the previous run's controllers.
+        """
         self._heap.clear()
         self._events_processed = 0
+        self.hooks.clear()
         self.clock.reset()
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -148,6 +148,21 @@ class HookBus:
             if not subs:
                 del self._subscribers[sub.event_type]
 
+    def clear(self) -> None:
+        """Cancel every subscription and empty the bus.
+
+        The bus object itself stays valid (anything holding a reference —
+        ``engine.hooks``, a network's bound publishers — keeps publishing
+        into it), but all existing subscriptions are dead: their handles
+        report inactive and re-cancelling them is a no-op.
+        :meth:`SimulationEngine.reset` calls this so a reused engine cannot
+        replay a previous run's controllers.
+        """
+        for subs in self._subscribers.values():
+            for sub in subs:
+                sub.active = False
+        self._subscribers.clear()
+
     def has_subscribers(self, event_type: type) -> bool:
         """Whether publishing ``event_type`` would call anyone.
 

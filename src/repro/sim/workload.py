@@ -40,7 +40,7 @@ and plug in through the same interface.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from .engine import SimulationEngine
 from .rng import RandomSource
@@ -48,6 +48,13 @@ from .rng import RandomSource
 #: ``issue(node_id, draw_key)`` — perform one lookup from ``node_id``; call
 #: ``draw_key()`` (exactly once, if at all) to obtain the target key.
 IssueLookup = Callable[[int, Callable[[], int]], None]
+
+#: ``alive_view()`` — the *currently* alive issuing population, in a
+#: deterministic order.  Harnesses with churn pass one so open-loop models
+#: can draw initiators from who is actually online; ``None`` (the default)
+#: keeps the install-time ``node_ids`` snapshot, which is draw-for-draw
+#: identical in churn-free runs.
+AliveView = Callable[[], Sequence[int]]
 
 
 class WorkloadModel:
@@ -84,6 +91,7 @@ class WorkloadModel:
         space_size: int,
         rng: RandomSource,
         issue: IssueLookup,
+        alive_view: Optional[AliveView] = None,
     ) -> None:
         """Install the workload's lookup events on the engine.
 
@@ -93,6 +101,11 @@ class WorkloadModel:
         ``"workload"`` stream — the exact streams (and draw order) the
         security harness has always used, so injecting the base model is a
         behavioural no-op.
+
+        ``alive_view`` is unused here: the initiator set is fixed per node at
+        install time, and the harness's ``issue`` callback already skips
+        lookups from churned-offline nodes.  Open-loop models (whose every
+        arrival *picks* an initiator) draw from it instead.
         """
         jitter = rng.stream("lookup-jitter")
         keys = rng.stream("workload")

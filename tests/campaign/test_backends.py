@@ -82,6 +82,19 @@ def efficiency_scenario_spec() -> CampaignSpec:
 
 
 @pytest.fixture
+def load_spec() -> CampaignSpec:
+    """An open-loop load sweep: the Poisson arrival process and owner-side
+    queueing must reproduce byte-identically across backends."""
+    return CampaignSpec(
+        kind="load",
+        name="load-backend-test",
+        base={"n_nodes": 40, "duration": 10.0, "sample_interval": 5.0},
+        grid={"offered_rps": [5.0, 20.0]},
+        seeds=(0, 1),
+    )
+
+
+@pytest.fixture
 def adaptive_spec() -> CampaignSpec:
     """An adaptive-kind campaign: mid-run controllers must not break the
     backend byte-equality contract."""
@@ -127,7 +140,7 @@ def test_backend_registry_names():
 
 @pytest.mark.parametrize(
     "spec_fixture",
-    ["small_spec", "scenario_spec", "efficiency_scenario_spec", "adaptive_spec"],
+    ["small_spec", "scenario_spec", "efficiency_scenario_spec", "adaptive_spec", "load_spec"],
 )
 @pytest.mark.parametrize("backend", ["pool", "queue"])
 def test_differential_backend_equivalence(request, tmp_path, backend, spec_fixture):

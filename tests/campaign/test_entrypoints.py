@@ -25,6 +25,13 @@ TOY_PARAMS = {
         "seed": 0,
     },
     "efficiency": {"n_nodes": 40, "lookups_per_scheme": 5, "seed": 0},
+    "load": {
+        "n_nodes": 40,
+        "duration": 10.0,
+        "sample_interval": 5.0,
+        "offered_rps": 10.0,
+        "seed": 0,
+    },
     "timing": {"max_candidate_flows": 50, "seed": 0},
     "ablation": {"n_nodes": 300, "n_worlds": 3, "seed": 0},
     "scenario": {

@@ -40,7 +40,7 @@ ALL_FIGURES = (
     "fig5a", "fig5b", "fig5c", "fig6",
     "fig7a", "fig7b", "fig9",
     "table1", "table2", "table3",
-    "scenarios", "table3-scenarios", "adaptive",
+    "scenarios", "table3-scenarios", "adaptive", "load",
 )
 
 

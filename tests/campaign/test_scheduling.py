@@ -70,6 +70,26 @@ def test_warm_start_orders_longest_expected_first():
     assert sorted(t.trial_id for t in ordered) == sorted(t.trial_id for t in trials)
 
 
+def test_load_kind_sweeps_schedule_expensive_rps_cells_first():
+    """A load campaign's grid is offered_rps; with per-cell history the
+    high-RPS cells (more events, longer wall-clock) must dispatch first."""
+    spec = CampaignSpec(
+        kind="load",
+        name="load-sched-test",
+        base={"n_nodes": 40, "duration": 10.0, "sample_interval": 5.0},
+        grid={"offered_rps": [5.0, 20.0, 80.0]},
+        seeds=(0, 1),
+    )
+    trials = spec.expand()
+    # Wall-clock grows with offered rate: cost ~ rps.
+    history = {
+        cost_key("load", dict(t.params)): float(t.params["offered_rps"]) for t in trials
+    }
+    ordered = schedule_trials(trials, history)
+    assert [t.params["offered_rps"] for t in ordered] == [80.0, 80.0, 20.0, 20.0, 5.0, 5.0]
+    assert sorted(t.trial_id for t in ordered) == sorted(t.trial_id for t in trials)
+
+
 def test_unknown_cells_dispatch_before_known_ones():
     trials = _spec().expand()
     known = cost_key("security", dict(trials[0].params))  # attack_rate=1.0 cell

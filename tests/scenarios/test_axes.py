@@ -174,6 +174,100 @@ def test_poisson_ramp_scales_the_arrival_rate():
     assert len(issuers) > 10  # arrivals spread over the population
 
 
+def test_poisson_ramp_step_takes_effect_immediately():
+    """Regression: a gap drawn at the old rate must not span a ramp step.
+
+    Historically the next-arrival gap was drawn once at the current rate and
+    scheduled verbatim, so ramping up from near-idle left the first
+    post-step arrival exponentially delayed at the *old* rate: here the
+    pre-step rate is 0.01/s (mean gap 100 s), so arrivals after the t=50
+    1000x step would straggle in ~100 s late.  The fixed model caps each
+    gap at the next ramp boundary and re-draws there at the new rate.
+    """
+    workload = PoissonWorkload(rate_per_node_per_s=0.01, ramp=[[50.0, 1000.0]])
+    engine = SimulationEngine()
+    arrivals = []
+    workload.schedule(
+        engine, [1], 1.0, SPACE, RandomSource(11),
+        lambda nid, draw_key: arrivals.append(engine.now),
+    )
+    engine.run(until=52.0)
+    post_step = [t for t in arrivals if t >= 50.0]
+    # Post-step rate is 10/s: the step window must fill promptly.
+    assert len(post_step) >= 5
+    assert post_step[0] < 51.0
+
+
+def test_poisson_empirical_rate_tracks_each_ramp_segment():
+    """Property: per-segment arrival counts match rate x population x mult."""
+    n_nodes = 50
+    per_node = 0.1
+    workload = PoissonWorkload(
+        rate_per_node_per_s=per_node, ramp=[[40.0, 2.0], [80.0, 0.5]]
+    )
+    engine = SimulationEngine()
+    arrivals = []
+    workload.schedule(
+        engine, list(range(n_nodes)), 1.0, SPACE, RandomSource(12),
+        lambda nid, draw_key: arrivals.append(engine.now),
+    )
+    engine.run(until=120.0)
+    segments = [(0.0, 40.0, 1.0), (40.0, 80.0, 2.0), (80.0, 120.0, 0.5)]
+    for start, end, mult in segments:
+        expected = per_node * n_nodes * mult * (end - start)
+        observed = sum(1 for t in arrivals if start <= t < end)
+        assert observed == pytest.approx(expected, rel=0.30), (start, end)
+
+
+def test_poisson_draws_initiators_from_the_alive_view():
+    """Regression: arrivals must pick from who is online *now*, not the
+    install-time population snapshot (which silently selected departed
+    initiators whose lookups then no-opped)."""
+    node_ids = list(range(10))
+    alive = list(node_ids)
+    workload = PoissonWorkload(rate_per_node_per_s=1.0)
+    engine = SimulationEngine()
+    issued = []
+    workload.schedule(
+        engine, node_ids, 1.0, SPACE, RandomSource(13),
+        lambda nid, draw_key: issued.append((engine.now, nid)),
+        alive_view=lambda: alive,
+    )
+    engine.schedule_at(20.0, lambda: alive.__setitem__(slice(None), [0, 1, 2]))
+    engine.run(until=40.0)
+    after = [nid for t, nid in issued if t > 20.0]
+    assert after and set(after) <= {0, 1, 2}
+    assert {nid for t, nid in issued if t <= 20.0} - {0, 1, 2}
+
+
+def test_poisson_without_alive_view_matches_static_population():
+    """A static alive view is draw-for-draw identical to no view at all —
+    the compatibility contract for churn-free runs."""
+    node_ids = list(range(8))
+
+    def issue_sequence(**kwargs):
+        engine = SimulationEngine()
+        issued = []
+        PoissonWorkload(rate_per_node_per_s=0.5).schedule(
+            engine, node_ids, 1.0, SPACE, RandomSource(14),
+            lambda nid, draw_key: issued.append((engine.now, nid, draw_key())),
+            **kwargs,
+        )
+        engine.run(until=30.0)
+        return issued
+
+    assert issue_sequence() == issue_sequence(alive_view=lambda: node_ids)
+
+
+def test_poisson_rejects_malformed_ramp_entries():
+    with pytest.raises(ValueError, match="ramp entries must be"):
+        PoissonWorkload(ramp=[[10.0]])
+    with pytest.raises(ValueError, match="ramp entries must be"):
+        PoissonWorkload(ramp=["not-a-pair"])
+    with pytest.raises(ValueError, match="non-negative"):
+        PoissonWorkload(ramp=[[10.0, -1.0]])
+
+
 def test_poisson_zero_rate_ramp_pauses_arrivals():
     workload = PoissonWorkload(rate_per_node_per_s=0.1, ramp=[[10.0, 0.0], [50.0, 1.0]])
     engine = SimulationEngine()

@@ -36,6 +36,7 @@ TINY_ANONYMITY = {
     "n_worlds": 5,
 }
 TINY_EFFICIENCY = {"n_nodes": 40, "lookups_per_scheme": 4}
+TINY_LOAD = {"n_nodes": 40, "duration": 10.0, "sample_interval": 5.0, "offered_rps": 10.0}
 
 
 def tiny_base_for(preset: str) -> dict:
@@ -44,6 +45,8 @@ def tiny_base_for(preset: str) -> dict:
         return dict(TINY_ANONYMITY)
     if experiment == "efficiency":
         return dict(TINY_EFFICIENCY)
+    if experiment == "load":
+        return dict(TINY_LOAD)
     return dict(TINY_SECURITY)
 
 

@@ -66,6 +66,37 @@ class TestHookBus:
         assert bus.subscriber_count() == 0
         sub.cancel()  # idempotent
 
+    def test_clear_empties_the_bus_and_kills_old_handles(self):
+        bus = HookBus()
+        seen = []
+        sub = bus.subscribe(NodeDeparted, seen.append)
+        bus.clear()
+        assert bus.subscriber_count() == 0
+        assert not bus.has_subscribers(NodeDeparted)
+        assert not sub.active
+        sub.cancel()  # stale handle stays a harmless no-op
+        assert bus.publish(NodeDeparted(time=1.0, node_id=7)) == 0
+        assert seen == []
+        # The cleared bus is still live for new subscribers.
+        bus.subscribe(NodeDeparted, seen.append)
+        assert bus.publish(NodeDeparted(time=2.0, node_id=8)) == 1
+
+    def test_engine_reset_clears_hook_subscribers(self):
+        """Regression: ``reset()`` dropped the heap and clock but kept hook
+        subscribers, so a reused engine replayed the previous run's
+        controllers into the next run."""
+        engine = SimulationEngine()
+        bus_before = engine.hooks
+        seen = []
+        sub = engine.hooks.subscribe(NodeDeparted, seen.append)
+        engine.reset()
+        # Same bus object (publishers that bound it keep working) but empty.
+        assert engine.hooks is bus_before
+        assert engine.hooks.subscriber_count() == 0
+        assert not sub.active
+        assert engine.hooks.publish(NodeDeparted(time=0.0, node_id=1)) == 0
+        assert seen == []
+
     def test_cancel_during_dispatch_suppresses_later_subscriber(self):
         bus = HookBus()
         seen = []

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -184,6 +186,34 @@ class TestMetrics:
         fracs = [f for _, f in cdf]
         assert values == sorted(values)
         assert fracs[-1] == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_percentile_is_monotone_in_pct(self, seed):
+        """Property: percentile is non-decreasing in pct and bounded by the
+        sample extremes, on arbitrary (unsorted, duplicated) samples."""
+        rng = random.Random(seed)
+        samples = [rng.uniform(-50.0, 50.0) for _ in range(rng.randrange(1, 40))]
+        samples += rng.choices(samples, k=5)  # force ties
+        hist = Histogram()
+        hist.extend(samples)
+        pcts = [0.0] + sorted(rng.uniform(0.0, 100.0) for _ in range(25)) + [100.0]
+        values = [hist.percentile(p) for p in pcts]
+        assert values == sorted(values)
+        assert values[0] == pytest.approx(min(samples))
+        assert values[-1] == pytest.approx(max(samples))
+
+    @pytest.mark.parametrize("seed", [4, 5, 6])
+    def test_cdf_is_monotone_on_random_samples(self, seed):
+        rng = random.Random(seed)
+        hist = Histogram()
+        hist.extend(rng.expovariate(2.0) for _ in range(rng.randrange(1, 200)))
+        for n_points in (1, 2, 7, 40):
+            cdf = hist.cdf(n_points=n_points)
+            assert len(cdf) == n_points
+            assert [v for v, _ in cdf] == sorted(v for v, _ in cdf)
+            fracs = [f for _, f in cdf]
+            assert fracs == sorted(fracs)
+            assert fracs[-1] == pytest.approx(1.0)
 
     @pytest.mark.parametrize("n_samples", [1, 2, 3, 50])
     def test_histogram_cdf_agrees_with_canonical_percentile(self, n_samples):
