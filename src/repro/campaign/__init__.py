@@ -12,6 +12,11 @@ parameter-grid campaigns:
 * :mod:`repro.campaign.scheduling` — longest-expected-first dispatch from
   per-grid-cell elapsed history;
 * :mod:`repro.campaign.aggregate` — mean/std/CI summaries per grid cell;
+* :mod:`repro.campaign.streaming` — the mergeable accumulators behind both
+  the batch aggregation and the queue workers' partial-summary commits;
+* :mod:`repro.campaign.telemetry` — worker heartbeats and partial-summary
+  writers (the files ``repro campaign-status`` reads);
+* :mod:`repro.campaign.status` — the read-only live campaign status view;
 * :mod:`repro.campaign.persistence` — the JSON results-directory layout,
   including the queue/claim files behind the file-queue backend;
 * :mod:`repro.campaign.figures` — figure adapters mapping every paper
@@ -79,15 +84,33 @@ from .runner import (
 )
 from .scheduling import load_timing_history, schedule_trials
 from .spec import CampaignSpec, TrialSpec, canonical_json, cost_key
+from .status import campaign_status, render_status
+from .streaming import (
+    CampaignAccumulator,
+    GroupAccumulator,
+    IgnoredAxesAccumulator,
+    MetricAccumulator,
+    TimingAccumulator,
+    merge_partial_summaries,
+)
+from .telemetry import PartialSummaryWriter, WorkerHeartbeat, WorkerTelemetry
 
 __all__ = [
     "Backend",
+    "CampaignAccumulator",
     "CampaignExecutionError",
     "CampaignReport",
     "CampaignResults",
     "CampaignSpec",
     "CampaignStore",
     "ExperimentAdapter",
+    "GroupAccumulator",
+    "IgnoredAxesAccumulator",
+    "MetricAccumulator",
+    "PartialSummaryWriter",
+    "TimingAccumulator",
+    "WorkerHeartbeat",
+    "WorkerTelemetry",
     "FigureAdapter",
     "FileQueueBackend",
     "PollBackoff",
@@ -100,9 +123,11 @@ __all__ = [
     "available_backends",
     "available_figures",
     "available_kinds",
+    "campaign_status",
     "canonical_json",
     "cost_key",
     "execute_trial",
+    "merge_partial_summaries",
     "figure_aggregate_rows",
     "get_experiment",
     "get_figure",
@@ -113,6 +138,7 @@ __all__ = [
     "register_experiment",
     "register_figure",
     "render_figure_aggregates",
+    "render_status",
     "run_campaign",
     "run_worker",
     "scenario_group_label",

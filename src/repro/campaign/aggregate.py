@@ -10,11 +10,14 @@ The confidence interval uses the normal approximation ``1.96 * std / sqrt(n)``
 to matter, and it keeps the stdlib-only promise.  ``n`` is reported so a
 stricter reader can re-derive t-based intervals.
 
-Determinism: groups are ordered by the canonical JSON of their parameters and
-trials within a group by seed, so the summary — including float rounding of
-the incremental sums — is identical no matter which worker finished first.
-This is what lets the acceptance check "serial and parallel runs produce
-identical aggregates" hold exactly, not just approximately.
+Since the streaming refactor, the arithmetic lives in
+:mod:`repro.campaign.streaming`: the batch entry points here are thin folds
+over the same mergeable accumulators the queue workers commit as partial
+summaries.  The per-metric moments are kept exact (see the streaming module's
+docstring), so the summary is a pure function of the *set* of records — not
+of completion order, worker assignment, or partial-merge order.  This is what
+lets the acceptance check "serial and parallel runs produce identical
+aggregates" hold exactly, not just approximately.
 
 The one exception is the ``timing`` block: per-trial wall-clock seconds
 (recorded by the runner under ``record["timing"]``) are summarised into
@@ -25,36 +28,35 @@ serial and parallel outputs must compare byte-identical.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from .spec import CampaignSpec, canonical_json, cost_key
+from .spec import CampaignSpec, canonical_json
+from .streaming import (
+    CampaignAccumulator,
+    IgnoredAxesAccumulator,
+    MetricAccumulator,
+    TimingAccumulator,
+    group_key,
+)
+
+__all__ = [
+    "aggregate_records",
+    "group_key",
+    "group_metric_cells",
+    "strip_timing",
+    "summarize",
+    "summarize_ignored_axes",
+    "summarize_timing",
+    "summary_rows",
+]
 
 
 def summarize(values: Sequence[float]) -> Dict[str, float]:
     """Mean/std/ci95/min/max/n for one metric across one group's trials."""
-    n = len(values)
-    if n == 0:
-        return {"n": 0}
-    mean = sum(values) / n
-    if n > 1:
-        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
-        std = math.sqrt(variance)
-    else:
-        std = 0.0
-    return {
-        "mean": mean,
-        "std": std,
-        "ci95": 1.96 * std / math.sqrt(n) if n > 1 else 0.0,
-        "min": min(values),
-        "max": max(values),
-        "n": n,
-    }
-
-
-def group_key(params: Mapping[str, object]) -> str:
-    """Canonical identity of a grid cell: the parameters without the seed."""
-    return canonical_json({k: v for k, v in params.items() if k != "seed"})
+    acc = MetricAccumulator()
+    for value in values:
+        acc.update(float(value))
+    return acc.summary()
 
 
 def strip_timing(data: Mapping[str, object]) -> Dict[str, object]:
@@ -63,7 +65,9 @@ def strip_timing(data: Mapping[str, object]) -> Dict[str, object]:
     This is the determinism-compared view: serial and parallel runs of the
     same spec must produce byte-identical trial records and summaries *after*
     this projection, because elapsed wall-clock is the one field that
-    legitimately varies between otherwise identical runs.
+    legitimately varies between otherwise identical runs.  The per-trial
+    profiling snapshot (``timing.profile``, opt-in via ``REPRO_PROFILE``)
+    rides inside the timing block for exactly this reason.
     """
     return {k: v for k, v in data.items() if k != "timing"}
 
@@ -85,52 +89,18 @@ def summarize_timing(records: Sequence[Mapping[str, object]]) -> Dict[str, objec
     ``workers`` breakdown — ``{worker_id: n / total / mean elapsed}`` — so a
     distributed campaign shows how the wall-clock split across its workers.
     Records without a worker label (serial and pool execution) simply don't
-    contribute and the block is omitted when nobody is labelled.
+    contribute and the block is omitted when nobody is labelled.  Likewise,
+    records carrying a ``timing.profile`` snapshot roll up into a ``profile``
+    block of summed counters/timers.
 
     Everything here lives under the summary's top-level ``timing`` key, so
     :func:`strip_timing` removes it wholesale and the determinism contract is
     untouched.
     """
-    elapsed: List[float] = []
-    by_cell: Dict[str, List[float]] = {}
-    by_worker: Dict[str, List[float]] = {}
+    acc = TimingAccumulator()
     for record in records:
-        timing = record.get("timing")
-        if isinstance(timing, Mapping) and isinstance(timing.get("elapsed_s"), (int, float)):
-            seconds = float(timing["elapsed_s"])
-            elapsed.append(seconds)
-            key = cost_key(str(record.get("kind", "")), record.get("params", {}) or {})
-            by_cell.setdefault(key, []).append(seconds)
-            worker = timing.get("worker")
-            if worker:
-                by_worker.setdefault(str(worker), []).append(seconds)
-    if not elapsed:
-        return {"n": 0}
-    summary: Dict[str, object] = {
-        "n": len(elapsed),
-        "total_elapsed_s": sum(elapsed),
-        "mean_elapsed_s": sum(elapsed) / len(elapsed),
-        "min_elapsed_s": min(elapsed),
-        "max_elapsed_s": max(elapsed),
-        "cells": {
-            key: {
-                "n": len(values),
-                "mean_elapsed_s": sum(values) / len(values),
-                "max_elapsed_s": max(values),
-            }
-            for key, values in sorted(by_cell.items())
-        },
-    }
-    if by_worker:
-        summary["workers"] = {
-            worker: {
-                "n": len(values),
-                "total_elapsed_s": sum(values),
-                "mean_elapsed_s": sum(values) / len(values),
-            }
-            for worker, values in sorted(by_worker.items())
-        }
-    return summary
+        acc.add_record(record)
+    return acc.summary()
 
 
 def summarize_ignored_axes(
@@ -146,67 +116,28 @@ def summarize_ignored_axes(
     records with nothing ignored) contribute nothing; the result is empty —
     and the summary key omitted — for the common all-applied case.
     """
-    by_kind: Dict[str, Dict[str, object]] = {}
+    acc = IgnoredAxesAccumulator()
     for record in records:
-        detail = record.get("detail")
-        scenario = detail.get("scenario") if isinstance(detail, Mapping) else None
-        if not isinstance(scenario, Mapping):
-            continue
-        axes = scenario.get("ignored_axes") or []
-        if not axes:
-            continue
-        base_kind = str(scenario.get("base_kind", "unknown"))
-        entry = by_kind.setdefault(base_kind, {"axes": set(), "n_trials": 0})
-        entry["axes"].update(str(axis) for axis in axes)
-        entry["n_trials"] += 1
-    return {
-        base_kind: {"axes": sorted(entry["axes"]), "n_trials": entry["n_trials"]}
-        for base_kind, entry in sorted(by_kind.items())
-    }
+        acc.add_record(record)
+    return acc.summary()
 
 
 def aggregate_records(
     records: Sequence[Mapping[str, object]],
     spec: Optional[CampaignSpec] = None,
 ) -> Dict[str, object]:
-    """Fold trial records into the ``summary.json`` structure."""
-    groups: Dict[str, List[Mapping[str, object]]] = {}
+    """Fold trial records into the ``summary.json`` structure.
+
+    A batch fold over :class:`~repro.campaign.streaming.CampaignAccumulator`
+    — the streaming runner and the queue backend's merged partial summaries
+    produce byte-identical structures because they share this accumulator.
+    Records with an already-seen trial id are folded once (records are
+    deterministic, so dropping the duplicate is exact).
+    """
+    acc = CampaignAccumulator()
     for record in records:
-        groups.setdefault(group_key(record["params"]), []).append(record)
-
-    group_summaries: List[Dict[str, object]] = []
-    for key in sorted(groups):
-        trials = sorted(groups[key], key=lambda r: r["params"].get("seed", 0))
-        metric_names = sorted({name for t in trials for name in t.get("metrics", {})})
-        metrics = {
-            name: summarize([float(t["metrics"][name]) for t in trials if name in t["metrics"]])
-            for name in metric_names
-        }
-        group_summaries.append(
-            {
-                "params": {k: v for k, v in trials[0]["params"].items() if k != "seed"},
-                "seeds": [t["params"].get("seed") for t in trials],
-                "trial_ids": [t["trial_id"] for t in trials],
-                "metrics": metrics,
-            }
-        )
-
-    summary: Dict[str, object] = {
-        "n_trials": len(records),
-        "n_groups": len(group_summaries),
-        "groups": group_summaries,
-        "timing": summarize_timing(records),
-    }
-    ignored_axes = summarize_ignored_axes(records)
-    if ignored_axes:
-        # Deterministic (sorted, content-derived) — safely inside the
-        # strip_timing-compared view, identical across backends.
-        summary["ignored_axes"] = ignored_axes
-    if spec is not None:
-        summary["name"] = spec.name
-        summary["kind"] = spec.kind
-        summary["n_trials_expected"] = spec.n_trials()
-    return summary
+        acc.add_record(record)
+    return acc.finalize(spec=spec)
 
 
 def group_metric_cells(

@@ -26,6 +26,7 @@ import time
 from abc import ABC, abstractmethod
 from typing import Dict, Iterator, Sequence
 
+from ...sim import profiling
 from ..persistence import CampaignStore
 from ..registry import get_experiment
 from ..spec import TrialSpec
@@ -38,10 +39,17 @@ def execute_trial(trial: Dict[str, object], worker: str = "") -> Dict[str, objec
     ``timing`` block (queue workers pass their claim-owner id), feeding the
     per-worker attribution in ``summary.json`` — like elapsed time itself it
     lives under ``timing`` only, outside the determinism-compared view.
+
+    When profiling is requested (``REPRO_PROFILE``, inherited by pool and
+    queue worker processes; see :mod:`repro.sim.profiling`) the run executes
+    under a scoped profiler and its counter/timer snapshot is stored under
+    ``timing["profile"]`` — inside the stripped block, so the determinism
+    contract and golden digests are unaffected whether it is on or off.
     """
     adapter = get_experiment(str(trial["kind"]))
     started = time.perf_counter()
-    result = adapter.run(trial["params"])
+    with profiling.capture() as profiler:
+        result = adapter.run(trial["params"])
     elapsed = time.perf_counter() - started
     # to_dict() embeds scalar_metrics() for standalone use; the record keeps
     # the metrics once, at top level, so the two copies can never drift.
@@ -53,6 +61,8 @@ def execute_trial(trial: Dict[str, object], worker: str = "") -> Dict[str, objec
     timing: Dict[str, object] = {"elapsed_s": elapsed}
     if worker:
         timing["worker"] = worker
+    if profiler is not None:
+        timing["profile"] = profiler.snapshot()
     return {
         "trial_id": trial["trial_id"],
         "kind": trial["kind"],
@@ -72,6 +82,13 @@ class Backend(ABC):
     #: whether dispatch order affects this backend's makespan — the runner
     #: only applies timing-aware scheduling when it does.
     reorders: bool = True
+
+    #: whether this backend's workers commit per-worker partial summaries
+    #: (``queue/partials/``) as they execute.  When True the runner builds
+    #: ``summary.json`` by merging those partials
+    #: (:func:`repro.campaign.streaming.merge_partial_summaries`) instead of
+    #: streaming records through its own accumulator.
+    commits_partials: bool = False
 
     def prepare(self, store: CampaignStore) -> None:
         """Early hook, called before the runner probes resume state.

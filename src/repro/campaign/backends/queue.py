@@ -38,6 +38,7 @@ from typing import Callable, Dict, Iterator, Optional, Sequence, Tuple, Union
 from ..persistence import CampaignStore
 from ..scheduling import load_timing_history
 from ..spec import TrialSpec, cost_key
+from ..telemetry import DEFAULT_HEARTBEAT_INTERVAL_S, WorkerTelemetry
 from .base import Backend, execute_trial
 
 #: how long a claim may sit unreaped before it is presumed orphaned.
@@ -118,7 +119,9 @@ class PollBackoff:
 
 
 def claim_and_execute_next(
-    store: CampaignStore, worker_id: str
+    store: CampaignStore,
+    worker_id: str,
+    telemetry: Optional[WorkerTelemetry] = None,
 ) -> Tuple[Optional[Dict[str, object]], bool]:
     """Claim the first claimable pending job and return ``(record, ran)``.
 
@@ -127,15 +130,23 @@ def claim_and_execute_next(
     enqueued twice across crashed runs, or re-executed after a claim steal —
     are not re-run: their claim is cleared and the existing record returned
     with ``ran=False``, so callers can account executions honestly.
+
+    ``telemetry`` (optional) is notified around each claim and execution so
+    the worker's heartbeat names the in-flight trial and its partial summary
+    accumulates each record it physically executed.
     """
     for path in store.list_pending():
         job = store.claim_job(path, worker_id)
         if job is None:
             continue  # lost the rename race; try the next job
+        if telemetry is not None:
+            telemetry.note_claim()
         trial_id = str(job["trial_id"])
         record = store.load_trial(trial_id)
         ran = False
         if record is None:
+            if telemetry is not None:
+                telemetry.trial_started(trial_id)
             try:
                 record = execute_trial(
                     {"trial_id": trial_id, "kind": job["kind"], "params": job["params"]},
@@ -150,6 +161,8 @@ def claim_and_execute_next(
                 raise
             ran = True
         store.complete_job(trial_id)
+        if telemetry is not None:
+            telemetry.trial_finished(record, ran)
         return record, ran
     return None, False
 
@@ -175,6 +188,7 @@ def claim_and_execute_batch(
     worker_id: str,
     batch_size: int = 1,
     expensive_keys: frozenset = frozenset(),
+    telemetry: Optional[WorkerTelemetry] = None,
 ) -> list:
     """Claim up to ``batch_size`` same-cost-key pending jobs, execute in order.
 
@@ -189,7 +203,7 @@ def claim_and_execute_batch(
     crash beyond the claim-TTL wait ``claim_and_execute_next`` already risks.
     """
     if batch_size <= 1:
-        record, ran = claim_and_execute_next(store, worker_id)
+        record, ran = claim_and_execute_next(store, worker_id, telemetry)
         return [] if record is None else [(record, ran)]
 
     claimed: list = []
@@ -199,6 +213,8 @@ def claim_and_execute_batch(
             job = store.claim_job(path, worker_id)
             if job is None:
                 continue  # lost the rename race; try the next job
+            if telemetry is not None:
+                telemetry.note_claim()
             claimed.append(job)
             anchor_key = cost_key(str(job["kind"]), job["params"])
             if anchor_key in expensive_keys:
@@ -213,6 +229,8 @@ def claim_and_execute_batch(
             continue  # different cell: stays claimable for other workers
         job = store.claim_job(path, worker_id)
         if job is not None:
+            if telemetry is not None:
+                telemetry.note_claim()
             claimed.append(job)
 
     results: list = []
@@ -221,6 +239,8 @@ def claim_and_execute_batch(
         record = store.load_trial(trial_id)
         ran = False
         if record is None:
+            if telemetry is not None:
+                telemetry.trial_started(trial_id)
             try:
                 record = execute_trial(
                     {"trial_id": trial_id, "kind": job["kind"], "params": job["params"]},
@@ -233,6 +253,8 @@ def claim_and_execute_batch(
                 raise
             ran = True
         store.complete_job(trial_id)
+        if telemetry is not None:
+            telemetry.trial_finished(record, ran)
         results.append((record, ran))
     return results
 
@@ -241,6 +263,10 @@ class FileQueueBackend(Backend):
     """Run trials through the shared on-disk job queue, participating in it."""
 
     name = "queue"
+    # The producer and every worker commit per-worker partial summaries; the
+    # runner assembles summary.json by merging them (plus a targeted top-up)
+    # instead of re-reading all trial records.
+    commits_partials = True
 
     def __init__(
         self,
@@ -249,6 +275,7 @@ class FileQueueBackend(Backend):
         poll_interval_s: float = DEFAULT_POLL_INTERVAL_S,
         claim_batch: int = 1,
         batch_expensive_s: float = DEFAULT_BATCH_EXPENSIVE_S,
+        heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
     ) -> None:
         if claim_ttl_s <= 0:
             raise ValueError("claim_ttl_s must be positive")
@@ -259,6 +286,7 @@ class FileQueueBackend(Backend):
         self.poll_interval_s = poll_interval_s
         self.claim_batch = int(claim_batch)
         self.batch_expensive_s = float(batch_expensive_s)
+        self.heartbeat_interval_s = float(heartbeat_interval_s)
 
     def prepare(self, store: CampaignStore) -> None:
         # Re-open the queue as the very first campaign action: workers only
@@ -278,6 +306,14 @@ class FileQueueBackend(Backend):
         # since-edited spec (e.g. a failing trial requeued before its grid
         # cell was removed) must not keep getting claimed and executed.
         store.purge_foreign_jobs({t.trial_id for t in trials})
+        # Fresh run, fresh telemetry: partial summaries and heartbeats left by
+        # a previous run of this directory describe records the loop below is
+        # about to discard — merging them into this run's summary would
+        # resurrect stale results.  (Workers already attached re-write their
+        # heartbeat within one interval, and their partials only ever name
+        # records executed *after* this point.)
+        store.clear_partials()
+        store.clear_heartbeats()
         # The runner decided these trials must run (no record, or a run
         # without --resume): a leftover record would otherwise make the queue
         # serve stale results where serial/pool re-execute.  Discard BEFORE
@@ -302,39 +338,52 @@ class FileQueueBackend(Backend):
         )
         wanted = [t.trial_id for t in trials]
         outstanding = set(wanted)
-        while outstanding:
-            batch = claim_and_execute_batch(
-                store, self.worker_id, self.claim_batch, expensive
-            )
-            if batch:
-                for record, _ran in batch:
-                    trial_id = str(record["trial_id"])
-                    if trial_id in outstanding:
-                        outstanding.discard(trial_id)
-                        yield record
-                continue  # keep draining while there is claimable work
+        # The producer is a queue participant like any other: its heartbeat
+        # and partial summary cover the trials it executes locally.  Records
+        # harvested from other workers are NOT folded into its partial — they
+        # belong to the executing worker's partial (or, if that worker died
+        # unflushed, to the runner's targeted top-up).
+        telemetry = WorkerTelemetry(
+            store, self.worker_id, heartbeat_interval_s=self.heartbeat_interval_s
+        ).start()
+        try:
+            while outstanding:
+                batch = claim_and_execute_batch(
+                    store, self.worker_id, self.claim_batch, expensive, telemetry
+                )
+                if batch:
+                    for record, _ran in batch:
+                        trial_id = str(record["trial_id"])
+                        if trial_id in outstanding:
+                            outstanding.discard(trial_id)
+                            yield record
+                    continue  # keep draining while there is claimable work
 
-            # Nothing claimable: harvest records produced by other workers.
-            # One directory listing bounds the cost per poll; only names that
-            # actually appeared are opened and parsed.
-            harvested = False
-            present = {p.stem for p in store.trials_dir.glob("*.json")}
-            for trial_id in wanted:
-                if trial_id not in outstanding or trial_id not in present:
+                # Nothing claimable: harvest records produced by other workers.
+                # One directory listing bounds the cost per poll; only names that
+                # actually appeared are opened and parsed.
+                harvested = False
+                present = {p.stem for p in store.trials_dir.glob("*.json")}
+                for trial_id in wanted:
+                    if trial_id not in outstanding or trial_id not in present:
+                        continue
+                    record = store.load_trial(trial_id)
+                    if record is not None:
+                        outstanding.discard(trial_id)
+                        harvested = True
+                        yield record
+                if not outstanding:
+                    break
+                # Requeue orphaned claims (dead workers) so someone — possibly
+                # this very loop on its next pass — can pick them up again.
+                if store.sweep_claims(self.claim_ttl_s):
                     continue
-                record = store.load_trial(trial_id)
-                if record is not None:
-                    outstanding.discard(trial_id)
-                    harvested = True
-                    yield record
-            if not outstanding:
-                break
-            # Requeue orphaned claims (dead workers) so someone — possibly
-            # this very loop on its next pass — can pick them up again.
-            if store.sweep_claims(self.claim_ttl_s):
-                continue
-            if not harvested:
-                time.sleep(self.poll_interval_s)
+                if not harvested:
+                    time.sleep(self.poll_interval_s)
+        finally:
+            # Runs on normal completion, mid-drain exceptions, and generator
+            # close alike: flush the partial, downgrade the heartbeat.
+            telemetry.close()
 
 
 #: ``progress(event, trial_id, n_executed)`` with event in {"run", "skip"}.
@@ -352,6 +401,7 @@ def run_worker(
     max_poll_interval_s: Optional[float] = None,
     claim_batch: int = 1,
     batch_expensive_s: float = DEFAULT_BATCH_EXPENSIVE_S,
+    heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
 ) -> int:
     """The standalone worker loop behind ``repro campaign-worker``.
 
@@ -379,6 +429,13 @@ def run_worker(
     jobs at once (cheap grid cells, typically seed siblings), while cells
     whose recorded mean elapsed time reaches ``batch_expensive_s`` keep
     claiming singly.  Batching changes only claim grouping, never records.
+
+    While the loop runs, the worker's telemetry is live: a heartbeat file
+    under ``queue/heartbeats/`` (rewritten every ``heartbeat_interval_s``
+    seconds, keeping long trials from being presumed dead and feeding
+    ``repro campaign-status``) and a partial summary under ``queue/partials/``
+    committed after every executed record (merged into ``summary.json`` by
+    the producer).
     """
     store = CampaignStore(out_dir)
     worker = worker_id or default_worker_id()
@@ -398,22 +455,28 @@ def run_worker(
         expensive_cost_keys(store, batch_expensive_s) if claim_batch > 1 else frozenset()
     )
     executed = 0
-    while max_trials is None or executed < max_trials:
-        remaining = None if max_trials is None else max_trials - executed
-        size = claim_batch if remaining is None else min(claim_batch, remaining)
-        batch = claim_and_execute_batch(store, worker, size, expensive)
-        if batch:
-            backoff.reset()
-            for record, ran in batch:
-                if ran:
-                    executed += 1
-                if progress:
-                    progress("run" if ran else "skip", str(record["trial_id"]), executed)
-            continue
-        store.sweep_claims(claim_ttl_s)
-        if store.queue_drained() and (
-            store.enqueue_complete() or time.monotonic() >= deadline
-        ):
-            break
-        time.sleep(backoff.next_delay())
+    telemetry = WorkerTelemetry(
+        store, worker, heartbeat_interval_s=heartbeat_interval_s
+    ).start()
+    try:
+        while max_trials is None or executed < max_trials:
+            remaining = None if max_trials is None else max_trials - executed
+            size = claim_batch if remaining is None else min(claim_batch, remaining)
+            batch = claim_and_execute_batch(store, worker, size, expensive, telemetry)
+            if batch:
+                backoff.reset()
+                for record, ran in batch:
+                    if ran:
+                        executed += 1
+                    if progress:
+                        progress("run" if ran else "skip", str(record["trial_id"]), executed)
+                continue
+            store.sweep_claims(claim_ttl_s)
+            if store.queue_drained() and (
+                store.enqueue_complete() or time.monotonic() >= deadline
+            ):
+                break
+            time.sleep(backoff.next_delay())
+    finally:
+        telemetry.close()
     return executed

@@ -14,6 +14,15 @@
           <order>-<trial_id>.json   # enqueued job, claimable by any worker
         claims/
           <trial_id>.json           # job claimed by a live (or dead) worker
+        heartbeats/
+          <worker_id>.json          # liveness/progress beacon, rewritten every
+                                    # couple of seconds by each worker's
+                                    # heartbeat thread (repro.campaign.telemetry)
+        partials/
+          <worker_id>.json          # that worker's mergeable partial summary
+                                    # (repro.campaign.streaming state), committed
+                                    # as records land; summary.json is produced
+                                    # by merging these
 
 Trial files are written atomically (tmp file + ``os.replace``) so a killed
 run never leaves a half-written record; resume support treats only files
@@ -46,12 +55,18 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set, Union
 
 from .spec import CampaignSpec
+
+
+def sanitize_worker_id(worker_id: str) -> str:
+    """A worker id reduced to filesystem-safe characters for telemetry files."""
+    return re.sub(r"[^A-Za-z0-9._-]", "_", str(worker_id)) or "worker"
 
 
 def _write_json_atomic(path: Path, data: object) -> None:
@@ -76,6 +91,15 @@ class CampaignStore:
         # Present only once the producer has finished enqueueing: workers may
         # not treat an empty queue as a finished campaign before this exists.
         self.enqueue_complete_path = self.queue_dir / "enqueue-complete.json"
+        # Worker telemetry (see repro.campaign.telemetry): heartbeat files
+        # live next to the claims they vouch for; partial summaries are the
+        # per-worker aggregation states summary.json is merged from.
+        self.heartbeats_dir = self.queue_dir / "heartbeats"
+        self.partials_dir = self.queue_dir / "partials"
+        # Sweeper-local heartbeat watch, same skew-proof scheme as
+        # _claim_watch below: worker id -> (identity token, local monotonic
+        # time of the last observed content change).
+        self._hb_watch: Dict[str, tuple] = {}
         # Sweeper-local claim watch: claim file name -> (identity token,
         # local monotonic first-seen).  Claim timestamps are written by the
         # *claiming* host's clock, which on a multi-machine filesystem may be
@@ -90,6 +114,8 @@ class CampaignStore:
         self.ensure_layout()
         self.pending_dir.mkdir(parents=True, exist_ok=True)
         self.claims_dir.mkdir(parents=True, exist_ok=True)
+        self.heartbeats_dir.mkdir(parents=True, exist_ok=True)
+        self.partials_dir.mkdir(parents=True, exist_ok=True)
 
     # --------------------------------------------------------------- spec
     def write_spec(self, spec: CampaignSpec) -> None:
@@ -312,6 +338,116 @@ class CampaignStore:
         except OSError:
             return 0.0
 
+# ----------------------------------------------------------- telemetry
+    # Heartbeat and partial-summary files written by repro.campaign.telemetry;
+    # the store only owns their paths, atomic writes, and tolerant reads.
+
+    def heartbeat_path(self, worker_id: str) -> Path:
+        return self.heartbeats_dir / f"{sanitize_worker_id(worker_id)}.json"
+
+    def write_heartbeat(self, worker_id: str, data: Dict[str, object]) -> None:
+        self.heartbeats_dir.mkdir(parents=True, exist_ok=True)
+        _write_json_atomic(self.heartbeat_path(worker_id), data)
+
+    def list_heartbeats(self) -> List[Path]:
+        if not self.heartbeats_dir.is_dir():
+            return []
+        return sorted(self.heartbeats_dir.glob("*.json"))
+
+    def load_heartbeat(self, path: Union[str, Path]) -> Optional[Dict[str, object]]:
+        """A heartbeat file's content, or ``None`` if unreadable/mid-rewrite."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def clear_heartbeats(self) -> None:
+        """Drop all heartbeat files (producer start: stale workers are gone;
+        live ones rewrite theirs within a beat interval)."""
+        for path in self.list_heartbeats():
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+        self._hb_watch.clear()
+
+    def partial_path(self, worker_id: str) -> Path:
+        return self.partials_dir / f"{sanitize_worker_id(worker_id)}.json"
+
+    def write_partial(self, worker_id: str, state: Dict[str, object]) -> None:
+        self.partials_dir.mkdir(parents=True, exist_ok=True)
+        _write_json_atomic(self.partial_path(worker_id), state)
+
+    def list_partials(self) -> List[Path]:
+        """Committed partial-summary files in deterministic (sorted) order."""
+        if not self.partials_dir.is_dir():
+            return []
+        return sorted(self.partials_dir.glob("*.json"))
+
+    def load_partial(self, path: Union[str, Path]) -> Optional[Dict[str, object]]:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                state = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return state if isinstance(state, dict) else None
+
+    def clear_partials(self) -> None:
+        """Drop all partial summaries (producer start: this run's workers
+        commit fresh ones; anything they don't cover is topped up from the
+        trial records themselves)."""
+        for path in self.list_partials():
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def heartbeat_fresh(self, worker_id: str, ttl_s: float) -> bool:
+        """Whether a worker's heartbeat shows it alive within ``ttl_s``.
+
+        Freshness deliberately errs toward "alive" (a false positive delays
+        one reclaim by a TTL; a false negative steals a live worker's claim):
+
+        * a heartbeat whose own ``updated_at`` stamp is within the TTL is
+          fresh (fast path — heartbeats rewrite every couple of seconds, so
+          this is orders of magnitude fresher than typical TTLs);
+        * a heartbeat whose *content changed* since this process last looked
+          is fresh regardless of its stamp (the skew-proof path: a live
+          worker on a clock-skewed host keeps mutating the file);
+        * only a heartbeat observed unchanged for a full TTL on our own
+          monotonic clock — or explicitly marked ``state: "stopped"``, or
+          absent entirely — counts as not fresh.
+        """
+        path = self.heartbeat_path(worker_id)
+        try:
+            stat = path.stat()
+            token = (stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            return False  # no heartbeat: fall back to plain claim-TTL aging
+        data = self.load_heartbeat(path)
+        if data is not None and data.get("state") == "stopped":
+            return False
+        local_now = time.monotonic()
+        seen = self._hb_watch.get(worker_id)
+        if seen is None or seen[0] != token:
+            self._hb_watch[worker_id] = (token, local_now)
+            return True
+        updated_at = (data or {}).get("updated_at")
+        if isinstance(updated_at, (int, float)) and time.time() - float(updated_at) < ttl_s:
+            return True
+        return local_now - seen[1] <= ttl_s
+
+    def claim_worker(self, claim_path: Path) -> str:
+        """The worker id recorded on a claim ('' for a bare/unreadable one)."""
+        try:
+            with open(claim_path, "r", encoding="utf-8") as handle:
+                job = json.load(handle)
+            return str(job.get("worker") or "")
+        except (OSError, ValueError):
+            return ""
+
     def _claim_expired(self, claim_path: Path, claim_ttl_s: float) -> bool:
         """Whether a claim is presumed orphaned, robust to cross-host skew.
 
@@ -351,6 +487,13 @@ class CampaignStore:
         for the skew-robust criteria) is presumed orphaned and renamed back
         into ``pending/`` for any worker to re-claim (the rename keeps this
         race-safe: concurrent sweepers can't requeue one claim twice).
+
+        A *fresh heartbeat* from the claim's worker vetoes expiry (see
+        :meth:`heartbeat_fresh`): a single 10⁵-node trial can legitimately
+        outlast any reasonable TTL, and the worker's heartbeat thread — not
+        the untouched claim file's age — is the signal that it is slow
+        rather than dead.  Workers without heartbeats (older code, manual
+        claims) age out on the claim TTL exactly as before.
         """
         requeued: List[str] = []
         for claim in self.list_claims():
@@ -361,6 +504,9 @@ class CampaignStore:
                 continue
             if not self._claim_expired(claim, claim_ttl_s):
                 continue
+            worker = self.claim_worker(claim)
+            if worker and self.heartbeat_fresh(worker, claim_ttl_s):
+                continue  # slow worker, not a dead one: leave its claim alone
             if self.requeue_claim(trial_id):
                 self._claim_watch.pop(claim.name, None)
                 requeued.append(trial_id)

@@ -38,11 +38,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
 
-from .aggregate import aggregate_records
 from .backends import Backend, execute_trial, make_backend
 from .persistence import CampaignStore
 from .scheduling import load_timing_history, schedule_trials
 from .spec import CampaignSpec
+from .streaming import CampaignAccumulator, merge_partial_summaries
 
 __all__ = [
     "CampaignExecutionError",
@@ -128,13 +128,23 @@ def run_campaign(
     # on-disk queue here so concurrently started workers keep polling.
     executor.prepare(store)
 
+    # The summary is built incrementally: records stream into this
+    # accumulator as they land (resume-skipped ones right here, executed ones
+    # in the loop below) instead of being wholesale re-read at the end.  The
+    # queue backend goes one step further — its workers commit partial
+    # summaries, and finalization merges those instead (see the finally).
+    accumulator = CampaignAccumulator()
+
     # Probe only this spec's trial ids — not every file in trials/ — so resume
     # cost scales with the campaign, not with whatever else shares the directory.
-    done = (
-        {t.trial_id for t in trials if store.load_trial(t.trial_id) is not None}
-        if resume
-        else set()
-    )
+    done = set()
+    if resume:
+        for trial in trials:
+            record = store.load_trial(trial.trial_id)
+            if record is not None:
+                done.add(trial.trial_id)
+                if not executor.commits_partials:
+                    accumulator.add_record(record)
     pending = [t for t in trials if t.trial_id not in done]
     skipped = [t.trial_id for t in trials if t.trial_id in done]
     total = len(trials)
@@ -160,6 +170,8 @@ def run_campaign(
             finished += 1
             trial_id = str(record["trial_id"])
             report.executed_trial_ids.append(trial_id)
+            if not executor.commits_partials:
+                accumulator.add_record(record)
             if progress:
                 progress("run", trial_id, finished, total)
     except Exception as exc:
@@ -175,7 +187,22 @@ def run_campaign(
         # CampaignExecutionError is finalized here too, since the finally
         # block runs before the exception reaches the caller.
         report.executed_trial_ids.sort(key=spec_order.__getitem__)
-        records = store.load_trials([t.trial_id for t in trials])
-        report.summary = aggregate_records(records, spec=spec)
+        if executor.commits_partials:
+            # Queue campaigns: per-worker partial summaries (committed as the
+            # workers drained) merge into the summary; only trials no partial
+            # accounts for are read back individually.
+            final = merge_partial_summaries(store, trials)
+        else:
+            # Streaming path: everything yielded (and resume-skipped) is
+            # already folded in.  Top up records that exist on disk but never
+            # reached the iterator — e.g. pool results persisted by worker
+            # processes right before a crash — with targeted loads only.
+            final = accumulator
+            for trial in trials:
+                if trial.trial_id not in final.trial_ids:
+                    record = store.load_trial(trial.trial_id)
+                    if record is not None:
+                        final.add_record(record)
+        report.summary = final.finalize(spec=spec)
         store.write_summary(report.summary)
     return report

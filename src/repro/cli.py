@@ -12,6 +12,7 @@ Usage (after ``pip install -e .``)::
     python -m repro campaign   --spec campaign.json --backend queue --out results/
     python -m repro campaign   --kind scenario --param preset=flash-crowd --out results/
     python -m repro campaign-worker results/          # in other terminals/hosts
+    python -m repro campaign-status results/ --watch  # live progress view
 
 Each single-run subcommand builds the corresponding harness from
 :mod:`repro.experiments`, runs it, and prints the regenerated rows/series in
@@ -173,6 +174,9 @@ def _build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--list-figures", action="store_true",
                           help="list figure adapters (figure -> kind, benchmark, metrics) and exit")
     campaign.add_argument("--quiet", action="store_true", help="suppress per-trial progress lines")
+    campaign.add_argument("--profile", action="store_true",
+                          help="record engine-phase profiling counters/timers under each "
+                               "trial's timing.profile (sets REPRO_PROFILE for all workers)")
 
     worker = sub.add_parser(
         "campaign-worker",
@@ -202,6 +206,32 @@ def _build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--wait-for-queue", type=float, default=30.0,
                         help="seconds to wait for the producer to create the queue before giving up")
     worker.add_argument("--quiet", action="store_true", help="suppress per-trial progress lines")
+    worker.add_argument("--heartbeat-interval", type=float, default=2.0,
+                        help="seconds between heartbeat-file rewrites (feeds campaign-status "
+                             "and keeps long trials from being presumed orphaned)")
+    worker.add_argument("--profile", action="store_true",
+                        help="record engine-phase profiling counters/timers under each "
+                             "trial's timing.profile (sets REPRO_PROFILE)")
+
+    status = sub.add_parser(
+        "campaign-status",
+        help="read-only live view of a (running) campaign directory",
+        description=(
+            "Inspect a campaign results directory without touching it: recorded vs "
+            "expected trials, queue depth, per-worker heartbeats and throughput, "
+            "per-grid-cell completion, an ETA derived from per-cell elapsed history, "
+            "and any rolled-up ignored scenario axes. Safe to run against a live "
+            "producer + worker fleet."
+        ),
+    )
+    status.add_argument("out_dir", help="the campaign results directory (the producer's --out)")
+    status.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the raw status snapshot as JSON instead of the report")
+    status.add_argument("--watch", type=float, nargs="?", const=2.0, default=None,
+                        metavar="SECONDS",
+                        help="refresh every SECONDS (default 2) until the campaign completes")
+    status.add_argument("--stale-after", type=float, default=15.0,
+                        help="flag a worker heartbeat older than this many seconds as stale")
     return parser
 
 
@@ -478,10 +508,27 @@ def _run_campaign(args) -> int:
         # KeyError's str() wraps the message in quotes; unwrap via args.
         raise SystemExit(f"repro campaign: {exc.args[0] if exc.args else exc}")
 
+    # Progress lines carry completed/total plus the running throughput over
+    # *executed* trials (skips are free and would inflate the rate).  The
+    # prefix format is stable; the throughput rides as a suffix.
+    progress_clock = {"started": None, "ran": 0}
+
     def progress(event: str, trial_id: str, done: int, total: int) -> None:
-        if not args.quiet:
-            verb = "ran " if event == "run" else "skip"
-            print(f"[{done}/{total}] {verb} {trial_id}")
+        if args.quiet:
+            return
+        verb = "ran " if event == "run" else "skip"
+        rate = ""
+        if event == "run":
+            import time as _time
+
+            now = _time.monotonic()
+            if progress_clock["started"] is None:
+                progress_clock["started"] = now
+            progress_clock["ran"] += 1
+            span = now - progress_clock["started"]
+            if progress_clock["ran"] > 1 and span > 0:
+                rate = f"  ({(progress_clock['ran'] - 1) * 60.0 / span:.1f} trials/min)"
+        print(f"[{done}/{total}] {verb} {trial_id}{rate}", flush=True)
 
     # --backend queue gets its claim TTL from the CLI; the other names go
     # through by string and take their defaults.  --jobs only means anything
@@ -498,6 +545,12 @@ def _run_campaign(args) -> int:
         )
     if args.claim_batch < 1:
         raise SystemExit("repro campaign: --claim-batch must be >= 1")
+    if args.profile:
+        # Environment, not a parameter: pool and queue worker processes
+        # inherit it, so every trial of the campaign profiles uniformly.
+        import os
+
+        os.environ["REPRO_PROFILE"] = "1"
     if args.backend == "queue":
         if args.claim_ttl <= 0:
             raise SystemExit("repro campaign: --claim-ttl must be positive")
@@ -534,6 +587,13 @@ def _run_campaign(args) -> int:
                 f"  worker {worker}: {stats['n']} trial(s), "
                 f"{stats['total_elapsed_s']:.2f} s"
             )
+        profile = timing.get("profile") or {}
+        if profile.get("n"):
+            print(f"profiling ({profile['n']} profiled trial(s)):")
+            for name, value in (profile.get("counters") or {}).items():
+                print(f"  {name}: {value:g}")
+            for name, value in (profile.get("timers_s") or {}).items():
+                print(f"  {name}: {value:.3f} s")
     # Scenario trials report axes their base harness cannot express; a sweep
     # that quietly dropped an axis would lie, so surface the gap per kind.
     for base_kind, info in sorted((report.summary.get("ignored_axes") or {}).items()):
@@ -563,6 +623,12 @@ def _run_campaign_worker(args) -> int:
         )
     if args.claim_batch < 1:
         raise SystemExit("repro campaign-worker: --claim-batch must be >= 1")
+    if args.heartbeat_interval <= 0:
+        raise SystemExit("repro campaign-worker: --heartbeat-interval must be positive")
+    if args.profile:
+        import os
+
+        os.environ["REPRO_PROFILE"] = "1"
 
     def progress(event: str, trial_id: str, n_executed: int) -> None:
         if not args.quiet:
@@ -580,6 +646,7 @@ def _run_campaign_worker(args) -> int:
             progress=progress,
             max_poll_interval_s=args.max_poll_interval,
             claim_batch=args.claim_batch,
+            heartbeat_interval_s=args.heartbeat_interval,
         )
     except Exception as exc:  # a failing trial: its job was already requeued
         raise SystemExit(
@@ -588,6 +655,39 @@ def _run_campaign_worker(args) -> int:
         )
     print(f"campaign-worker: executed {executed} trial(s) from {args.out_dir}")
     return 0
+
+
+def _run_campaign_status(args) -> int:
+    import time
+
+    from .campaign import campaign_status, render_status
+
+    if args.stale_after <= 0:
+        raise SystemExit("repro campaign-status: --stale-after must be positive")
+    if args.watch is not None and args.watch <= 0:
+        raise SystemExit("repro campaign-status: --watch interval must be positive")
+
+    def snapshot():
+        try:
+            return campaign_status(args.out_dir, stale_after_s=args.stale_after)
+        except FileNotFoundError as exc:
+            raise SystemExit(f"repro campaign-status: {exc}")
+
+    status = snapshot()
+    while True:
+        if args.as_json:
+            print(json.dumps(status, indent=2, sort_keys=True), flush=True)
+        else:
+            print(render_status(status), flush=True)
+        if args.watch is None or status["trials"]["remaining"] == 0:
+            return 0
+        try:
+            time.sleep(args.watch)
+        except KeyboardInterrupt:
+            return 0
+        status = snapshot()
+        if not args.as_json:
+            print(flush=True)  # blank line between refreshes
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -604,6 +704,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list-kinds": _run_list_kinds,
         "campaign": _run_campaign,
         "campaign-worker": _run_campaign_worker,
+        "campaign-status": _run_campaign_status,
     }
     return handlers[args.command](args)
 

@@ -72,6 +72,48 @@ def _build_workload(name: str, params: Dict[str, object]) -> WorkloadModel:
         raise ValueError(exc.args[0]) from exc
 
 
+#: Samples per sealed histogram chunk in the load harness recorders.
+_HISTOGRAM_CHUNK_SAMPLES = 4096
+
+
+class _ChunkedHistogram:
+    """Bounded-chunk sample recorder, merged via :meth:`Histogram.merge`.
+
+    Samples land in fixed-size chunk histograms sealed at ``chunk_samples``;
+    :meth:`merged` concatenates the chunks in recording order, so every
+    statistic (mean, percentiles, CDF) is byte-equal to a single in-memory
+    histogram over the same stream — pinned by the load differential suite.
+    Sealed chunks are exactly the partial summaries a distributed collector
+    would ship: producers keep only the open chunk hot, the merge holds the
+    union once at aggregation time.
+    """
+
+    def __init__(self, name: str, chunk_samples: int = _HISTOGRAM_CHUNK_SAMPLES) -> None:
+        if chunk_samples < 1:
+            raise ValueError("chunk_samples must be positive")
+        self.name = name
+        self.chunk_samples = chunk_samples
+        self._chunks: List[Histogram] = [Histogram(name=f"{name}[0]")]
+
+    def record(self, value: float) -> None:
+        chunk = self._chunks[-1]
+        if chunk.count >= self.chunk_samples:
+            chunk = Histogram(name=f"{self.name}[{len(self._chunks)}]")
+            self._chunks.append(chunk)
+        chunk.record(value)
+
+    @property
+    def count(self) -> int:
+        return sum(chunk.count for chunk in self._chunks)
+
+    @property
+    def n_chunks(self) -> int:
+        return len(self._chunks)
+
+    def merged(self) -> Histogram:
+        return Histogram.merge(self._chunks, name=self.name)
+
+
 @dataclass
 class LoadConfig:
     """Parameters of one sustained-load run at a single offered-RPS level."""
@@ -259,9 +301,9 @@ class LoadExperiment:
             return delay
 
         # ---------------------------------------------------------- measuring
-        latencies = Histogram("lookup-latency")
-        queue_delays = Histogram("queue-delay")
-        inflight_samples = Histogram("inflight")
+        latencies = _ChunkedHistogram("lookup-latency")
+        queue_delays = _ChunkedHistogram("queue-delay")
+        inflight_samples = _ChunkedHistogram("inflight")
         offered = metrics.counter("offered")
         delivered = metrics.counter("delivered")
         succeeded = metrics.counter("succeeded")
@@ -348,17 +390,22 @@ class LoadExperiment:
         result.offered_lookups = int(offered.value)
         result.delivered_lookups = int(delivered.value)
         result.succeeded_lookups = int(succeeded.value)
-        if latencies.count:
-            result.latency_mean_s = latencies.mean()
-            result.latency_p50_s = latencies.percentile(50.0)
-            result.latency_p90_s = latencies.percentile(90.0)
-            result.latency_p99_s = latencies.percentile(99.0)
-            result.latency_cdf = latencies.cdf(n_points=40)
-            result.queue_delay_mean_s = queue_delays.mean()
-            result.queue_delay_p99_s = queue_delays.percentile(99.0)
-        if inflight_samples.count:
-            result.inflight_mean = inflight_samples.mean()
-            result.inflight_max = max(inflight_samples.samples)
+        # Merge the sealed chunks back into single histograms; byte-equal to
+        # recording straight into one (Histogram.merge concatenates in order).
+        latency_hist = latencies.merged()
+        queue_delay_hist = queue_delays.merged()
+        inflight_hist = inflight_samples.merged()
+        if latency_hist.count:
+            result.latency_mean_s = latency_hist.mean()
+            result.latency_p50_s = latency_hist.percentile(50.0)
+            result.latency_p90_s = latency_hist.percentile(90.0)
+            result.latency_p99_s = latency_hist.percentile(99.0)
+            result.latency_cdf = latency_hist.cdf(n_points=40)
+            result.queue_delay_mean_s = queue_delay_hist.mean()
+            result.queue_delay_p99_s = queue_delay_hist.percentile(99.0)
+        if inflight_hist.count:
+            result.inflight_mean = inflight_hist.mean()
+            result.inflight_max = max(inflight_hist.samples)
         result.offered_series = metrics.buckets("offered", cfg.sample_interval)
         result.delivered_series = metrics.buckets("delivered", cfg.sample_interval)
         if churn is not None:

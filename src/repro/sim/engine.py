@@ -10,8 +10,10 @@ simulator the paper describes in Section 5.1.
 from __future__ import annotations
 
 import heapq
+import time as _time
 from typing import Any, Callable, List, Optional
 
+from . import profiling
 from .clock import SimulationClock
 from .events import Event
 from .hooks import HookBus
@@ -43,6 +45,9 @@ class SimulationEngine:
         self._events_processed = 0
         self._running = False
         self._stop_requested = False
+        # Bound once: None (the default) keeps the hot dispatch loop at a
+        # single dead `is not None` branch; see repro.sim.profiling.
+        self.profiler = profiling.active()
 
     # ------------------------------------------------------------------ time
     @property
@@ -138,12 +143,21 @@ class SimulationEngine:
     # ------------------------------------------------------------------- run
     def step(self) -> Optional[Event]:
         """Fire the single next non-cancelled event; return it (or ``None``)."""
+        profiler = self.profiler
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
             self.clock.advance_to(event.time)
-            event.fire()
+            if profiler is not None:
+                profiler.incr("engine.events_dispatched")
+                if event.name:
+                    profiler.incr(f"engine.event.{event.name}")
+                started = _time.perf_counter()
+                event.fire()
+                profiler.add_time("engine.dispatch", _time.perf_counter() - started)
+            else:
+                event.fire()
             self._events_processed += 1
             return event
         return None

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Type
 
+from . import profiling
+
 
 # --------------------------------------------------------------------- events
 @dataclass(frozen=True)
@@ -128,6 +130,8 @@ class HookBus:
 
     def __init__(self) -> None:
         self._subscribers: Dict[type, List[Subscription]] = {}
+        # Bound once at construction; None keeps publish() overhead-free.
+        self.profiler = profiling.active()
 
     # ---------------------------------------------------------- subscription
     def subscribe(self, event_type: Type, callback: Callable) -> Subscription:
@@ -193,6 +197,9 @@ class HookBus:
             if sub.active:
                 sub.callback(event)
                 fired += 1
+        if self.profiler is not None:
+            self.profiler.incr("hooks.publishes")
+            self.profiler.incr("hooks.deliveries", fired)
         return fired
 
     def __repr__(self) -> str:  # pragma: no cover

@@ -92,6 +92,8 @@ class ArrayRingKernel(RingKernel):
         slot = self._slot.get(node_id)
         if slot is None or bool(self._alive[slot]) == alive:
             return
+        if self.profiler is not None:
+            self.profiler.incr("kernel.churn_ops")
         self._alive[slot] = 1 if alive else 0
         malicious = bool(self._malicious[slot])
         removed = bool(self._removed[slot])
@@ -184,7 +186,11 @@ class ArrayRingKernel(RingKernel):
         key = tuple(ideals)
         cached = self._finger_rows.get(owner_id)
         if cached is not None and self._row_ideals.get(owner_id) == key:
+            if self.profiler is not None:
+                self.profiler.incr("kernel.finger_cache_hits")
             return list(cached)
+        if self.profiler is not None:
+            self.profiler.incr("kernel.finger_cache_misses")
         if cached is not None:
             self._invalidate_row(owner_id)
 

@@ -29,6 +29,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Iterable, List, Optional, Sequence, Set
 
+from .. import profiling
+
 
 class RingKernel(ABC):
     """Mutable ring-membership state and the global queries over it."""
@@ -40,6 +42,10 @@ class RingKernel(ABC):
         if space_size < 1:
             raise ValueError("space_size must be positive")
         self.space_size = int(space_size)
+        # Bound once at construction (None when profiling is off): kernels
+        # count churn ops and finger-resolution cache behaviour, guarded by a
+        # single `is not None` branch so the disabled path stays free.
+        self.profiler = profiling.active()
 
     # ------------------------------------------------------------------ state
     @abstractmethod

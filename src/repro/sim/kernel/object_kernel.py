@@ -35,6 +35,8 @@ class ObjectRingKernel(RingKernel):
 
     def set_alive(self, node_id: int, alive: bool) -> None:
         if node_id in self._alive:
+            if self.profiler is not None and self._alive[node_id] != alive:
+                self.profiler.incr("kernel.churn_ops")
             self._alive[node_id] = alive
 
     def set_removed(self, node_id: int) -> None:
@@ -92,6 +94,8 @@ class ObjectRingKernel(RingKernel):
         return sum(1 for nid in alive if nid in self._malicious) / len(alive)
 
     def resolve_fingers(self, owner_id: int, ideals: Sequence[int]) -> List[Optional[int]]:
+        if self.profiler is not None:
+            self.profiler.incr("kernel.finger_resolves")
         alive = self.alive_ids_view()
         if not alive:
             return [None] * len(ideals)

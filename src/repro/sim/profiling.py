@@ -1,0 +1,110 @@
+"""Opt-in engine-phase profiling: counters and timers with zero cost when off.
+
+The simulator's hot paths (event dispatch, hook publishes, ring-kernel churn
+and finger resolution) carry optional instrumentation points.  They are wired
+so that the *disabled* state — the default — costs exactly one ``is None``
+check per construction site and nothing per event:
+
+* Components grab the process-active profiler **once, at construction**
+  (``self.profiler = profiling.active()``) and guard each instrumented spot
+  with ``if self.profiler is not None``.  No profiler active means the
+  attribute is ``None`` forever and the branches are dead.
+* Nothing about the simulation's behaviour changes either way: profiling
+  only ever *observes*.  Trial records carry the snapshot under
+  ``timing["profile"]``, which ``strip_timing`` drops — so golden digests
+  and the cross-backend determinism contract are untouched by construction.
+
+Activation is scoped, not global state mutation sprinkled through the code:
+:func:`capture` installs a fresh :class:`SimProfiler` as the process-active
+profiler for the duration of one trial execution and returns it.  It
+activates when the ``REPRO_PROFILE`` environment variable is truthy (the CLI
+``--profile`` flag sets it, and child pool/queue worker processes inherit
+it) or when ``force=True`` (tests).
+
+Counter naming convention is ``<component>.<event>``, e.g.
+``engine.events_dispatched``, ``hooks.publishes``,
+``kernel.finger_cache_hits``; timers end in a phase name and are reported in
+seconds under ``timers_s``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+#: environment variable that opts trial executions into profiling.
+PROFILE_ENV = "REPRO_PROFILE"
+
+#: values of :data:`PROFILE_ENV` treated as "off" (besides being unset).
+_FALSE_VALUES = {"", "0", "false", "no", "off"}
+
+
+class SimProfiler:
+    """A bag of named counters and accumulated phase timers."""
+
+    __slots__ = ("counters", "timers_s")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.timers_s: Dict[str, float] = {}
+
+    def incr(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def add_time(self, name: str, seconds: float) -> None:
+        self.timers_s[name] = self.timers_s.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock of a ``with`` block under ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - started)
+
+    def snapshot(self) -> Dict[str, object]:
+        """The JSON block stored under a trial record's ``timing.profile``."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timers_s": dict(sorted(self.timers_s.items())),
+        }
+
+
+#: the process-active profiler; ``None`` means profiling is off.
+_active: Optional[SimProfiler] = None
+
+
+def active() -> Optional[SimProfiler]:
+    """The profiler instrumented components should bind at construction."""
+    return _active
+
+
+def enabled_by_env() -> bool:
+    """Whether :data:`PROFILE_ENV` asks for profiling in this process."""
+    return os.environ.get(PROFILE_ENV, "").strip().lower() not in _FALSE_VALUES
+
+
+@contextmanager
+def capture(force: bool = False) -> Iterator[Optional[SimProfiler]]:
+    """Scope one trial's profiling: install a fresh profiler, yield it.
+
+    Yields ``None`` — and installs nothing — unless profiling was requested
+    (``REPRO_PROFILE`` truthy, or ``force=True``).  The environment is
+    checked per call, not at import, so pool and queue worker processes
+    honour the variable they inherited from the producer.  Re-entrant: the
+    previous active profiler (if any) is restored on exit.
+    """
+    global _active
+    if not force and not enabled_by_env():
+        yield None
+        return
+    previous = _active
+    profiler = SimProfiler()
+    _active = profiler
+    try:
+        yield profiler
+    finally:
+        _active = previous
