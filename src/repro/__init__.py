@@ -29,6 +29,7 @@ Quickstart::
     print(result.result, result.correct)
 """
 
+from .chord import ChordRing, IdSpace, RingConfig
 from .core import (
     AnonymousLookupProtocol,
     OctopusConfig,
@@ -36,7 +37,6 @@ from .core import (
     OctopusNetwork,
     OctopusNode,
 )
-from .chord import ChordRing, IdSpace, RingConfig
 from .crypto import CertificateAuthority
 from .sim import KingLatencyModel, RandomSource, SimulationEngine
 

@@ -85,7 +85,6 @@ class ComparisonAnonymityModel:
         """
         stream = self.rng.stream("nisan-range")
         ring = self.ring
-        f = ring.fraction_malicious
         total = 0.0
         counted = 0
         for _ in range(n_samples):
@@ -95,7 +94,6 @@ class ComparisonAnonymityModel:
             observed = [p for p in path if ring.is_malicious(p)]
             if not observed:
                 continue
-            ordered = sorted(observed, key=lambda p: ring.hop_distance(p, target), reverse=True)
             last = min(observed, key=lambda p: ring.hop_distance(p, target))
             range_size = max(1, min(ring.hop_distance(last, target) * 2 + 1, ring.n_nodes - 1))
             weights = self.presim.gamma_profile(min(range_size, 128))

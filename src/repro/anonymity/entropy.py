@@ -10,7 +10,7 @@ entropy.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Sequence
+from typing import Iterable, Sequence
 
 
 def entropy(probabilities: Iterable[float]) -> float:

@@ -24,7 +24,6 @@ relative to ``T``), which keeps the estimator tractable at N = 100,000.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional
 

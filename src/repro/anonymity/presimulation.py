@@ -21,9 +21,8 @@ zero probabilities (which would break the Bayesian weighting).
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..sim.rng import RandomSource
 from .ring_model import LightweightRing

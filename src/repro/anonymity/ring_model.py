@@ -141,7 +141,6 @@ class LightweightRing:
                 self._finger_matrix = matrix
             return greedy_path_positions(matrix, initiator_pos, target_pos, max_hops)
         space = self.space
-        target_id = self.ids[target_pos]
         path: List[int] = []
         current_pos = initiator_pos
         for _ in range(max_hops):

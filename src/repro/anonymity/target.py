@@ -22,10 +22,9 @@ derivation.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..sim.rng import RandomSource
 from .entropy import entropy_of_counts, information_leak, max_entropy
@@ -223,7 +222,6 @@ class TargetAnonymityEstimator:
         # Case 3 (Equations (18)–(21)): isolated observations; the closest
         # observed query bounds the target only weakly, and it is diluted over
         # every observed query of every concurrent lookup.
-        own_best = min(observed, key=lambda q: ring.hop_distance(q.queried_pos, lookup.target_pos))
         own_range = ring.n_nodes - 1
         p_obs = max(len(observed) / max(len(lookup.queries), 1), 0.05)
         other_observed = sum(1 for _ in range(n_concurrent - 1) if stream.random() < p_obs)

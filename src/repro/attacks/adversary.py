@@ -12,8 +12,8 @@ its nodes.  Attack behaviours themselves live in the sibling modules.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
 
 from ..chord.node import NodeBehavior
 from ..chord.ring import ChordRing

@@ -21,7 +21,7 @@ surveillance check, which is exactly what gets it caught.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..chord.node import ChordNode, NodeBehavior
 from ..chord.routing_table import RoutingTableSnapshot

@@ -19,9 +19,8 @@ path between its own first and last elements).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from ..chord.idspace import IdSpace
 from ..chord.ring import ChordRing
 
 

@@ -12,7 +12,7 @@ from its next hop while witnesses confirm that next hop is alive.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from ..chord.node import ChordNode, NodeBehavior
 from .adversary import Adversary

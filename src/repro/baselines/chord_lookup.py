@@ -7,8 +7,8 @@ in Section 7 and the anonymity baseline in Section 6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from ..chord.lookup import LookupResult, iterative_lookup
 from ..chord.ring import ChordRing

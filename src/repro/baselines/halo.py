@@ -12,7 +12,7 @@ sub-lookup is a cheap Chord walk.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..chord.lookup import iterative_lookup

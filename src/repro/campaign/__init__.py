@@ -47,6 +47,16 @@ from .aggregate import (
     summarize_timing,
     summary_rows,
 )
+from .backends import (
+    Backend,
+    FileQueueBackend,
+    PollBackoff,
+    ProcessPoolBackend,
+    SerialBackend,
+    available_backends,
+    make_backend,
+    run_worker,
+)
 from .figures import (
     FigureAdapter,
     adaptive_group_label,
@@ -58,16 +68,6 @@ from .figures import (
     render_figure_aggregates,
     scenario_group_label,
     scenario_summary_rows,
-)
-from .backends import (
-    Backend,
-    FileQueueBackend,
-    PollBackoff,
-    ProcessPoolBackend,
-    SerialBackend,
-    available_backends,
-    make_backend,
-    run_worker,
 )
 from .persistence import CampaignResults, CampaignStore, load_campaign_results
 from .registry import (

@@ -89,7 +89,10 @@ class PollBackoff:
         self.max_s = max(float(max_s), self.base_s)
         self.factor = float(factor)
         self.jitter = float(jitter)
-        self._rng = rng or random.Random()
+        # Jitter only perturbs poll timing, never records, but it must still
+        # be explicitly seeded: the pid keeps co-started workers apart while
+        # staying derivable (a caller wanting exact replay passes its own rng).
+        self._rng = rng if rng is not None else random.Random(os.getpid())
         self._idle_polls = 0
 
     @property
@@ -443,7 +446,13 @@ def run_worker(
         raise ValueError("claim_batch must be at least 1")
     if max_poll_interval_s is None:
         max_poll_interval_s = max(DEFAULT_MAX_POLL_INTERVAL_S, poll_interval_s)
-    backoff = PollBackoff(base_s=poll_interval_s, max_s=max_poll_interval_s)
+    backoff = PollBackoff(
+        base_s=poll_interval_s,
+        max_s=max_poll_interval_s,
+        # Seeded from the worker id: distinct workers desynchronize, while a
+        # re-run of the same worker id paces its polls identically.
+        rng=random.Random(f"poll-jitter:{worker}"),
+    )
 
     deadline = time.monotonic() + wait_for_queue_s
     while not store.pending_dir.is_dir():

@@ -156,7 +156,7 @@ class CampaignStore:
         if not self.trials_dir.is_dir():
             return set()
         done: Set[str] = set()
-        for path in self.trials_dir.glob("*.json"):
+        for path in sorted(self.trials_dir.glob("*.json")):
             if self.load_trial(path.stem) is not None:
                 done.add(path.stem)
         return done
@@ -208,7 +208,7 @@ class CampaignStore:
                 return False
         elif self.claim_path(trial_id).exists() or (
             self.pending_dir.is_dir()
-            and next(self.pending_dir.glob(f"*-{trial_id}.json"), None)
+            and next(self.pending_dir.glob(f"*-{trial_id}.json"), None)  # repro-lint: ignore[D202] — existence probe; at most one pending file matches a trial id
         ):
             return False
         job = dict(trial)

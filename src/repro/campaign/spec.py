@@ -28,7 +28,7 @@ import itertools
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Sequence, Tuple, Union
+from typing import Dict, List, Mapping, Tuple, Union
 
 
 def canonical_json(data: object) -> str:

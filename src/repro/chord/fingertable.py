@@ -12,7 +12,7 @@ lives in :mod:`repro.chord.routing_table`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from .idspace import IdSpace

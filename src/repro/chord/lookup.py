@@ -19,7 +19,7 @@ were malicious.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set, Tuple
+from typing import Callable, List, Optional, Set
 
 from .idspace import IdSpace
 from .ring import ChordRing

@@ -11,8 +11,8 @@ touching the honest code path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..crypto.keys import FAST, KeyPair
 from .fingertable import FingerTable

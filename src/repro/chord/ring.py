@@ -156,7 +156,6 @@ class ChordRing:
         n = len(alive_sorted)
         if n <= 1:
             return out
-        idx = pos
         for step in range(1, count + 1):
             if direction > 0:
                 j = (pos + step) % n

@@ -10,9 +10,8 @@ applies to returned tables, Section 4.1).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from .idspace import IdSpace
 

@@ -13,8 +13,7 @@ Section 4.3 / Figure 2(b)).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
 
 from .node import ChordNode
 from .ring import ChordRing

@@ -12,7 +12,7 @@ The lists are ordered by ring distance from the owner and bounded in length
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 from .idspace import IdSpace

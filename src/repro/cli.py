@@ -13,6 +13,7 @@ Usage (after ``pip install -e .``)::
     python -m repro campaign   --kind scenario --param preset=flash-crowd --out results/
     python -m repro campaign-worker results/          # in other terminals/hosts
     python -m repro campaign-status results/ --watch  # live progress view
+    python -m repro lint src/repro                    # determinism/layering checks
 
 Each single-run subcommand builds the corresponding harness from
 :mod:`repro.experiments`, runs it, and prints the regenerated rows/series in
@@ -232,6 +233,24 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="refresh every SECONDS (default 2) until the campaign completes")
     status.add_argument("--stale-after", type=float, default=15.0,
                         help="flag a worker heartbeat older than this many seconds as stale")
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & layering static analysis (AST-based, CI-gated)",
+        description=(
+            "Run the repro-specific static analyzer: banned nondeterminism sources "
+            "(global random, wall clock, os.urandom, uuid4, builtin hash), "
+            "unordered-iteration hazards (set iteration, unsorted directory "
+            "listings), RNG stream discipline, and the documented import-layer DAG. "
+            "Run with --rules for the full catalog and suppression policy."
+        ),
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: the installed repro package)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the machine-readable report (stable schema)")
+    lint.add_argument("--rules", action="store_true",
+                      help="print the rule catalog (id, summary, escape hatches) and exit")
     return parser
 
 
@@ -690,6 +709,18 @@ def _run_campaign_status(args) -> int:
             print(flush=True)  # blank line between refreshes
 
 
+def _run_lint(args) -> int:
+    """Delegate to the standalone linter CLI, reusing its exit-code contract."""
+    from .lint.cli import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    if args.as_json:
+        argv.append("--json")
+    if args.rules:
+        argv.append("--rules")
+    return lint_main(argv)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -705,6 +736,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "campaign": _run_campaign,
         "campaign-worker": _run_campaign_worker,
         "campaign-status": _run_campaign_status,
+        "lint": _run_lint,
     }
     return handlers[args.command](args)
 

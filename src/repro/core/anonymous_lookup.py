@@ -19,13 +19,13 @@ successor succeeds the key.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..chord.lookup import LookupResult
 from ..chord.ring import ChordRing
 from ..chord.routing_table import BoundChecker
 from ..sim.latency import LatencyModel
-from .anonymous_path import AnonymousPath, AnonymousQueryResult, QueryObservation
+from .anonymous_path import AnonymousPath, QueryObservation
 from .config import OctopusConfig
 from .random_walk import RandomWalkProtocol, RelayPair
 

@@ -16,7 +16,7 @@ dropped the message (selective-DoS behaviour hook).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..chord.ring import ChordRing
@@ -193,7 +193,6 @@ class AnonymousPath:
         we only use direct relay-chain linkability).
         """
         is_mal = self.ring.is_malicious
-        relays = self.relay_ids()
         queried_mal = is_mal(queried_node_id)
         exit_mal = is_mal(self.exit_relay)
         observed = queried_mal or exit_mal

@@ -24,7 +24,7 @@ obtain the false positive / false negative / false alarm rates of Table 2.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..chord.ring import ChordRing

@@ -7,8 +7,7 @@ Section 5.1 (security simulations, N=1000) and Section 7 (efficiency runs).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
 
 @dataclass

@@ -21,8 +21,8 @@ timeout logic that produces :class:`~repro.core.attacker_identification.DropRepo
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
 
 from ..chord.ring import ChordRing
 from ..crypto.keys import verify as verify_signature

@@ -19,10 +19,9 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..chord.idspace import IdSpace
 from ..chord.ring import ChordRing, RingConfig
 from ..chord.stabilization import Stabilizer
 from ..crypto.ca import CertificateAuthority

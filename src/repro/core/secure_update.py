@@ -14,7 +14,7 @@ A failed check additionally produces a report that the CA investigates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..chord.lookup import iterative_lookup
@@ -60,7 +60,6 @@ class SecureFingerUpdate:
     def update_finger(self, node_id: int, finger_index: int, now: float = 0.0) -> FingerUpdateOutcome:
         """Refresh one finger of ``node_id`` with the security check applied."""
         node = self.ring.get(node_id)
-        space = self.ring.space
         ideal_id = node.finger_table.ideal_id(finger_index)
 
         lookup = iterative_lookup(

@@ -20,12 +20,10 @@ checked node cannot distinguish a surveillance probe from a genuine query.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..chord.ring import ChordRing
-from ..chord.routing_table import RoutingTableSnapshot
-from .anonymous_path import AnonymousPath
 from .attacker_identification import (
     AttackerIdentificationService,
     FingerReport,

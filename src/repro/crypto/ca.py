@@ -14,7 +14,7 @@ Figure 7(b) experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from ..sim.hooks import CertificateRevoked, HookBus

@@ -12,13 +12,13 @@ Both are pure parameters of :class:`AnonymityExperimentConfig`.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..anonymity.comparison import ComparisonAnonymityModel
-from ..anonymity.initiator import InitiatorAnonymityEstimator, InitiatorAnonymityResult
+from ..anonymity.initiator import InitiatorAnonymityEstimator
 from ..anonymity.observations import AnonymityConfig
 from ..anonymity.ring_model import LightweightRing
-from ..anonymity.target import TargetAnonymityEstimator, TargetAnonymityResult
+from ..anonymity.target import TargetAnonymityEstimator
 from ..sim.kernel import validate_kernel
 from .results import jsonify
 

@@ -28,7 +28,6 @@ from typing import Dict, List, Optional, Tuple
 
 from ..baselines.chord_lookup import ChordLookupProtocol
 from ..baselines.halo import HaloLookupProtocol
-from ..core.anonymous_lookup import AnonymousLookupProtocol
 from ..core.config import OctopusConfig
 from ..core.octopus_node import OctopusNetwork
 from ..sim.bandwidth import MessageSizeModel

@@ -64,7 +64,7 @@ def _build_workload(name: str, params: Dict[str, object]) -> WorkloadModel:
     Imported lazily: :mod:`repro.scenarios` imports :mod:`repro.experiments`
     at module scope, so the reverse edge must stay inside a function.
     """
-    from ..scenarios.workloads import WORKLOADS
+    from ..scenarios.workloads import WORKLOADS  # repro-lint: ignore[L101] — deliberate lazy reverse edge; scenarios imports experiments at module scope
 
     try:
         return WORKLOADS.build(name, dict(params))

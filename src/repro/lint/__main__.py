@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` entry point."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,76 @@
+"""Command line for the determinism & layering linter.
+
+Invoked either standalone (``python -m repro.lint [paths...]``) or through
+the main CLI (``repro lint [paths...]``); both routes share :func:`main`.
+Exit status: 0 clean, 1 findings, 2 usage error (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import run_lint
+from .report import render_json, render_rules, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based determinism & layering checks over the repro tree "
+            "(run with --rules for the rule catalog)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package "
+        "this linter was imported from)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report (stable schema, version 1)",
+    )
+    parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="print the rule catalog (id, summary, escape hatches) and exit",
+    )
+    return parser
+
+
+def default_paths() -> List[Path]:
+    """The installed ``repro`` package itself — lint what we run."""
+    return [Path(__file__).resolve().parents[1]]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.rules:
+            print(render_rules())
+            return 0
+        paths = args.paths or default_paths()
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            for path in missing:
+                print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+        result = run_lint(paths, root=Path.cwd())
+        print(render_json(result) if args.json else render_text(result))
+        return 0 if result.ok else 1
+    except BrokenPipeError:
+        # reader closed the pipe (e.g. `repro lint --rules | head`); swallow
+        # the late flush too so the interpreter doesn't print a traceback
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,329 @@
+"""AST checks for the determinism rule families (D1xx/D2xx/D3xx).
+
+One pass over a module's tree.  The checker resolves dotted call targets
+through the module's *imports* (``import numpy as np`` makes
+``np.random.rand`` resolve to ``numpy.random.rand``; ``from time import
+time`` makes a bare ``time()`` resolve to ``time.time``), so aliasing can't
+hide a banned source.  Resolution is import-based, not type-inferred — a
+method named ``.glob`` on a non-Path object would still trigger D202 — which
+is the right bias for this repo: false positives are one suppression comment
+away, false negatives rot the byte-identity contract silently.
+
+Scope notes:
+
+* D103 findings are emitted everywhere and *filtered* against the wall-clock
+  whitelist (``config.WALL_CLOCK_MODULES``) by the engine, so the whitelist
+  stays auditable in one place;
+* D302/D303 are emitted everywhere and scoped to their module sets the same
+  way (outside those modules the hazard does not exist).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: module-level functions of ``random`` that draw from (or reseed) the
+#: process-global generator.
+RANDOM_DRAW_FNS = frozenset({
+    "random", "randint", "randrange", "uniform", "triangular",
+    "choice", "choices", "sample", "shuffle",
+    "gauss", "normalvariate", "lognormvariate", "expovariate",
+    "betavariate", "gammavariate", "paretovariate", "vonmisesvariate",
+    "weibullvariate", "binomialvariate",
+    "getrandbits", "randbytes",
+    "seed", "getstate", "setstate",
+})
+
+#: numpy.random constructors that are fine *when given a seed argument*.
+NUMPY_SEEDED_CTORS = frozenset({"default_rng", "RandomState", "SeedSequence", "Generator"})
+
+#: wall-clock reads (rule D103), fully resolved.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: directory-listing methods whose result order is filesystem-dependent.
+LISTING_METHODS = frozenset({"glob", "rglob", "iterdir"})
+LISTING_CALLS = frozenset({"os.listdir", "os.scandir"})
+
+#: builtins whose result does not depend on their argument's iteration order.
+ORDER_INSENSITIVE_CONSUMERS = frozenset({
+    "sorted", "set", "frozenset", "len", "min", "max", "sum", "any", "all",
+})
+
+
+@dataclass(frozen=True)
+class RawFinding:
+    """A rule hit before whitelist/suppression filtering (engine's job)."""
+
+    rule: str
+    line: int
+    col: int
+    message: str
+
+
+class _ImportMap:
+    """Name-resolution tables built from every import in the file.
+
+    Scoping is deliberately flat (a function-local ``import numpy as np``
+    aliases ``np`` for the whole file): imports are near-universally
+    module-unique names, and the flat map keeps resolution O(1) without a
+    scope stack.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.modules: Dict[str, str] = {}      # alias -> dotted module
+        self.from_names: Dict[str, str] = {}   # name  -> dotted module.attr
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    self.from_names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def shadows(self, name: str) -> bool:
+        return name in self.modules or name in self.from_names
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted path of an expression rooted at an imported name, else None."""
+        if isinstance(node, ast.Name):
+            return self.from_names.get(node.id) or self.modules.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            return f"{base}.{node.attr}" if base else None
+        return None
+
+
+def _build_parents(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _is_set_expr(node: ast.AST, imports: _ImportMap) -> bool:
+    """Whether ``node`` evaluates to a set with statically-known certainty."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset") and not imports.shadows(node.func.id)
+    return False
+
+
+class DeterminismChecker:
+    """Single-pass determinism analysis of one parsed module."""
+
+    def __init__(self, tree: ast.AST, imports: Optional[_ImportMap] = None) -> None:
+        self.tree = tree
+        self.imports = imports or _ImportMap(tree)
+        self.parents = _build_parents(tree)
+        self.findings: List[RawFinding] = []
+
+    # ------------------------------------------------------------- helpers
+    def _flag(self, rule: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            RawFinding(rule, getattr(node, "lineno", 0), getattr(node, "col_offset", 0), message)
+        )
+
+    def _consumer_call_name(self, node: ast.AST) -> Optional[str]:
+        """If ``node`` is an argument of a simple-name call, that name."""
+        parent = self.parents.get(node)
+        if (
+            isinstance(parent, ast.Call)
+            and node in parent.args
+            and isinstance(parent.func, ast.Name)
+            and not self.imports.shadows(parent.func.id)
+        ):
+            return parent.func.id
+        return None
+
+    def _order_insensitive_context(self, node: ast.AST) -> bool:
+        """Whether ``node``'s value is consumed order-insensitively:
+
+        * directly an argument to sorted()/set()/len()/min()/... ;
+        * the iterable of a set-comprehension generator (membership build);
+        * the iterable of a list/dict/generator comprehension that is itself
+          an argument to one of those consumers (``sorted(x for x in ...)``).
+        """
+        if self._consumer_call_name(node) in ORDER_INSENSITIVE_CONSUMERS:
+            return True
+        parent = self.parents.get(node)
+        if isinstance(parent, ast.comprehension) and parent.iter is node:
+            owner = self.parents.get(parent)
+            if isinstance(owner, ast.SetComp):
+                return True
+            if isinstance(owner, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+                return self._consumer_call_name(owner) in ORDER_INSENSITIVE_CONSUMERS
+        return False
+
+    # ---------------------------------------------------------------- walk
+    def run(self) -> List[RawFinding]:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Call):
+                self._check_call(node)
+            elif isinstance(node, ast.For):
+                self._check_for(node)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                self._check_comprehension(node)
+            elif isinstance(node, ast.ClassDef):
+                self._check_classdef(node)
+            elif isinstance(node, ast.Attribute):
+                self._check_attribute(node)
+        return self.findings
+
+    # ------------------------------------------------------- D1xx: sources
+    def _check_call(self, node: ast.Call) -> None:
+        path = self.imports.resolve(node.func)
+        if path is not None:
+            self._check_resolved_call(node, path)
+        elif (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "hash"
+            and not self.imports.shadows("hash")
+        ):
+            self._flag("D106", node, "builtin hash() is salted per process for str/bytes")
+        self._check_listing_call(node, path)
+        self._check_spawn_call(node)
+
+    def _check_resolved_call(self, node: ast.Call, path: str) -> None:
+        if path.startswith("random."):
+            tail = path[len("random."):]
+            if tail in RANDOM_DRAW_FNS:
+                self._flag("D101", node, f"global random draw random.{tail}()")
+            elif tail == "Random" and not node.args and not node.keywords:
+                self._flag("D101", node, "unseeded random.Random() — pass an explicit seed")
+            elif tail == "SystemRandom":
+                self._flag("D104", node, "random.SystemRandom draws OS entropy")
+        elif path.startswith("numpy.random."):
+            tail = path[len("numpy.random."):]
+            if tail in NUMPY_SEEDED_CTORS:
+                if not node.args and not node.keywords:
+                    self._flag("D102", node, f"unseeded numpy.random.{tail}()")
+            elif "." not in tail:
+                self._flag("D102", node, f"numpy global-generator draw numpy.random.{tail}()")
+        elif path in WALL_CLOCK_CALLS:
+            self._flag("D103", node, f"wall-clock read {path}()")
+        elif path in ("os.urandom", "os.getrandom"):
+            self._flag("D104", node, f"OS entropy source {path}()")
+        elif path.startswith("secrets."):
+            self._flag("D104", node, f"OS entropy source {path}()")
+        elif path in ("uuid.uuid1", "uuid.uuid4"):
+            self._flag("D105", node, f"non-deterministic {path}()")
+
+    # -------------------------------------------------- D2xx: ordered iter
+    def _check_for(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter, self.imports):
+            self._flag(
+                "D201",
+                node.iter,
+                "for-loop over a set — iteration order is unspecified; sort it",
+            )
+
+    def _check_comprehension(self, node: ast.AST) -> None:
+        for gen in node.generators:  # type: ignore[attr-defined]
+            if not _is_set_expr(gen.iter, self.imports):
+                continue
+            # Building a *set* from a set is pure membership (order-free);
+            # anything order-preserving must flow into an order-insensitive
+            # consumer to pass.
+            if isinstance(node, ast.SetComp):
+                continue
+            if self._consumer_call_name(node) in ORDER_INSENSITIVE_CONSUMERS:
+                continue
+            self._flag(
+                "D201",
+                gen.iter,
+                "comprehension over a set — iteration order is unspecified; sort it",
+            )
+
+    def _check_listing_call(self, node: ast.Call, path: Optional[str]) -> None:
+        is_listing = (
+            isinstance(node.func, ast.Attribute) and node.func.attr in LISTING_METHODS
+        ) or (path in LISTING_CALLS)
+        if not is_listing:
+            return
+        if self._order_insensitive_context(node):
+            return
+        name = path or node.func.attr  # type: ignore[union-attr]
+        self._flag(
+            "D202",
+            node,
+            f"unsorted directory listing {name}() — wrap in sorted() or build a set",
+        )
+
+    # ----------------------------------------------------- D3xx: discipline
+    def _check_spawn_call(self, node: ast.Call) -> None:
+        if not (isinstance(node.func, ast.Attribute) and node.func.attr == "spawn"):
+            return
+        if not node.args:
+            return
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return
+        self._flag(
+            "D301",
+            node,
+            "rng.spawn() stream name must be a string literal",
+        )
+
+    def _check_classdef(self, node: ast.ClassDef) -> None:
+        for deco in node.decorator_list:
+            frozen = self._dataclass_frozen(deco)
+            if frozen is None:
+                continue
+            if not frozen:
+                self._flag(
+                    "D302",
+                    node,
+                    f"hook-event dataclass {node.name!r} must be @dataclass(frozen=True)",
+                )
+
+    @staticmethod
+    def _dataclass_frozen(deco: ast.AST) -> Optional[bool]:
+        """None if ``deco`` is not a dataclass decorator, else its frozen-ness."""
+        if isinstance(deco, ast.Name) and deco.id == "dataclass":
+            return False
+        if isinstance(deco, ast.Call):
+            func = deco.func
+            is_dc = (isinstance(func, ast.Name) and func.id == "dataclass") or (
+                isinstance(func, ast.Attribute) and func.attr == "dataclass"
+            )
+            if is_dc:
+                for kw in deco.keywords:
+                    if kw.arg == "frozen":
+                        return isinstance(kw.value, ast.Constant) and kw.value.value is True
+                return False
+        if isinstance(deco, ast.Attribute) and deco.attr == "dataclass":
+            return False
+        return None
+
+    def _check_attribute(self, node: ast.Attribute) -> None:
+        if node.attr != "rng":
+            return
+        value = node.value
+        if isinstance(value, ast.Attribute) and value.attr in ("network", "engine"):
+            self._flag(
+                "D303",
+                node,
+                f"controller reaching into .{value.attr}.rng — draw from ctx.rng only",
+            )
+
+
+def check_determinism(tree: ast.AST) -> List[RawFinding]:
+    """All raw determinism findings for one parsed module."""
+    return DeterminismChecker(tree).run()

@@ -1,0 +1,208 @@
+"""Lint engine: runs every check over files, applies whitelists and
+suppressions, and emits the final finding list.
+
+Pipeline per file::
+
+    source ──parse──▶ tree ──determinism+layers──▶ raw findings
+                                │
+       whitelist filter (config.whitelisted)      ─ drops findings in
+                                │                   whitelisted modules
+       suppression match (same physical line)     ─ drops suppressed ones,
+                                │                   tracks which comments fired
+       meta rules: S101 (reasonless suppression),
+                   S102 (suppression that fired on nothing)
+
+Module names are inferred from the path (the part from the ``repro``
+package root down); a leading ``# repro-lint-module: <name>`` directive
+overrides the inference so fixture files can claim synthetic module names.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .determinism import RawFinding, check_determinism
+from .layers import check_layers
+from .rules import is_known_rule
+from .suppress import MODULE_DIRECTIVE_RE, parse_suppressions
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reportable lint finding, fully attributed."""
+
+    rule: str
+    path: str
+    module: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule)
+
+
+def infer_module(path: Path) -> str:
+    """Dotted module name from a filesystem path.
+
+    Finds the last ``repro`` component and joins from there; falls back to
+    the bare stem for paths outside any ``repro`` tree (fixtures override
+    via the in-file directive anyway).
+    """
+    parts = list(path.parts)
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        rel = parts[idx:]
+    else:
+        rel = [path.name]
+    if rel[-1].endswith(".py"):
+        rel[-1] = rel[-1][:-3]
+    if rel[-1] == "__init__":
+        rel = rel[:-1]
+    return ".".join(rel) if rel else path.stem
+
+
+def _directive_module(source: str) -> Optional[str]:
+    """Value of a ``# repro-lint-module:`` directive in the file head."""
+    for text in source.splitlines()[:10]:
+        match = MODULE_DIRECTIVE_RE.search(text)
+        if match:
+            return match.group(1)
+    return None
+
+
+def lint_source(
+    source: str,
+    *,
+    module: str,
+    path: str = "<string>",
+    is_package: bool = False,
+    config: LintConfig = DEFAULT_CONFIG,
+) -> List[Finding]:
+    """Lint one module's source text. The core entry point; everything the
+    CLI does reduces to calls of this."""
+    suppressions = parse_suppressions(source)
+    findings: List[Finding] = []
+    fired_lines = set()
+
+    def emit(raw: RawFinding) -> None:
+        if not config.rule_enabled(raw.rule):
+            return
+        if config.whitelisted(raw.rule, module):
+            return
+        suppression = suppressions.get(raw.line)
+        if suppression is not None and suppression.covers(raw.rule):
+            fired_lines.add(raw.line)
+            return
+        findings.append(Finding(raw.rule, path, module, raw.line, raw.col, raw.message))
+
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        emit(RawFinding("E101", exc.lineno or 1, 0, f"unparseable: {exc.msg}"))
+        tree = None
+
+    if tree is not None:
+        for raw in check_determinism(tree):
+            emit(raw)
+        for raw in check_layers(tree, module, is_package):
+            emit(raw)
+
+    # Meta rules over the suppression comments themselves.
+    for lineno in sorted(suppressions):
+        suppression = suppressions[lineno]
+        unknown = [rid for rid in suppression.rule_ids if not is_known_rule(rid)]
+        if unknown:
+            emit(RawFinding(
+                "S102", lineno, 0,
+                f"suppression names unknown rule id(s): {', '.join(unknown)}",
+            ))
+            continue
+        if not suppression.reason:
+            emit(RawFinding(
+                "S101", lineno, 0,
+                "suppression has no trailing reason",
+            ))
+        if lineno not in fired_lines:
+            emit(RawFinding(
+                "S102", lineno, 0,
+                f"suppression for {','.join(suppression.rule_ids)} matched no "
+                "finding on this line",
+            ))
+
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_file(path: Path, *, config: LintConfig = DEFAULT_CONFIG,
+              root: Optional[Path] = None) -> List[Finding]:
+    """Lint one file on disk."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        display = _display_path(path, root)
+        return [Finding("E101", display, infer_module(path), 1, 0,
+                        f"unreadable: {exc}")]
+    module = _directive_module(source) or infer_module(path)
+    return lint_source(
+        source,
+        module=module,
+        path=_display_path(path, root),
+        is_package=path.name == "__init__.py",
+        config=config,
+    )
+
+
+def _display_path(path: Path, root: Optional[Path]) -> str:
+    if root is not None:
+        try:
+            return str(path.relative_to(root))
+        except ValueError:
+            pass
+    return str(path)
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[Path] = []
+    for entry in paths:
+        if entry.is_dir():
+            found.extend(sorted(entry.rglob("*.py")))
+        else:
+            found.append(entry)
+    # De-duplicate while keeping deterministic order.
+    seen = set()
+    unique: List[Path] = []
+    for path in found:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def run_lint(paths: Sequence[Path], *, config: LintConfig = DEFAULT_CONFIG,
+             root: Optional[Path] = None) -> "LintResult":
+    """Lint every ``.py`` file under ``paths``."""
+    files = discover_files(list(paths))
+    findings: List[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path, config=config, root=root))
+    findings.sort(key=Finding.sort_key)
+    return LintResult(files_checked=len(files), findings=findings)
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    files_checked: int
+    findings: List[Finding]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings

@@ -1,0 +1,124 @@
+"""Import-DAG enforcement (rules L100/L101).
+
+The repository's layering is declared once, here, as :data:`LAYERS` — the
+same table rendered in ``docs/architecture.md``.  Each top-level package
+under ``repro`` is a layer; the table maps a layer to the set of layers it
+may import from (every layer may always import itself).  The checker
+resolves both absolute (``from repro.sim import ...``) and relative
+(``from ..sim.rng import ...``) imports against the importing module's
+dotted name, so a relative spelling can't dodge the rule.  Function-local
+imports are checked too: a lazy import is still a dependency edge, it just
+needs a suppression with a reason explaining the cycle it breaks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from .determinism import RawFinding
+
+#: The import DAG, bottom-up.  Key: layer (top-level package under
+#: ``repro``).  Value: layers it may import from, besides itself.
+LAYERS: Dict[str, FrozenSet[str]] = {
+    "sim": frozenset(),
+    "crypto": frozenset({"sim"}),
+    "chord": frozenset({"sim", "crypto"}),
+    "core": frozenset({"sim", "crypto", "chord"}),
+    "attacks": frozenset({"sim", "crypto", "chord"}),
+    "anonymity": frozenset({"sim", "crypto", "chord"}),
+    "baselines": frozenset({"sim", "crypto", "chord"}),
+    "experiments": frozenset({
+        "sim", "crypto", "chord", "core", "attacks", "anonymity", "baselines",
+    }),
+    "scenarios": frozenset({
+        "sim", "crypto", "chord", "core", "attacks", "anonymity", "baselines",
+        "experiments",
+    }),
+    "campaign": frozenset({
+        "sim", "crypto", "chord", "core", "attacks", "anonymity", "baselines",
+        "experiments", "scenarios",
+    }),
+    # The linter is self-contained: it may not import the code it checks.
+    "lint": frozenset(),
+    # The application shell (repro.cli, repro.__main__, the root package
+    # __init__) wires everything together and may import any layer.
+    "app": frozenset({
+        "sim", "crypto", "chord", "core", "attacks", "anonymity", "baselines",
+        "experiments", "scenarios", "campaign", "lint",
+    }),
+}
+
+#: Full module names that belong to the ``app`` layer rather than to the
+#: layer their path component would suggest.
+APP_MODULES: FrozenSet[str] = frozenset({"repro", "repro.cli", "repro.__main__"})
+
+
+def layer_of(module: str) -> Optional[str]:
+    """The layer a dotted ``repro...`` module belongs to, or None."""
+    if module in APP_MODULES:
+        return "app"
+    parts = module.split(".")
+    if len(parts) < 2 or parts[0] != "repro":
+        return None
+    return parts[1] if parts[1] in LAYERS else None
+
+
+def _resolve_relative(module: str, is_package: bool, level: int,
+                      target: Optional[str]) -> Optional[str]:
+    """Absolute dotted name of a ``from ...X import Y`` target, or None."""
+    base = module.split(".")
+    if not is_package:
+        base = base[:-1]
+    drop = level - 1
+    if drop > len(base):
+        return None
+    if drop:
+        base = base[:-drop]
+    if target:
+        base = base + target.split(".")
+    return ".".join(base) if base else None
+
+
+def iter_import_targets(tree: ast.AST, module: str,
+                        is_package: bool) -> Iterable[Tuple[str, int, int]]:
+    """Every imported module as ``(absolute_name, line, col)``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno, node.col_offset
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                resolved = _resolve_relative(module, is_package, node.level, node.module)
+                if resolved:
+                    yield resolved, node.lineno, node.col_offset
+            elif node.module:
+                yield node.module, node.lineno, node.col_offset
+
+
+def check_layers(tree: ast.AST, module: str, is_package: bool) -> List[RawFinding]:
+    """L100/L101 findings for one parsed module."""
+    findings: List[RawFinding] = []
+    importer_layer = layer_of(module)
+    if importer_layer is None:
+        if module == "repro" or module.startswith("repro."):
+            findings.append(RawFinding(
+                "L100", 1, 0,
+                f"module {module} is not covered by the layer map "
+                "(lint.layers.LAYERS)",
+            ))
+        return findings
+    allowed = LAYERS[importer_layer]
+    for target, line, col in iter_import_targets(tree, module, is_package):
+        if not (target == "repro" or target.startswith("repro.")):
+            continue
+        target_layer = layer_of(target)
+        if target_layer is None or target_layer == importer_layer:
+            continue
+        if target_layer not in allowed:
+            findings.append(RawFinding(
+                "L101", line, col,
+                f"{importer_layer} layer imports {target} ({target_layer} "
+                f"layer) — allowed: {', '.join(sorted(allowed)) or 'nothing'}",
+            ))
+    return findings

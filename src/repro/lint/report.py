@@ -1,0 +1,73 @@
+"""Rendering of lint results: human text, ``--json``, and ``--rules``."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .engine import LintResult
+from .rules import all_rules
+
+#: bump when the ``--json`` schema changes shape.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report, one line per finding, grep-friendly."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col + 1}: "
+            f"{finding.rule} {finding.message}"
+        )
+    noun = "file" if result.files_checked == 1 else "files"
+    if result.findings:
+        count = len(result.findings)
+        fnoun = "finding" if count == 1 else "findings"
+        lines.append(f"{count} {fnoun} in {result.files_checked} {noun}")
+    else:
+        lines.append(f"clean: 0 findings in {result.files_checked} {noun}")
+    return "\n".join(lines)
+
+
+def to_json_dict(result: LintResult) -> Dict:
+    """The ``--json`` payload (stable schema, see JSON_SCHEMA_VERSION)."""
+    summary: Dict[str, int] = {}
+    for finding in result.findings:
+        summary[finding.rule] = summary.get(finding.rule, 0) + 1
+    return {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "module": f.module,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+        "summary": {rule: summary[rule] for rule in sorted(summary)},
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(to_json_dict(result), indent=2, sort_keys=True)
+
+
+def render_rules() -> str:
+    """The ``--rules`` catalog: id, name, category, whitelist, summary."""
+    lines: List[str] = []
+    for rule in all_rules():
+        escape = rule.whitelist or "suppression comment only"
+        lines.append(f"{rule.id}  {rule.name} [{rule.category}]")
+        lines.append(f"      {rule.summary}")
+        lines.append(f"      escape: {escape}")
+    lines.append("")
+    lines.append(
+        "suppress per line with: # repro-lint: ignore[ID] — <reason> "
+        "(reason required; unused suppressions are themselves findings)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,178 @@
+"""The ``repro lint`` rule catalog.
+
+Every check the linter can emit is declared here, once, as a :class:`Rule`
+with a stable id, a one-line summary and its escape hatches (whitelist and
+suppression policy).  ``repro lint --rules`` prints this table verbatim, so a
+developer staring at a finding can discover what it means — and how to
+legitimately silence it — without reading the analyzer source.
+
+Id families
+-----------
+
+* ``D1xx`` — banned nondeterminism *sources* (global RNGs, wall clock, OS
+  entropy, per-process hashing) in record-producing code;
+* ``D2xx`` — unordered-iteration hazards (sets, unsorted directory
+  listings) that can silently reorder records or summaries;
+* ``D3xx`` — RNG stream / hook-bus discipline (literal ``spawn`` names,
+  frozen hook events, no engine-rng reuse in controllers);
+* ``L1xx`` — layering: the import DAG from ``docs/architecture.md``,
+  declared as one table in :mod:`repro.lint.layers`;
+* ``S1xx`` — suppression hygiene (every ``ignore[...]`` needs a reason and
+  must actually suppress something);
+* ``E1xx`` — the linter could not analyze a file at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+#: categories a rule can belong to (stable strings, used in ``--json``).
+CATEGORY_DETERMINISM = "determinism"
+CATEGORY_LAYERING = "layering"
+CATEGORY_META = "meta"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lintable condition: stable id, human summary, escape hatches."""
+
+    id: str
+    name: str
+    summary: str
+    category: str
+    #: how the rule can be turned off for legitimate code, beyond a per-line
+    #: ``# repro-lint: ignore[ID] — reason`` comment ('' = suppression only).
+    whitelist: str = ""
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate lint rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown lint rule {rule_id!r}") from None
+
+
+def is_known_rule(rule_id: str) -> bool:
+    return rule_id in _REGISTRY
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id."""
+    return [_REGISTRY[key] for key in sorted(_REGISTRY)]
+
+
+# --------------------------------------------------------------- determinism
+D101 = register(Rule(
+    "D101", "global-random",
+    "draw from the global `random` module (module-level functions, unseeded "
+    "random.Random(), or random.seed) — use a named RandomSource stream",
+    CATEGORY_DETERMINISM,
+))
+D102 = register(Rule(
+    "D102", "numpy-global-random",
+    "draw from numpy's global generator (numpy.random.*, or "
+    "default_rng() without a seed) — pass an explicit seed",
+    CATEGORY_DETERMINISM,
+))
+D103 = register(Rule(
+    "D103", "wall-clock",
+    "wall-clock read (time.time/monotonic/perf_counter/..., datetime.now) "
+    "in simulation or record-producing code — use the engine's virtual clock",
+    CATEGORY_DETERMINISM,
+    whitelist="config.WALL_CLOCK_MODULES (telemetry/status/timing-capture modules)",
+))
+D104 = register(Rule(
+    "D104", "os-entropy",
+    "OS entropy source (os.urandom, secrets.*, random.SystemRandom) — "
+    "derive bytes from the experiment seed instead",
+    CATEGORY_DETERMINISM,
+))
+D105 = register(Rule(
+    "D105", "uuid",
+    "non-deterministic uuid (uuid1/uuid4) — derive ids from trial "
+    "parameters (see campaign.spec.trial_id) instead",
+    CATEGORY_DETERMINISM,
+))
+D106 = register(Rule(
+    "D106", "builtin-hash",
+    "builtin hash() — str/bytes hashing is salted per process "
+    "(PYTHONHASHSEED); use hashlib or the id-space hash helpers",
+    CATEGORY_DETERMINISM,
+))
+D201 = register(Rule(
+    "D201", "set-iteration",
+    "iterating a set/frozenset — iteration order is unspecified; sort it, "
+    "or feed it only to order-insensitive consumers (sorted/min/max/sum/...)",
+    CATEGORY_DETERMINISM,
+))
+D202 = register(Rule(
+    "D202", "unsorted-listing",
+    "unsorted directory listing (Path.glob/rglob/iterdir, os.listdir/"
+    "scandir) — filesystem order is arbitrary; wrap in sorted() or build a "
+    "membership set",
+    CATEGORY_DETERMINISM,
+))
+D301 = register(Rule(
+    "D301", "spawn-literal",
+    "rng.spawn() stream name must be a string literal so every stream is "
+    "greppable and runs reproduce from (config, seed) alone",
+    CATEGORY_DETERMINISM,
+))
+D302 = register(Rule(
+    "D302", "unfrozen-hook-event",
+    "hook-bus event dataclasses must be @dataclass(frozen=True): "
+    "subscribers may never mutate a published event",
+    CATEGORY_DETERMINISM,
+    whitelist="applies only to config.FROZEN_DATACLASS_MODULES",
+))
+D303 = register(Rule(
+    "D303", "controller-engine-rng",
+    "controller draws from the network/engine RNG — controllers must use "
+    "only their dedicated ctx.rng (spawned 'control' source)",
+    CATEGORY_DETERMINISM,
+    whitelist="applies only to config.CONTROLLER_MODULES",
+))
+
+# ------------------------------------------------------------------ layering
+L100 = register(Rule(
+    "L100", "unmapped-layer",
+    "module is not covered by the layer map — add its package to "
+    "lint.layers.LAYERS (and the table in docs/architecture.md)",
+    CATEGORY_LAYERING,
+))
+L101 = register(Rule(
+    "L101", "layer-violation",
+    "import crosses the layer DAG upward (e.g. repro.sim importing "
+    "repro.campaign) — see the layer table in docs/architecture.md",
+    CATEGORY_LAYERING,
+))
+
+# ---------------------------------------------------------------------- meta
+S101 = register(Rule(
+    "S101", "bare-suppression",
+    "suppression comment has no reason — write "
+    "`# repro-lint: ignore[ID] — why this is legitimate`",
+    CATEGORY_META,
+))
+S102 = register(Rule(
+    "S102", "unused-suppression",
+    "suppression comment matches no finding on its line — delete it (or "
+    "fix the rule id)",
+    CATEGORY_META,
+))
+E101 = register(Rule(
+    "E101", "unparseable",
+    "file could not be parsed as Python — nothing on it was checked",
+    CATEGORY_META,
+))

@@ -1,0 +1,76 @@
+"""Per-line suppression comments: ``# repro-lint: ignore[D201] — reason``.
+
+A suppression silences matching findings *on its own physical line* (the
+line the analyzer reports, which for multi-line statements is the line of
+the offending sub-expression).  Policy, enforced by the meta rules:
+
+* every suppression must carry a trailing reason (rule S101) — the comment
+  is the audit trail for why the hazard is not one here;
+* a suppression that matches no finding is itself a finding (rule S102), so
+  stale escapes can't accumulate as the code underneath them changes.
+
+Multiple ids may share one comment: ``ignore[D201,D202]``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+#: Also used by the file-module directive scan in engine.py.
+MODULE_DIRECTIVE_RE = re.compile(r"#\s*repro-lint-module:\s*([\w.]+)")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[\s*([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)\s*\]\s*(.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``ignore[...]`` comment."""
+
+    line: int
+    rule_ids: Tuple[str, ...]
+    reason: str
+
+    def covers(self, rule_id: str) -> bool:
+        return rule_id in self.rule_ids
+
+
+def _iter_comments(source: str) -> Iterable[Tuple[int, str]]:
+    """``(line, text)`` of every comment, tokenizer-accurate when possible.
+
+    The tokenizer path means a suppression *example quoted inside a string*
+    (docstrings do this) is never mistaken for a live suppression.  When the
+    file doesn't even tokenize we fall back to a raw line scan so that the
+    E101 finding for an unparseable file stays suppressible.
+    """
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            comment_at = text.find("#")
+            if comment_at != -1:
+                yield lineno, text[comment_at:]
+        return
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            yield tok.start[0], tok.string
+
+
+def parse_suppressions(source: str) -> Dict[int, Suppression]:
+    """All suppression comments in ``source``, keyed by 1-based line number."""
+    suppressions: Dict[int, Suppression] = {}
+    for lineno, text in _iter_comments(source):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        ids = tuple(part.strip() for part in match.group(1).split(","))
+        # The reason is whatever trails the bracket, minus decorative
+        # separators ("—", "--", ":") people naturally put first.
+        reason = match.group(2).strip().lstrip("—-–: ").strip()
+        suppressions[lineno] = Suppression(line=lineno, rule_ids=ids, reason=reason)
+    return suppressions

@@ -23,7 +23,7 @@ scheduled callbacks, so a run is a pure function of (config, seed).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .engine import SimulationEngine

@@ -153,9 +153,9 @@ class SimulationEngine:
                 profiler.incr("engine.events_dispatched")
                 if event.name:
                     profiler.incr(f"engine.event.{event.name}")
-                started = _time.perf_counter()
+                started = _time.perf_counter()  # repro-lint: ignore[D103] — opt-in profiling only; lands in timing.profile, stripped from compared records
                 event.fire()
-                profiler.add_time("engine.dispatch", _time.perf_counter() - started)
+                profiler.add_time("engine.dispatch", _time.perf_counter() - started)  # repro-lint: ignore[D103] — opt-in profiling only; lands in timing.profile, stripped from compared records
             else:
                 event.fire()
             self._events_processed += 1

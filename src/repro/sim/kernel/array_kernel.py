@@ -209,10 +209,10 @@ class ArrayRingKernel(RingKernel):
             self._drop_finger_cache()
         self._finger_rows[owner_id] = list(targets)
         self._row_ideals[owner_id] = key
-        for target in set(targets):
+        for target in set(targets):  # repro-lint: ignore[D201] — dedup feeding an unordered index; per-item effect is idempotent
             if target is not None:
                 self._owners_by_target.setdefault(target, set()).add(owner_id)
-        for ideal in set(key):
+        for ideal in set(key):  # repro-lint: ignore[D201] — dedup feeding a sorted insort index; insertion order immaterial
             bisect.insort(self._ideal_index, (ideal, owner_id))
         return targets
 
@@ -230,13 +230,13 @@ class ArrayRingKernel(RingKernel):
         targets = self._finger_rows.pop(owner_id, None)
         ideals = self._row_ideals.pop(owner_id, ())
         if targets:
-            for target in set(targets):
+            for target in set(targets):  # repro-lint: ignore[D201] — dedup over an unordered index; per-item discard is idempotent
                 owners = self._owners_by_target.get(target)
                 if owners is not None:
                     owners.discard(owner_id)
                     if not owners:
                         del self._owners_by_target[target]
-        for ideal in set(ideals):
+        for ideal in set(ideals):  # repro-lint: ignore[D201] — dedup over a sorted index; per-item removal is position-exact
             idx = bisect.bisect_left(self._ideal_index, (ideal, owner_id))
             if idx < len(self._ideal_index) and self._ideal_index[idx] == (ideal, owner_id):
                 del self._ideal_index[idx]

@@ -27,7 +27,7 @@ experiment's draw sequence.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence
 
 from .. import profiling
 

@@ -24,7 +24,6 @@ from repro.campaign import (
     schedule_trials,
     strip_timing,
 )
-from repro.campaign.spec import TrialSpec
 
 
 def _spec(**overrides) -> CampaignSpec:

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.chord.lookup import iterative_lookup, oracle_query_path
@@ -45,7 +43,6 @@ class TestRingConstruction:
             assert node.predecessor == expected_pred
 
     def test_initial_fingers_point_to_true_successors(self, small_ring):
-        space = small_ring.space
         for node in small_ring.alive_nodes():
             for entry in node.finger_table.entries:
                 assert entry.node_id == small_ring.true_successor(entry.ideal_id)

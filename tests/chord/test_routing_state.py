@@ -10,7 +10,7 @@ from repro.chord.fingertable import FingerTable
 from repro.chord.idspace import IdSpace
 from repro.chord.node import ChordNode
 from repro.chord.routing_table import BoundChecker, RoutingTableSnapshot
-from repro.chord.successor_list import NeighborList, SignedSuccessorList
+from repro.chord.successor_list import NeighborList
 from repro.crypto.keys import verify
 
 SPACE = IdSpace(bits=16)

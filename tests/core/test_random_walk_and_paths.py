@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.attacks.adversary import Adversary
 from repro.attacks.fingertable_manipulation import FingertableManipulationBehavior
 from repro.attacks.selective_dos import SelectiveDosBehavior
 from repro.core.anonymous_path import AnonymousPath
-from repro.core.config import OctopusConfig
 from repro.core.random_walk import RandomWalkProtocol, RelayPair
 from repro.sim.latency import ConstantLatencyModel
 from repro.sim.rng import RandomSource

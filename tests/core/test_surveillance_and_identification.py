@@ -9,10 +9,9 @@ from repro.attacks.adversary import Adversary
 from repro.attacks.fingertable_manipulation import FingertableManipulationBehavior
 from repro.attacks.fingertable_pollution import FingertablePollutionBehavior
 from repro.attacks.lookup_bias import LookupBiasBehavior
-from repro.attacks.selective_dos import SelectiveDosBehavior
 from repro.core.attacker_identification import DropReport, NeighborReport
-from repro.core.octopus_node import OctopusNetwork
 from repro.core.config import OctopusConfig
+from repro.core.octopus_node import OctopusNetwork
 from repro.sim.rng import RandomSource
 
 

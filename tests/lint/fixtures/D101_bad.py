@@ -1,0 +1,7 @@
+import random
+
+def roll():
+    return random.random() + random.randint(1, 6)
+
+def make_gen():
+    return random.Random()

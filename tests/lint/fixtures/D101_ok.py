@@ -1,0 +1,7 @@
+import random
+
+def make_gen(seed):
+    return random.Random(seed)
+
+def roll(rng):
+    return rng.random()

@@ -1,0 +1,7 @@
+import numpy as np
+
+def sample():
+    return np.random.rand(3)
+
+def gen():
+    return np.random.default_rng()

@@ -1,0 +1,7 @@
+import numpy as np
+
+def gen(seed):
+    return np.random.default_rng(seed)
+
+def sample(rng):
+    return rng.random(3)

@@ -1,0 +1,6 @@
+# repro-lint-module: repro.sim.somewhere
+import time
+from datetime import datetime
+
+def stamp():
+    return time.time(), datetime.now()

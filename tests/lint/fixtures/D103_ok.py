@@ -1,0 +1,3 @@
+# repro-lint-module: repro.sim.somewhere
+def stamp(engine):
+    return engine.clock.now()

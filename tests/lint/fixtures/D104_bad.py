@@ -1,0 +1,5 @@
+import os
+import secrets
+
+def token():
+    return os.urandom(16) + secrets.token_bytes(16)

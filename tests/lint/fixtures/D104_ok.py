@@ -1,0 +1,4 @@
+import hashlib
+
+def token(seed):
+    return hashlib.sha256(f"token:{seed}".encode()).digest()

@@ -1,0 +1,4 @@
+import uuid
+
+def trial_id():
+    return str(uuid.uuid4())

@@ -1,0 +1,4 @@
+import hashlib
+
+def trial_id(kind, params):
+    return hashlib.sha256(f"{kind}:{params}".encode()).hexdigest()[:12]

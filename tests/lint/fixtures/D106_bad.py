@@ -1,0 +1,2 @@
+def bucket(key, n):
+    return hash(key) % n

@@ -1,0 +1,4 @@
+import hashlib
+
+def bucket(key, n):
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:8], "big") % n

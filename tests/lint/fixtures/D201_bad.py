@@ -1,0 +1,5 @@
+def collect(items):
+    out = []
+    for item in {x for x in items}:
+        out.append(item)
+    return [y for y in set(items)]

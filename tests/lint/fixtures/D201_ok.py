@@ -1,0 +1,7 @@
+def collect(items):
+    out = []
+    for item in sorted(set(items)):
+        out.append(item)
+    total = sum(x for x in set(items))
+    members = {x for x in set(items)}
+    return out, total, members

@@ -1,0 +1,6 @@
+import os
+from pathlib import Path
+
+def records(root):
+    names = os.listdir(root)
+    return [p.stem for p in Path(root).glob("*.json")] + names

@@ -1,0 +1,7 @@
+import os
+from pathlib import Path
+
+def records(root):
+    names = sorted(os.listdir(root))
+    present = {p.stem for p in Path(root).glob("*.json")}
+    return sorted(Path(root).iterdir()), names, present

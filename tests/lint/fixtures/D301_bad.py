@@ -1,0 +1,2 @@
+def streams(rng, name):
+    return rng.spawn(name), rng.spawn("prefix-" + name)

@@ -1,0 +1,2 @@
+def streams(rng):
+    return rng.spawn("workload"), rng.spawn("control")

@@ -1,0 +1,10 @@
+# repro-lint-module: repro.sim.hooks
+from dataclasses import dataclass
+
+@dataclass
+class NodeJoined:
+    node_id: int
+
+@dataclass(frozen=False)
+class NodeLeft:
+    node_id: int

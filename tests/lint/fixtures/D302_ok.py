@@ -1,0 +1,6 @@
+# repro-lint-module: repro.sim.hooks
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class NodeJoined:
+    node_id: int

@@ -1,0 +1,3 @@
+# repro-lint-module: repro.scenarios.controllers
+def act(ctx):
+    return ctx.network.rng.random() + ctx.engine.rng.random()

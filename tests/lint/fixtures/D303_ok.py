@@ -1,0 +1,3 @@
+# repro-lint-module: repro.scenarios.controllers
+def act(ctx):
+    return ctx.rng.stream("control").random()

@@ -1,0 +1,2 @@
+# repro-lint-module: repro.newpkg.module
+VALUE = 1

@@ -1,0 +1,2 @@
+# repro-lint-module: repro.sim.module
+VALUE = 1

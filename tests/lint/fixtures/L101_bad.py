@@ -1,0 +1,5 @@
+# repro-lint-module: repro.sim.helper
+from repro.campaign.spec import TrialSpec
+
+def use():
+    return TrialSpec

@@ -1,0 +1,5 @@
+# repro-lint-module: repro.campaign.helper
+from repro.sim.rng import RandomSource
+
+def use():
+    return RandomSource

@@ -1,0 +1,2 @@
+def plain():
+    return 1  # repro-lint: ignore[D105] — nothing here actually draws a uuid

@@ -1,0 +1,4 @@
+import uuid
+
+def trial_id():
+    return str(uuid.uuid4())  # repro-lint: ignore[D105] — interop shim for an external tool; never inside records

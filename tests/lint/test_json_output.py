@@ -1,0 +1,92 @@
+"""CLI behavior: ``--json`` schema stability, ``--rules`` catalog, exit codes."""
+
+import json
+from pathlib import Path
+
+from repro.lint import all_rules, run_lint, to_json_dict
+from repro.lint.cli import main as lint_main
+from repro.lint.report import JSON_SCHEMA_VERSION
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _payload_for(path: Path) -> dict:
+    return to_json_dict(run_lint([path]))
+
+
+# -------------------------------------------------------------------- schema
+def test_json_schema_shape():
+    payload = _payload_for(FIXTURES / "D105_bad.py")
+    assert set(payload) == {"version", "files_checked", "findings", "summary"}
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["files_checked"] == 1
+    assert payload["summary"] == {"D105": 1}
+    (finding,) = payload["findings"]
+    assert set(finding) == {"rule", "path", "module", "line", "col", "message"}
+    assert finding["rule"] == "D105"
+    assert finding["line"] >= 1
+    assert isinstance(finding["col"], int)
+
+
+def test_json_clean_run():
+    payload = _payload_for(FIXTURES / "D105_ok.py")
+    assert payload["findings"] == []
+    assert payload["summary"] == {}
+
+
+def test_json_summary_counts_by_rule():
+    payload = to_json_dict(
+        run_lint([FIXTURES / "D101_bad.py", FIXTURES / "D105_bad.py"])
+    )
+    assert payload["files_checked"] == 2
+    assert payload["summary"]["D105"] == 1
+    assert payload["summary"]["D101"] >= 1
+    assert sum(payload["summary"].values()) == len(payload["findings"])
+
+
+def test_json_is_deterministic_and_parseable():
+    first = _payload_for(FIXTURES / "D201_bad.py")
+    second = _payload_for(FIXTURES / "D201_bad.py")
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+
+# ---------------------------------------------------------------- exit codes
+def test_cli_exit_zero_on_clean(capsys):
+    code = lint_main([str(FIXTURES / "D105_ok.py")])
+    assert code == 0
+    assert "clean: 0 findings" in capsys.readouterr().out
+
+
+def test_cli_exit_one_on_findings(capsys):
+    code = lint_main(["--json", str(FIXTURES / "D105_bad.py")])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"] == {"D105": 1}
+
+
+def test_cli_exit_two_on_missing_path(capsys):
+    code = lint_main([str(FIXTURES / "no_such_file.py")])
+    assert code == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_rules_catalog_lists_every_rule(capsys):
+    code = lint_main(["--rules"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.id in out
+        assert rule.name in out
+    assert "repro-lint: ignore[ID]" in out
+
+
+def test_text_report_is_grep_friendly(capsys):
+    code = lint_main([str(FIXTURES / "D105_bad.py")])
+    assert code == 1
+    line = capsys.readouterr().out.splitlines()[0]
+    # path:line:col: RULE message — clickable in editors and CI logs
+    path_part, line_no, col_no, rest = line.split(":", 3)
+    assert path_part.endswith("D105_bad.py")
+    assert int(line_no) >= 1
+    assert int(col_no) >= 1
+    assert rest.strip().startswith("D105 ")

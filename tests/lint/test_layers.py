@@ -1,0 +1,106 @@
+"""Layer-DAG checker: module→layer mapping, relative-import resolution,
+and the declared table's own invariants."""
+
+import ast
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.layers import LAYERS, check_layers, layer_of
+
+
+def _check(source: str, module: str, is_package: bool = False):
+    tree = ast.parse(textwrap.dedent(source))
+    return check_layers(tree, module, is_package)
+
+
+# ------------------------------------------------------------------- mapping
+def test_layer_of_known_modules():
+    assert layer_of("repro.sim.engine") == "sim"
+    assert layer_of("repro.campaign.backends.queue") == "campaign"
+    assert layer_of("repro.cli") == "app"
+    assert layer_of("repro.__main__") == "app"
+    assert layer_of("repro") == "app"
+    assert layer_of("repro.lint.engine") == "lint"
+    assert layer_of("repro.nope.x") is None
+    assert layer_of("othertree.sim") is None
+
+
+def test_layer_table_is_a_dag():
+    """Every allowed edge points at a declared layer, and following allowed
+    edges can never come back (the table is transitively closed + acyclic)."""
+    for layer, allowed in LAYERS.items():
+        assert layer not in allowed
+        for dep in allowed:
+            assert dep in LAYERS
+            assert layer not in LAYERS[dep], f"cycle {layer} <-> {dep}"
+            # transitive closure: anything my dependency may import, I may too
+            # (except the app shell, which nothing imports anyway)
+            assert LAYERS[dep] <= allowed, f"{layer} misses {LAYERS[dep] - allowed}"
+
+
+# ------------------------------------------------------------------ checking
+def test_upward_import_flagged():
+    findings = _check("from repro.campaign.spec import TrialSpec\n", "repro.sim.helper")
+    assert [f.rule for f in findings] == ["L101"]
+    assert "campaign" in findings[0].message
+
+
+def test_downward_and_same_layer_imports_allowed():
+    assert _check("from repro.sim.rng import RandomSource\n", "repro.campaign.helper") == []
+    assert _check("from repro.sim.engine import SimulationEngine\n", "repro.sim.helper") == []
+
+
+def test_relative_import_resolution():
+    # repro/experiments/load.py: ``from ..sim.rng import X`` -> repro.sim.rng
+    assert _check("from ..sim.rng import RandomSource\n", "repro.experiments.load") == []
+    # ...while ``from ..scenarios.workloads import X`` is an upward edge
+    findings = _check("from ..scenarios.workloads import WORKLOADS\n", "repro.experiments.load")
+    assert [f.rule for f in findings] == ["L101"]
+
+
+def test_relative_import_from_package_init():
+    # repro/campaign/__init__.py: ``from .spec import X`` stays in-layer
+    assert _check("from .spec import CampaignSpec\n", "repro.campaign", is_package=True) == []
+    # repro/campaign/backends/queue.py: ``from ...sim import profiling`` would
+    # resolve through two parents — allowed downward edge
+    assert _check("from ...sim import profiling\n", "repro.campaign.backends.queue") == []
+
+
+def test_function_level_import_also_checked():
+    findings = _check(
+        """
+        def build():
+            from repro.campaign.spec import TrialSpec
+            return TrialSpec
+        """,
+        "repro.experiments.helper",
+    )
+    assert [f.rule for f in findings] == ["L101"]
+
+
+def test_app_layer_imports_everything():
+    source = "\n".join(
+        f"import repro.{pkg}" for pkg in sorted(set(LAYERS) - {"app"})
+    )
+    assert _check(source, "repro.cli") == []
+
+
+def test_lint_layer_is_self_contained():
+    findings = _check("from repro.sim.rng import RandomSource\n", "repro.lint.helper")
+    assert [f.rule for f in findings] == ["L101"]
+
+
+def test_unmapped_repro_module_flagged_l100():
+    findings = _check("x = 1\n", "repro.newpkg.module")
+    assert [f.rule for f in findings] == ["L100"]
+    # non-repro modules are out of scope entirely
+    assert _check("x = 1\n", "othertree.module") == []
+
+
+def test_l101_suppressible_with_reason():
+    findings = lint_source(
+        "from repro.scenarios.workloads import WORKLOADS"
+        "  # repro-lint: ignore[L101] — deliberate lazy reverse edge\n",
+        module="repro.experiments.helper",
+    )
+    assert findings == []

@@ -1,0 +1,71 @@
+"""Fixture-corpus tests: every rule has a minimal positive + negative case.
+
+Convention: ``fixtures/<RULE>_bad.py`` must produce at least one finding of
+exactly that rule (and nothing else); ``fixtures/<RULE>_ok.py`` is the
+closest clean spelling and must produce zero findings.  A leading
+``# repro-lint-module:`` directive lets a fixture claim the module name a
+scoped rule (D103/D302/D303/L1xx) needs.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, lint_file
+from repro.lint.rules import CATEGORY_META
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+BAD = sorted(FIXTURES.glob("*_bad.py"))
+OK = sorted(FIXTURES.glob("*_ok.py"))
+
+
+def _rule_of(path: Path) -> str:
+    return path.stem.rsplit("_", 1)[0]
+
+
+def test_corpus_covers_every_rule():
+    """Each registered rule has one bad and one ok fixture — no rule ships
+    without a self-test."""
+    expected = {rule.id for rule in all_rules()}
+    assert {_rule_of(p) for p in BAD} == expected
+    assert {_rule_of(p) for p in OK} == expected
+
+
+@pytest.mark.parametrize("path", BAD, ids=lambda p: p.stem)
+def test_bad_fixture_triggers_its_rule(path):
+    findings = lint_file(path)
+    rules_hit = {f.rule for f in findings}
+    assert _rule_of(path) in rules_hit, f"expected {_rule_of(path)}, got {findings}"
+    # A bad fixture must be *minimal*: nothing but its own rule fires.
+    assert rules_hit == {_rule_of(path)}, f"extra findings in {path.name}: {findings}"
+
+
+@pytest.mark.parametrize("path", OK, ids=lambda p: p.stem)
+def test_ok_fixture_is_clean(path):
+    findings = lint_file(path)
+    assert findings == [], f"unexpected findings in {path.name}: {findings}"
+
+
+def test_bad_fixtures_report_real_positions():
+    for path in BAD:
+        for finding in lint_file(path):
+            assert finding.line >= 1
+            assert finding.col >= 0
+            assert finding.message
+
+
+def test_rule_catalog_is_well_formed():
+    rules = all_rules()
+    ids = [rule.id for rule in rules]
+    assert ids == sorted(ids)
+    assert len(ids) == len(set(ids))
+    for rule in rules:
+        assert rule.summary
+        assert rule.category
+        # determinism/layering ids are D/L + 3 digits; meta are S/E + 3 digits
+        family = rule.id[0]
+        if rule.category == CATEGORY_META:
+            assert family in ("S", "E")
+        else:
+            assert family in ("D", "L")

@@ -1,0 +1,64 @@
+"""Meta-tests: the shipped tree itself stays lint-clean, and the gate
+actually gates (a seeded violation fails the run)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import run_lint
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+def test_src_repro_is_lint_clean():
+    """The acceptance gate: zero unsuppressed findings over src/repro."""
+    result = run_lint([SRC_REPRO])
+    assert result.files_checked > 100  # sanity: we really walked the tree
+    assert result.findings == [], "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in result.findings
+    )
+
+
+def test_seeded_violation_fails_the_gate(tmp_path):
+    """An intentional unsorted glob in a campaign-named module must flip the
+    exit code — this is what the CI job relies on."""
+    bad = tmp_path / "bad_module.py"
+    bad.write_text(
+        "# repro-lint-module: repro.campaign.example\n"
+        "from pathlib import Path\n"
+        "\n"
+        "def records(root):\n"
+        "    return [p.stem for p in Path(root).glob('*.json')]\n"
+    )
+    assert lint_main([str(SRC_REPRO)]) == 0
+    assert lint_main([str(SRC_REPRO), str(bad)]) == 1
+
+
+def test_module_main_entrypoint():
+    """``python -m repro.lint <clean fixture>`` exits 0; with a violation, 1."""
+    fixtures = Path(__file__).parent / "fixtures"
+    env_src = str(REPO_ROOT / "src")
+    clean = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(fixtures / "D105_ok.py")],
+        capture_output=True, text=True, env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+    )
+    assert clean.returncode == 0, clean.stderr
+    dirty = subprocess.run(
+        [sys.executable, "-m", "repro.lint", str(fixtures / "D105_bad.py")],
+        capture_output=True, text=True, env={"PYTHONPATH": env_src, "PATH": "/usr/bin:/bin"},
+    )
+    assert dirty.returncode == 1, dirty.stderr
+    assert "D105" in dirty.stdout
+
+
+def test_repro_cli_lint_subcommand(capsys):
+    """``repro lint`` routes through the main CLI with the same contract."""
+    from repro.cli import main as repro_main
+
+    assert repro_main(["lint", str(SRC_REPRO)]) == 0
+    out = capsys.readouterr().out
+    assert "clean: 0 findings" in out
+    assert repro_main(["lint", "--rules"]) == 0
+    assert "D201" in capsys.readouterr().out

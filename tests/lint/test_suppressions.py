@@ -1,0 +1,149 @@
+"""Suppression-comment semantics: matching, reasons, staleness, whitelists."""
+
+import textwrap
+
+from repro.lint import DEFAULT_CONFIG, LintConfig, lint_source
+from repro.lint.suppress import parse_suppressions
+
+
+def _lint(source: str, module: str = "repro.sim.example"):
+    return lint_source(textwrap.dedent(source), module=module)
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+# ------------------------------------------------------------------ matching
+def test_suppression_silences_matching_rule_on_its_line():
+    findings = _lint(
+        """
+        import uuid
+
+        def trial_id():
+            return str(uuid.uuid4())  # repro-lint: ignore[D105] — interop shim, outside records
+        """
+    )
+    assert findings == []
+
+
+def test_suppression_on_other_line_does_not_apply():
+    findings = _lint(
+        """
+        import uuid
+
+        # repro-lint: ignore[D105] — wrong line: comment above, call below
+        def trial_id():
+            return str(uuid.uuid4())
+        """
+    )
+    assert "D105" in _rules(findings)
+    assert "S102" in _rules(findings)  # ...and the stray comment is stale
+
+
+def test_multi_id_suppression():
+    findings = _lint(
+        """
+        import os
+        import uuid
+
+        def both():
+            return os.urandom(4), uuid.uuid4()  # repro-lint: ignore[D104,D105] — paired escape for an interop shim
+        """
+    )
+    assert findings == []
+
+
+def test_suppression_does_not_cover_other_rules():
+    findings = _lint(
+        """
+        import os
+
+        def entropy():
+            return os.urandom(4)  # repro-lint: ignore[D105] — wrong id on purpose
+        """
+    )
+    # D104 still fires, and the D105 suppression is unused.
+    assert sorted(_rules(findings)) == ["D104", "S102"]
+
+
+# ------------------------------------------------------------- meta policies
+def test_bare_suppression_flagged_s101():
+    findings = _lint(
+        """
+        import uuid
+
+        def trial_id():
+            return str(uuid.uuid4())  # repro-lint: ignore[D105]
+        """
+    )
+    assert _rules(findings) == ["S101"]  # D105 silenced, but the bare comment flagged
+
+
+def test_unused_suppression_flagged_s102():
+    findings = _lint("x = 1  # repro-lint: ignore[D101] — nothing to suppress\n")
+    assert _rules(findings) == ["S102"]
+
+
+def test_unknown_rule_id_flagged_s102():
+    findings = _lint("x = 1  # repro-lint: ignore[D999] — no such rule\n")
+    assert _rules(findings) == ["S102"]
+    assert "unknown rule" in findings[0].message
+
+
+def test_suppression_example_inside_docstring_is_inert():
+    findings = _lint(
+        '''
+        def doc():
+            """Write `# repro-lint: ignore[D101] — reason` to suppress."""
+            return 1
+        '''
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------------- parsing
+def test_parse_suppressions_reason_and_ids():
+    sups = parse_suppressions(
+        "a = 1  # repro-lint: ignore[D101, D202] — legit because reasons\n"
+        "b = 2  # repro-lint: ignore[D105]\n"
+    )
+    assert sups[1].rule_ids == ("D101", "D202")
+    assert sups[1].reason == "legit because reasons"
+    assert sups[2].rule_ids == ("D105",)
+    assert sups[2].reason == ""
+
+
+# ------------------------------------------------------------------ whitelist
+def test_wall_clock_whitelist_by_module():
+    source = """
+        import time
+
+        def now():
+            return time.time()
+        """
+    assert _rules(_lint(source, module="repro.sim.example")) == ["D103"]
+    assert _lint(source, module="repro.campaign.telemetry") == []
+
+
+def test_scoped_rules_apply_only_in_their_modules():
+    source = """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Event:
+            x: int
+        """
+    assert _rules(_lint(source, module="repro.sim.hooks")) == ["D302"]
+    assert _lint(source, module="repro.sim.example") == []
+
+
+def test_disabled_rule_not_reported():
+    config = LintConfig(disabled_rules=frozenset({"D105"}))
+    findings = lint_source(
+        "import uuid\nx = uuid.uuid4()\n",
+        module="repro.sim.example",
+        config=config,
+    )
+    assert findings == []
+    assert DEFAULT_CONFIG.rule_enabled("D105")
